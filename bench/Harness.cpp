@@ -1,0 +1,128 @@
+//===- bench/Harness.cpp - Shared experiment harness ----------------------===//
+
+#include "Harness.h"
+
+#include "sched/RegisterPressure.h"
+#include "support/Format.h"
+#include "support/Statistics.h"
+#include "workloads/SyntheticGenerator.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace modsched;
+using namespace modsched::bench;
+
+BenchConfig BenchConfig::fromEnv() {
+  BenchConfig Config;
+  if (const char *E = std::getenv("MODSCHED_BENCH_LOOPS"))
+    Config.SyntheticLoops = std::atoi(E);
+  if (const char *E = std::getenv("MODSCHED_BENCH_TIMELIMIT"))
+    Config.TimeLimitSeconds = std::atof(E);
+  if (const char *E = std::getenv("MODSCHED_BENCH_SEED"))
+    Config.Seed = std::strtoull(E, nullptr, 10);
+  return Config;
+}
+
+std::vector<DependenceGraph> bench::benchSuite(const MachineModel &M,
+                                               const BenchConfig &Config) {
+  return generateSuite(M, Config.SyntheticLoops, Config.Seed,
+                       /*IncludeKernels=*/true, Config.LargeCap);
+}
+
+std::vector<LoopRecord>
+bench::runOptimal(const MachineModel &M,
+                  const std::vector<DependenceGraph> &Suite, Objective Obj,
+                  DependenceStyle Dep, const BenchConfig &Config) {
+  SchedulerOptions Opts;
+  Opts.Formulation.Obj = Obj;
+  Opts.Formulation.DepStyle = Dep;
+  Opts.TimeLimitSeconds = Config.TimeLimitSeconds;
+  Opts.NodeLimit = Config.NodeLimit;
+  OptimalModuloScheduler Scheduler(M, Opts);
+
+  std::vector<LoopRecord> Records;
+  Records.reserve(Suite.size());
+  for (const DependenceGraph &G : Suite) {
+    ScheduleResult R = Scheduler.schedule(G);
+    LoopRecord Rec;
+    Rec.Name = G.name();
+    Rec.NumOps = G.numOperations();
+    Rec.Solved = R.Found;
+    Rec.TimedOut = R.TimedOut;
+    Rec.II = R.II;
+    Rec.Mii = R.Mii;
+    Rec.Nodes = R.Nodes;
+    Rec.SimplexIterations = R.SimplexIterations;
+    Rec.Variables = R.Variables;
+    Rec.Constraints = R.Constraints;
+    Rec.Seconds = R.Seconds;
+    Rec.Secondary = R.SecondaryObjective;
+    if (R.Found) {
+      RegisterPressure P = computeRegisterPressure(G, R.Schedule);
+      Rec.MaxLive = P.MaxLive;
+      Rec.TotalLifetime = P.TotalLifetime;
+      Rec.Buffers = P.Buffers;
+    }
+    Records.push_back(std::move(Rec));
+  }
+  return Records;
+}
+
+int bench::countSolved(const std::vector<LoopRecord> &Records) {
+  int Count = 0;
+  for (const LoopRecord &R : Records)
+    Count += R.Solved;
+  return Count;
+}
+
+std::vector<int> bench::commonlySolved(
+    const std::vector<std::vector<LoopRecord>> &RecordSets) {
+  std::vector<int> Common;
+  if (RecordSets.empty())
+    return Common;
+  size_t NumLoops = RecordSets.front().size();
+  for (size_t Loop = 0; Loop < NumLoops; ++Loop) {
+    bool All = true;
+    for (const std::vector<LoopRecord> &Set : RecordSets)
+      All = All && Set[Loop].Solved;
+    if (All)
+      Common.push_back(static_cast<int>(Loop));
+  }
+  return Common;
+}
+
+void bench::printPaperTableBlock(const std::string &SchedulerName,
+                                 const std::vector<LoopRecord> &Records) {
+  SummaryStats Vars, Cons, Nodes, Iters, Ii, N;
+  for (const LoopRecord &R : Records) {
+    if (!R.Solved)
+      continue;
+    Vars.add(R.Variables);
+    Cons.add(R.Constraints);
+    Nodes.add(static_cast<double>(R.Nodes));
+    Iters.add(static_cast<double>(R.SimplexIterations));
+    Ii.add(R.II);
+    N.add(R.NumOps);
+  }
+  std::printf("%s: (%zu loops)\n", SchedulerName.c_str(),
+              static_cast<size_t>(Vars.count()));
+  if (Vars.empty()) {
+    std::printf("  (no loops solved)\n");
+    return;
+  }
+  TablePrinter T;
+  T.setHeader({"Measurements:", "min", "freq", "median", "average", "max"});
+  auto Row = [&T](const char *Label, const SummaryStats &S) {
+    T.addRow({Label, formatDouble(S.min()), formatPercent(S.freqOfMin()),
+              formatDouble(S.median()), formatDouble(S.average()),
+              formatDouble(S.max())});
+  };
+  Row("Variables", Vars);
+  Row("Constraints", Cons);
+  Row("Branch-and-bound nodes", Nodes);
+  Row("Simplex iterations", Iters);
+  Row("II", Ii);
+  Row("N", N);
+  std::printf("%s\n", T.render().c_str());
+}

@@ -1,0 +1,93 @@
+//===- bench/Harness.h - Shared experiment harness --------------*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common infrastructure for the experiment binaries: the benchmark suite
+/// (hand kernels + calibrated synthetic loops standing in for the paper's
+/// 1327 Fortran loops), per-loop result records, and printers for the
+/// paper's table layout (min / freq-of-min / median / average / max).
+///
+/// Budgets are configurable through the environment so the default run
+/// finishes in minutes while a patient user can approach the paper's
+/// 15-minute-per-loop setting:
+///   MODSCHED_BENCH_LOOPS      number of synthetic loops (default 110)
+///   MODSCHED_BENCH_TIMELIMIT  per-loop seconds (default 2.0)
+///   MODSCHED_BENCH_SEED       suite seed (default 20260705)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_BENCH_HARNESS_H
+#define MODSCHED_BENCH_HARNESS_H
+
+#include "graph/DependenceGraph.h"
+#include "ilpsched/OptimalScheduler.h"
+#include "machine/MachineModel.h"
+
+#include <string>
+#include <vector>
+
+namespace modsched {
+namespace bench {
+
+/// Budgets and suite shape for one experiment run.
+struct BenchConfig {
+  int SyntheticLoops = 110;
+  uint64_t Seed = 20260705;
+  double TimeLimitSeconds = 2.0;
+  int64_t NodeLimit = 200000;
+  /// Largest synthetic loop body.
+  int LargeCap = 32;
+
+  /// Reads the MODSCHED_BENCH_* environment overrides.
+  static BenchConfig fromEnv();
+};
+
+/// Per-loop outcome of one scheduler configuration.
+struct LoopRecord {
+  std::string Name;
+  int NumOps = 0;
+  bool Solved = false;
+  bool TimedOut = false;
+  int II = 0;
+  int Mii = 0;
+  int64_t Nodes = 0;
+  int64_t SimplexIterations = 0;
+  int Variables = 0;
+  int Constraints = 0;
+  double Seconds = 0.0;
+  double Secondary = 0.0;
+  int MaxLive = 0;
+  long TotalLifetime = 0;
+  long Buffers = 0;
+};
+
+/// The benchmark suite: hand kernels followed by synthetic loops.
+std::vector<DependenceGraph> benchSuite(const MachineModel &M,
+                                        const BenchConfig &Config);
+
+/// Runs one optimal-scheduler configuration over the whole suite.
+std::vector<LoopRecord> runOptimal(const MachineModel &M,
+                                   const std::vector<DependenceGraph> &Suite,
+                                   Objective Obj, DependenceStyle Dep,
+                                   const BenchConfig &Config);
+
+/// Prints one scheduler's statistics block in the layout of the paper's
+/// Tables 1/2 (variables, constraints, nodes, iterations, II, N), over
+/// the solved loops in \p Records.
+void printPaperTableBlock(const std::string &SchedulerName,
+                          const std::vector<LoopRecord> &Records);
+
+/// Number of solved records.
+int countSolved(const std::vector<LoopRecord> &Records);
+
+/// Indices of loops solved in every record set.
+std::vector<int>
+commonlySolved(const std::vector<std::vector<LoopRecord>> &RecordSets);
+
+} // namespace bench
+} // namespace modsched
+
+#endif // MODSCHED_BENCH_HARNESS_H

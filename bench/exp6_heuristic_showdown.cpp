@@ -1,0 +1,106 @@
+//===- bench/exp6_heuristic_showdown.cpp - Heuristic leaderboard ----------===//
+//
+// Extension experiment (beyond the paper's tables): grades three
+// heuristic pipelines against the optimal schedulers on the same suite —
+//   IMS            Rau's Iterative Modulo Scheduler [3][8]
+//   IMS+stage      IMS followed by stage scheduling [9][10]
+//   Huff           lifetime-sensitive slack scheduling [12]
+// reporting (a) fraction of loops scheduled at the optimal II and (b)
+// average register overhead versus the MinReg optimum at equal II.
+// This is the tuning loop the paper proposes optimal schedulers for.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "heuristic/IterativeModuloScheduler.h"
+#include "heuristic/SlackScheduler.h"
+#include "heuristic/StageScheduler.h"
+#include "sched/RegisterPressure.h"
+
+#include <cstdio>
+#include <optional>
+
+using namespace modsched;
+using namespace modsched::bench;
+
+namespace {
+
+struct HeuristicOutcome {
+  bool Found = false;
+  int II = 0;
+  int MaxLive = 0;
+};
+
+} // namespace
+
+int main() {
+  BenchConfig Config = BenchConfig::fromEnv();
+  MachineModel M = MachineModel::cydraLike();
+  std::vector<DependenceGraph> Suite = benchSuite(M, Config);
+  std::printf("Experiment 6 (extension): heuristic leaderboard "
+              "(suite: %zu loops)\n\n",
+              Suite.size());
+
+  // Optimal references.
+  std::fprintf(stderr, "running optimal MinReg reference...\n");
+  std::vector<LoopRecord> Optimal = runOptimal(
+      M, Suite, Objective::MinReg, DependenceStyle::Structured, Config);
+
+  IterativeModuloScheduler Ims(M);
+  SlackScheduler Slack(M);
+  StageSchedulerOptions StageOpts;
+  StageOpts.Metric = StageMetric::MaxLive;
+
+  auto RunHeuristic = [&](int Which,
+                          const DependenceGraph &G) -> HeuristicOutcome {
+    HeuristicOutcome Out;
+    if (Which == 2) {
+      SlackResult R = Slack.schedule(G);
+      if (!R.Found)
+        return Out;
+      Out = {true, R.II, computeRegisterPressure(G, R.Schedule).MaxLive};
+      return Out;
+    }
+    ImsResult R = Ims.schedule(G);
+    if (!R.Found)
+      return Out;
+    ModuloSchedule S = R.Schedule;
+    if (Which == 1)
+      S = stageSchedule(G, S, StageOpts);
+    Out = {true, R.II, computeRegisterPressure(G, S).MaxLive};
+    return Out;
+  };
+
+  const char *Names[] = {"IMS", "IMS+stage", "Huff-slack"};
+  std::printf("%-10s %9s %12s %14s %14s\n", "heuristic", "solved",
+              "opt-II rate", "avg reg ovr", "opt-reg rate");
+  for (int Which = 0; Which < 3; ++Which) {
+    std::fprintf(stderr, "running %s...\n", Names[Which]);
+    int Solved = 0, AtOptII = 0, Comparable = 0, AtOptReg = 0;
+    long RegOverhead = 0;
+    for (size_t I = 0; I < Suite.size(); ++I) {
+      HeuristicOutcome H = RunHeuristic(Which, Suite[I]);
+      if (!H.Found)
+        continue;
+      ++Solved;
+      if (!Optimal[I].Solved)
+        continue;
+      if (H.II == Optimal[I].II) {
+        ++AtOptII;
+        ++Comparable;
+        RegOverhead += H.MaxLive - Optimal[I].MaxLive;
+        if (H.MaxLive == Optimal[I].MaxLive)
+          ++AtOptReg;
+      }
+    }
+    std::printf("%-10s %9d %11.1f%% %14.2f %13.1f%%\n", Names[Which],
+                Solved,
+                100.0 * AtOptII / std::max(1, countSolved(Optimal)),
+                RegOverhead / std::max(1.0, double(Comparable)),
+                100.0 * AtOptReg / std::max(1, Comparable));
+  }
+  std::printf("\n(opt-II rate over loops the optimal scheduler solved; "
+              "register columns over equal-II loops)\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+//===- bench/exp8_register_budget.cpp - II under register budgets ---------===//
+//
+// Extension experiment: register-CONSTRAINED scheduling. For each kernel
+// and a sweep of register-file sizes K, find the minimum II whose best
+// schedule fits K registers (per-row live count <= K). This is the dual
+// of exp7 and the question a machine designer asks ("how small can the
+// rotating file be before loops slow down?").
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "ilpsched/OptimalScheduler.h"
+#include "sched/Mii.h"
+#include "workloads/KernelLibrary.h"
+
+#include <cstdio>
+
+using namespace modsched;
+using namespace modsched::bench;
+
+int main() {
+  MachineModel M = MachineModel::cydraLike();
+  const int Budgets[] = {16, 12, 10, 8, 6, 4};
+  std::printf("Experiment 8 (extension): minimum II under register "
+              "budgets\n(per kernel: MII, then min II with <= K "
+              "registers; '-' = unschedulable, '?' = budget)\n\n");
+  std::printf("%-26s %4s |", "kernel", "MII");
+  for (int K : Budgets)
+    std::printf(" K=%-3d", K);
+  std::printf("\n");
+
+  for (const DependenceGraph &G : allKernels(M)) {
+    if (G.numOperations() > 14)
+      continue; // Keep the sweep quick.
+    std::printf("%-26s %4d |", G.name().c_str(), mii(G, M));
+    for (int K : Budgets) {
+      SchedulerOptions Opts;
+      Opts.Formulation.RegisterLimit = K;
+      Opts.TimeLimitSeconds = 8.0;
+      Opts.MaxIiIncrease = 12;
+      OptimalModuloScheduler Sched(M, Opts);
+      ScheduleResult R = Sched.schedule(G);
+      if (R.Found)
+        std::printf(" %4d ", R.II);
+      else if (R.TimedOut)
+        std::printf("    ? ");
+      else
+        std::printf("    - ");
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(reading a row right to left shows the II cost of "
+              "shrinking the rotating register file)\n");
+  return 0;
+}

@@ -1,0 +1,213 @@
+//===- bench/micro_solver.cpp - Solver microbenchmarks + ablations --------===//
+//
+// google-benchmark timings of the solver stack on representative
+// formulations, plus the ablations called out in DESIGN.md:
+//  * structured vs traditional vs structured-without-tightening (Ineq. 19)
+//  * branch-rule variants
+//  * integral-objective bound rounding on/off
+//  * ASAP/ALAP stage-bound tightening on/off
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "ilp/BranchAndBound.h"
+#include "sched/Mii.h"
+#include "workloads/KernelLibrary.h"
+#include "workloads/SyntheticGenerator.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace modsched;
+using namespace modsched::ilp;
+
+namespace {
+
+/// A medium-size fixed loop for the ablations (deterministic seed).
+DependenceGraph benchLoop(const MachineModel &M) {
+  Rng R(424242);
+  SyntheticOptions Opts;
+  Opts.MinOps = 12;
+  Opts.MaxOps = 12;
+  return generateLoop(M, R, Opts);
+}
+
+MipResult solveLoop(const MachineModel &M, const DependenceGraph &G,
+                    Objective Obj, DependenceStyle Dep,
+                    MipOptions MipOpts = {}, bool Tighten = true) {
+  FormulationOptions FOpts;
+  FOpts.Obj = Obj;
+  FOpts.DepStyle = Dep;
+  FOpts.TightenStageBounds = Tighten;
+  // The traditional formulation may not prove optimality in reasonable
+  // time (that is the paper's point); budget each solve and accept the
+  // incumbent, so the benchmark measures time-to-solution under a cap.
+  if (MipOpts.TimeLimitSeconds > 1e29)
+    MipOpts.TimeLimitSeconds = 20.0;
+  int Mii = mii(G, M);
+  MipResult Last;
+  for (int II = Mii; II <= Mii + 64; ++II) {
+    Formulation F(G, M, II, FOpts);
+    if (!F.valid())
+      continue;
+    Last = MipSolver(MipOpts).solve(F.model());
+    if (Last.HasSolution)
+      return Last;
+  }
+  return Last;
+}
+
+void BM_LpSimplexExample1(benchmark::State &State) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  FormulationOptions Opts;
+  Opts.Obj = Objective::MinReg;
+  Formulation F(G, M, 2, Opts);
+  lp::SimplexSolver Solver;
+  for (auto _ : State) {
+    lp::LpResult R = Solver.solve(F.model());
+    benchmark::DoNotOptimize(R.Objective);
+  }
+}
+BENCHMARK(BM_LpSimplexExample1);
+
+void BM_MipStructured(benchmark::State &State) {
+  MachineModel M = MachineModel::cydraLike();
+  DependenceGraph G = benchLoop(M);
+  int64_t Nodes = 0;
+  for (auto _ : State) {
+    MipResult R =
+        solveLoop(M, G, Objective::MinReg, DependenceStyle::Structured);
+    Nodes = R.Nodes;
+    benchmark::DoNotOptimize(R.Objective);
+  }
+  State.counters["bb_nodes"] = static_cast<double>(Nodes);
+}
+BENCHMARK(BM_MipStructured)->Unit(benchmark::kMillisecond);
+
+void BM_MipStructuredLoose(benchmark::State &State) {
+  // Ablation: Ineq. (19) without the Chaudhuri tightening.
+  MachineModel M = MachineModel::cydraLike();
+  DependenceGraph G = benchLoop(M);
+  int64_t Nodes = 0;
+  for (auto _ : State) {
+    MipResult R = solveLoop(M, G, Objective::MinReg,
+                            DependenceStyle::StructuredLoose);
+    Nodes = R.Nodes;
+    benchmark::DoNotOptimize(R.Objective);
+  }
+  State.counters["bb_nodes"] = static_cast<double>(Nodes);
+}
+BENCHMARK(BM_MipStructuredLoose)->Unit(benchmark::kMillisecond);
+
+void BM_MipTraditional(benchmark::State &State) {
+  MachineModel M = MachineModel::cydraLike();
+  DependenceGraph G = benchLoop(M);
+  int64_t Nodes = 0;
+  for (auto _ : State) {
+    MipResult R =
+        solveLoop(M, G, Objective::MinReg, DependenceStyle::Traditional);
+    Nodes = R.Nodes;
+    benchmark::DoNotOptimize(R.Objective);
+  }
+  State.counters["bb_nodes"] = static_cast<double>(Nodes);
+}
+BENCHMARK(BM_MipTraditional)->Unit(benchmark::kMillisecond);
+
+void BM_BranchRule(benchmark::State &State) {
+  MachineModel M = MachineModel::cydraLike();
+  DependenceGraph G = benchLoop(M);
+  MipOptions Opts;
+  Opts.Branching = static_cast<BranchRule>(State.range(0));
+  int64_t Nodes = 0;
+  for (auto _ : State) {
+    MipResult R = solveLoop(M, G, Objective::MinReg,
+                            DependenceStyle::Structured, Opts);
+    Nodes = R.Nodes;
+    benchmark::DoNotOptimize(R.Objective);
+  }
+  State.counters["bb_nodes"] = static_cast<double>(Nodes);
+}
+BENCHMARK(BM_BranchRule)
+    ->Arg(0) // MostFractional
+    ->Arg(1) // FirstFractional
+    ->Arg(2) // LastFractional
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IntegralObjectiveRounding(benchmark::State &State) {
+  MachineModel M = MachineModel::cydraLike();
+  DependenceGraph G = benchLoop(M);
+  MipOptions Opts;
+  Opts.IntegralObjective = State.range(0) != 0;
+  for (auto _ : State) {
+    MipResult R = solveLoop(M, G, Objective::MinReg,
+                            DependenceStyle::Structured, Opts);
+    benchmark::DoNotOptimize(R.Objective);
+  }
+}
+BENCHMARK(BM_IntegralObjectiveRounding)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StageBoundTightening(benchmark::State &State) {
+  MachineModel M = MachineModel::cydraLike();
+  DependenceGraph G = benchLoop(M);
+  for (auto _ : State) {
+    MipResult R = solveLoop(M, G, Objective::MinReg,
+                            DependenceStyle::Structured, {},
+                            /*Tighten=*/State.range(0) != 0);
+    benchmark::DoNotOptimize(R.Objective);
+  }
+}
+BENCHMARK(BM_StageBoundTightening)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NodePresolve(benchmark::State &State) {
+  // Ablation: bound propagation at every branch-and-bound node.
+  MachineModel M = MachineModel::cydraLike();
+  DependenceGraph G = benchLoop(M);
+  MipOptions Opts;
+  Opts.NodePresolve = State.range(0) != 0;
+  int64_t Nodes = 0;
+  for (auto _ : State) {
+    MipResult R = solveLoop(M, G, Objective::MinReg,
+                            DependenceStyle::Structured, Opts);
+    Nodes = R.Nodes;
+    benchmark::DoNotOptimize(R.Objective);
+  }
+  State.counters["bb_nodes"] = static_cast<double>(Nodes);
+}
+BENCHMARK(BM_NodePresolve)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_InstanceMapping(benchmark::State &State) {
+  // Counting (Ineq. 5) vs instance-mapped ([5]) resource constraints.
+  MachineModel M = MachineModel::cydraLike();
+  DependenceGraph G = benchLoop(M);
+  FormulationOptions FOpts;
+  FOpts.Obj = Objective::None;
+  FOpts.InstanceMapped = State.range(0) != 0;
+  int II = mii(G, M);
+  for (auto _ : State) {
+    for (int Try = II;; ++Try) {
+      Formulation F(G, M, Try, FOpts);
+      if (!F.valid())
+        continue;
+      MipOptions Opts;
+      Opts.StopAtFirstSolution = true;
+      MipResult R = MipSolver(Opts).solve(F.model());
+      if (R.HasSolution) {
+        benchmark::DoNotOptimize(R.Objective);
+        State.counters["achieved_ii"] = Try;
+        break;
+      }
+    }
+  }
+}
+BENCHMARK(BM_InstanceMapping)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+//===- examples/formulation_showdown.cpp - Structured vs traditional ------===//
+//
+// Demonstrates the paper's core claim on a single loop: building the
+// MinReg ILP with the traditional (Ineq. 4) and the structured (Ineq. 20)
+// dependence constraints and comparing branch-and-bound nodes, simplex
+// iterations, and wall-clock time. Pass a .ddg file to try your own loop:
+//
+//   build/examples/formulation_showdown [loop.ddg]
+//
+//===----------------------------------------------------------------------===//
+
+#include "ilpsched/OptimalScheduler.h"
+#include "sched/RegisterPressure.h"
+#include "textio/DdgFormat.h"
+#include "workloads/KernelLibrary.h"
+#include "workloads/SyntheticGenerator.h"
+
+#include <cstdio>
+
+using namespace modsched;
+
+int main(int argc, char **argv) {
+  MachineModel Machine = MachineModel::cydraLike();
+
+  DependenceGraph Loop = [&] {
+    if (argc > 1) {
+      std::string Error;
+      auto G = loadDdgFile(argv[1], Machine, &Error);
+      if (!G) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        std::exit(1);
+      }
+      return *G;
+    }
+    // Default: a medium synthetic loop where the difference shows.
+    Rng R(20260705);
+    SyntheticOptions Opts;
+    Opts.MinOps = 12;
+    Opts.MaxOps = 12;
+    return generateLoop(Machine, R, Opts);
+  }();
+
+  std::printf("loop '%s': %d operations, %d scheduling edges, "
+              "%d virtual registers\n\n",
+              Loop.name().c_str(), Loop.numOperations(),
+              Loop.numSchedEdges(), Loop.numRegisters());
+
+  std::printf("%-14s %6s %6s %6s %10s %12s %9s %8s\n", "formulation", "II",
+              "vars", "cons", "bb-nodes", "simplex-it", "maxlive", "time");
+  for (DependenceStyle Dep :
+       {DependenceStyle::Traditional, DependenceStyle::StructuredLoose,
+        DependenceStyle::Structured}) {
+    SchedulerOptions Options;
+    Options.Formulation.Obj = Objective::MinReg;
+    Options.Formulation.DepStyle = Dep;
+    Options.TimeLimitSeconds = 60.0;
+    OptimalModuloScheduler Scheduler(Machine, Options);
+    ScheduleResult R = Scheduler.schedule(Loop);
+    if (!R.Found) {
+      std::printf("%-14s budget expired (nodes=%lld)\n", toString(Dep),
+                  static_cast<long long>(R.Nodes));
+      continue;
+    }
+    RegisterPressure P = computeRegisterPressure(Loop, R.Schedule);
+    std::printf("%-14s %6d %6d %6d %10lld %12lld %9d %7.2fs\n",
+                toString(Dep), R.II, R.Variables, R.Constraints,
+                static_cast<long long>(R.Nodes),
+                static_cast<long long>(R.SimplexIterations), P.MaxLive,
+                R.Seconds);
+  }
+  std::printf("\nAll formulations agree on the minimum II and the minimum "
+              "register requirement;\nthe structured one should reach them "
+              "with far fewer branch-and-bound nodes.\n");
+  return 0;
+}

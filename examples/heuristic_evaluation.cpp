@@ -1,0 +1,69 @@
+//===- examples/heuristic_evaluation.cpp - Tuning a heuristic -------------===//
+//
+// The paper's motivating use case: employ the optimal schedulers to
+// evaluate and fine-tune a production heuristic. This example runs Rau's
+// Iterative Modulo Scheduler and the stage-scheduling post-pass on every
+// kernel in the library, then grades both against the optimal NoObj (for
+// II) and MinReg (for register requirements) schedulers.
+//
+// Run: build/examples/heuristic_evaluation
+//
+//===----------------------------------------------------------------------===//
+
+#include "heuristic/IterativeModuloScheduler.h"
+#include "heuristic/StageScheduler.h"
+#include "ilpsched/OptimalScheduler.h"
+#include "sched/RegisterPressure.h"
+#include "workloads/KernelLibrary.h"
+
+#include <cstdio>
+
+using namespace modsched;
+
+int main() {
+  MachineModel Machine = MachineModel::cydraLike();
+  std::vector<DependenceGraph> Kernels = allKernels(Machine);
+
+  IterativeModuloScheduler Ims(Machine);
+
+  SchedulerOptions OptOptions;
+  OptOptions.Formulation.Obj = Objective::MinReg;
+  OptOptions.TimeLimitSeconds = 30.0;
+  OptimalModuloScheduler Optimal(Machine, OptOptions);
+
+  std::printf("%-24s %4s | %8s %9s %9s | %7s %8s\n", "kernel", "MII",
+              "IMS II", "opt II", "II gap", "IMS reg", "opt reg");
+
+  int OptimalCount = 0, RegGapTotal = 0;
+  for (const DependenceGraph &G : Kernels) {
+    ImsResult H = Ims.schedule(G);
+    ScheduleResult O = Optimal.schedule(G);
+    if (!H.Found || !O.Found) {
+      std::printf("%-24s (skipped: budget expired)\n", G.name().c_str());
+      continue;
+    }
+    // Stage scheduling reduces register pressure without touching the MRT.
+    StageSchedulerOptions StageOpts;
+    StageOpts.Metric = StageMetric::MaxLive;
+    ModuloSchedule Staged = stageSchedule(G, H.Schedule, StageOpts);
+
+    int HeurReg = computeRegisterPressure(G, Staged).MaxLive;
+    int OptReg = computeRegisterPressure(G, O.Schedule).MaxLive;
+    int Gap = H.II - O.II;
+    if (Gap == 0)
+      ++OptimalCount;
+    if (H.II == O.II)
+      RegGapTotal += HeurReg - OptReg;
+
+    std::printf("%-24s %4d | %8d %9d %9d | %7d %8d\n", G.name().c_str(),
+                H.Mii, H.II, O.II, Gap, HeurReg, OptReg);
+  }
+
+  std::printf("\nIMS matched the optimal II on %d/%zu kernels; "
+              "extra registers vs optimal (equal-II kernels): %d\n",
+              OptimalCount, Kernels.size(), RegGapTotal);
+  std::printf("(The paper found IMS throughput-optimal on 97.7%% of its "
+              "1327 loops, and the MinReg scheduler strictly better on "
+              "23.6%% of loops' register usage.)\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===- examples/pipeline_codegen.cpp - From schedule to pipelined code ----===//
+//
+// Shows the downstream consumers of a modulo schedule: the cycle-accurate
+// pipeline simulator (measured throughput approaches II) and the kernel
+// emitter (prologue / kernel / epilogue with modulo variable expansion).
+//
+// Run: build/examples/pipeline_codegen [kernel-name]
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/KernelEmitter.h"
+#include "ilpsched/OptimalScheduler.h"
+#include "sched/PipelineSimulator.h"
+#include "sched/RegisterPressure.h"
+#include "workloads/KernelLibrary.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace modsched;
+
+int main(int argc, char **argv) {
+  MachineModel Machine = MachineModel::vliw2();
+  const char *Wanted = argc > 1 ? argv[1] : "daxpy";
+
+  DependenceGraph Loop = [&] {
+    for (DependenceGraph &G : allKernels(Machine))
+      if (G.name() == Wanted)
+        return std::move(G);
+    std::fprintf(stderr, "unknown kernel '%s', using daxpy\n", Wanted);
+    return daxpy(Machine);
+  }();
+
+  SchedulerOptions Options;
+  Options.Formulation.Obj = Objective::MinReg;
+  OptimalModuloScheduler Scheduler(Machine, Options);
+  ScheduleResult R = Scheduler.schedule(Loop);
+  if (!R.Found) {
+    std::printf("no schedule found within budget\n");
+    return 1;
+  }
+  std::printf("loop '%s': optimal II=%d, MaxLive=%d\n",
+              Loop.name().c_str(), R.II,
+              computeRegisterPressure(Loop, R.Schedule).MaxLive);
+
+  // Simulate 100 overlapped iterations: cycles/iteration approaches II.
+  for (int Iterations : {1, 4, 16, 100}) {
+    SimulationReport Sim =
+        simulateSchedule(Loop, Machine, R.Schedule, Iterations);
+    if (Sim.Violation) {
+      std::printf("simulation violation: %s\n", Sim.Violation->c_str());
+      return 1;
+    }
+    std::printf("  %4d iterations: %5ld cycles  (%.2f cycles/iter, "
+                "steady-state live=%d)\n",
+                Iterations, Sim.TotalCycles, Sim.CyclesPerIteration,
+                Sim.SteadyStateLiveValues);
+  }
+
+  // Emit the software-pipelined form with modulo variable expansion.
+  PipelinedLoop Code = emitPipelinedLoop(Loop, Machine, R.Schedule);
+  std::printf("\n%s", Code.text(Loop).c_str());
+  std::printf("\n(unroll factor %d; a rotating register file would need "
+              "exactly MaxLive=%d registers instead of %d names)\n",
+              Code.UnrollFactor,
+              computeRegisterPressure(Loop, R.Schedule).MaxLive,
+              Code.NumRegisterNames);
+  return 0;
+}

@@ -1,0 +1,155 @@
+//===- codegen/KernelEmitter.cpp - Pipelined code emission ----------------===//
+
+#include "codegen/KernelEmitter.h"
+
+#include "sched/RegisterPressure.h"
+#include "sched/Verifier.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+using namespace modsched;
+
+int modsched::mveUnrollFactor(const DependenceGraph &G,
+                              const ModuloSchedule &S) {
+  int U = 1;
+  for (int Reg = 0; Reg < G.numRegisters(); ++Reg) {
+    int Def = S.time(G.registers()[Reg].Def);
+    int Kill = registerKillTime(G, S, Reg);
+    int Length = Kill - Def + 1;
+    U = std::max(U, (Length + S.ii() - 1) / S.ii());
+  }
+  return U;
+}
+
+namespace {
+
+/// Renders one operation instance. \p CopyOf maps an operation to the
+/// unroll copy whose registers it reads/writes; register names rotate
+/// modulo the unroll factor.
+std::string renderOp(const DependenceGraph &G, int Op, int Copy, int Unroll,
+                     const std::vector<int> &RegOfDef) {
+  std::string Text = G.operation(Op).Name;
+  // Destination register, if the op defines one.
+  if (RegOfDef[Op] >= 0) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), " -> v%d.%d", RegOfDef[Op],
+                  ((Copy % Unroll) + Unroll) % Unroll);
+    Text += Buf;
+  }
+  // Source registers: every register that lists this op as a consumer.
+  bool FirstSrc = true;
+  for (int Reg = 0; Reg < G.numRegisters(); ++Reg) {
+    for (const RegisterUse &U : G.registers()[Reg].Uses) {
+      if (U.Consumer != Op)
+        continue;
+      int ProducerCopy = (((Copy - U.Distance) % Unroll) + Unroll) % Unroll;
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%s v%d.%d",
+                    FirstSrc ? "  reads" : ",", Reg, ProducerCopy);
+      Text += Buf;
+      FirstSrc = false;
+    }
+  }
+  return Text;
+}
+
+} // namespace
+
+PipelinedLoop modsched::emitPipelinedLoop(const DependenceGraph &G,
+                                          const MachineModel &M,
+                                          const ModuloSchedule &S) {
+  assert(!verifySchedule(G, M, S) && "emitting an invalid schedule");
+  PipelinedLoop Out;
+  int II = S.ii();
+  Out.II = II;
+  Out.NumStages = S.numStages();
+  Out.UnrollFactor = mveUnrollFactor(G, S);
+
+  std::vector<int> RegOfDef(G.numOperations(), -1);
+  for (int Reg = 0; Reg < G.numRegisters(); ++Reg)
+    RegOfDef[G.registers()[Reg].Def] = Reg;
+  Out.NumRegisterNames = G.numRegisters() * Out.UnrollFactor;
+
+  int SC = Out.NumStages;
+  int U = Out.UnrollFactor;
+
+  // Prologue: iterations 0 .. SC-2, truncated at cycle (SC-1)*II.
+  // Iteration i issues op o at cycle time(o) + i*II; copy = i mod U.
+  for (int Iter = 0; Iter + 1 < SC; ++Iter) {
+    for (int Op = 0; Op < G.numOperations(); ++Op) {
+      long Cycle = S.time(Op) + long(Iter) * II;
+      if (Cycle >= long(SC - 1) * II)
+        continue; // Issued by the kernel instead.
+      Out.Prologue.push_back({Cycle, Op, SC - 2 - Iter,
+                              renderOp(G, Op, Iter, U, RegOfDef)});
+    }
+  }
+
+  // Kernel: U*II cycles; op o of copy u issues at (time(o) + u*II)
+  // modulo U*II. One kernel pass completes U iterations in steady state.
+  long KernelLen = long(U) * II;
+  for (int Copy = 0; Copy < U; ++Copy) {
+    for (int Op = 0; Op < G.numOperations(); ++Op) {
+      long Cycle = (S.time(Op) + long(Copy) * II) % KernelLen;
+      Out.Kernel.push_back({Cycle, Op, S.stage(Op),
+                            renderOp(G, Op, Copy, U, RegOfDef)});
+    }
+  }
+
+  // Epilogue: drain iterations n-SC+1 .. n-1. Counting b = 0 for the
+  // last iteration (initiated at the kernel's final pass), its op o
+  // still pending if time(o) >= (b+1)*II; it issues at epilogue cycle
+  // time(o) - (b+1)*II.
+  for (int Back = 0; Back + 1 < SC; ++Back) {
+    for (int Op = 0; Op < G.numOperations(); ++Op) {
+      long Cycle = S.time(Op) - long(Back + 1) * II;
+      if (Cycle < 0)
+        continue; // Already issued in the kernel.
+      // The last full kernel pass ran copies 0..U-1; the iteration "b
+      // back from the end" used copy (U-1-b) mod U.
+      int Copy = ((U - 1 - Back) % U + U) % U;
+      Out.Epilogue.push_back({Cycle, Op, Back,
+                              renderOp(G, Op, Copy, U, RegOfDef)});
+    }
+  }
+
+  auto ByCycle = [](const EmittedOp &A, const EmittedOp &B) {
+    return A.Cycle != B.Cycle ? A.Cycle < B.Cycle : A.Op < B.Op;
+  };
+  std::sort(Out.Prologue.begin(), Out.Prologue.end(), ByCycle);
+  std::sort(Out.Kernel.begin(), Out.Kernel.end(), ByCycle);
+  std::sort(Out.Epilogue.begin(), Out.Epilogue.end(), ByCycle);
+  return Out;
+}
+
+std::string PipelinedLoop::text(const DependenceGraph &G) const {
+  (void)G;
+  std::string Out;
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf),
+                "; II=%d stages=%d unroll=%d register-names=%d\n", II,
+                NumStages, UnrollFactor, NumRegisterNames);
+  Out += Buf;
+  auto Section = [&Out](const char *Name,
+                        const std::vector<EmittedOp> &Ops) {
+    Out += Name;
+    Out += ":\n";
+    long LastCycle = -1;
+    for (const EmittedOp &E : Ops) {
+      char Line[192];
+      if (E.Cycle != LastCycle) {
+        std::snprintf(Line, sizeof(Line), "  cycle %3ld:\n", E.Cycle);
+        Out += Line;
+        LastCycle = E.Cycle;
+      }
+      std::snprintf(Line, sizeof(Line), "    %s\n", E.Text.c_str());
+      Out += Line;
+    }
+  };
+  Section("prologue", Prologue);
+  Section("kernel (repeat)", Kernel);
+  Section("epilogue", Epilogue);
+  return Out;
+}

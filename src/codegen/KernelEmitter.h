@@ -1,0 +1,68 @@
+//===- codegen/KernelEmitter.h - Pipelined code emission --------*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a modulo schedule into software-pipelined pseudo-assembly:
+/// prologue (filling the pipeline), kernel (the steady state), and
+/// epilogue (draining it). Machines without rotating register files need
+/// *modulo variable expansion* (Lam): the kernel is unrolled by
+///   U = max over virtual registers of ceil(lifetime / II)
+/// copies so that no value is overwritten before its last use; register
+/// names rotate across the copies. (On a rotating-register machine such
+/// as the Cydra 5, U is 1 and MaxLive rotating registers suffice — which
+/// is exactly the quantity the MinReg scheduler minimizes.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_CODEGEN_KERNELEMITTER_H
+#define MODSCHED_CODEGEN_KERNELEMITTER_H
+
+#include "graph/DependenceGraph.h"
+#include "machine/MachineModel.h"
+#include "sched/ModuloSchedule.h"
+
+#include <string>
+#include <vector>
+
+namespace modsched {
+
+/// One emitted instruction slot.
+struct EmittedOp {
+  long Cycle;        ///< Cycle within its section.
+  int Op;            ///< Operation index in the graph.
+  int IterationBack; ///< 0 = current iteration, 1 = previous, ...
+  std::string Text;  ///< Rendered "op dst = srcs" line.
+};
+
+/// A software-pipelined loop in three sections.
+struct PipelinedLoop {
+  int II = 1;
+  int NumStages = 1;
+  /// Modulo-variable-expansion unroll degree of the kernel.
+  int UnrollFactor = 1;
+  /// Registers needed with MVE (names used across all sections).
+  int NumRegisterNames = 0;
+  std::vector<EmittedOp> Prologue;
+  std::vector<EmittedOp> Kernel; ///< UnrollFactor * II cycles, cyclic.
+  std::vector<EmittedOp> Epilogue;
+
+  /// Renders the three sections as readable pseudo-assembly.
+  std::string text(const DependenceGraph &G) const;
+};
+
+/// Emits the pipelined form of \p S. The schedule must be valid
+/// (asserted via the static verifier in debug builds).
+PipelinedLoop emitPipelinedLoop(const DependenceGraph &G,
+                                const MachineModel &M,
+                                const ModuloSchedule &S);
+
+/// The modulo-variable-expansion unroll factor of \p S:
+/// max over registers of ceil(lifetime / II), at least 1.
+int mveUnrollFactor(const DependenceGraph &G, const ModuloSchedule &S);
+
+} // namespace modsched
+
+#endif // MODSCHED_CODEGEN_KERNELEMITTER_H

@@ -1,0 +1,658 @@
+//===- frontend/LoopDsl.cpp - Tiny loop language frontend -----------------===//
+
+#include "frontend/LoopDsl.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace modsched;
+
+namespace {
+
+// --- Lexer ----------------------------------------------------------------
+
+enum class TokKind {
+  Ident,
+  Number,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  LParen,
+  RParen,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Assign,
+  Semi,
+  End,
+};
+
+struct Token {
+  TokKind Kind = TokKind::End;
+  std::string Text;
+  long Value = 0;
+  int Line = 1;
+  int Col = 1;
+};
+
+class Lexer {
+public:
+  explicit Lexer(const std::string &Source) : Src(Source) { advance(); }
+
+  const Token &current() const { return Cur; }
+
+  void advance() {
+    skipWhitespaceAndComments();
+    Cur.Line = Line;
+    Cur.Col = Col;
+    if (Pos >= Src.size()) {
+      Cur.Kind = TokKind::End;
+      Cur.Text = "<end>";
+      return;
+    }
+    char C = Src[Pos];
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = Pos;
+      while (Pos < Src.size() &&
+             (std::isalnum(static_cast<unsigned char>(Src[Pos])) ||
+              Src[Pos] == '_'))
+        bump();
+      Cur.Kind = TokKind::Ident;
+      Cur.Text = Src.substr(Start, Pos - Start);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      long V = 0;
+      size_t Start = Pos;
+      while (Pos < Src.size() &&
+             std::isdigit(static_cast<unsigned char>(Src[Pos]))) {
+        V = V * 10 + (Src[Pos] - '0');
+        bump();
+      }
+      Cur.Kind = TokKind::Number;
+      Cur.Value = V;
+      Cur.Text = Src.substr(Start, Pos - Start);
+      return;
+    }
+    bump();
+    switch (C) {
+    case '{':
+      Cur.Kind = TokKind::LBrace;
+      break;
+    case '}':
+      Cur.Kind = TokKind::RBrace;
+      break;
+    case '[':
+      Cur.Kind = TokKind::LBracket;
+      break;
+    case ']':
+      Cur.Kind = TokKind::RBracket;
+      break;
+    case '(':
+      Cur.Kind = TokKind::LParen;
+      break;
+    case ')':
+      Cur.Kind = TokKind::RParen;
+      break;
+    case '+':
+      Cur.Kind = TokKind::Plus;
+      break;
+    case '-':
+      Cur.Kind = TokKind::Minus;
+      break;
+    case '*':
+      Cur.Kind = TokKind::Star;
+      break;
+    case '/':
+      Cur.Kind = TokKind::Slash;
+      break;
+    case '=':
+      Cur.Kind = TokKind::Assign;
+      break;
+    case ';':
+      Cur.Kind = TokKind::Semi;
+      break;
+    default:
+      Cur.Kind = TokKind::End;
+      Cur.Text = std::string(1, C);
+      Bad = true;
+      return;
+    }
+    Cur.Text = std::string(1, C);
+  }
+
+  bool sawBadCharacter() const { return Bad; }
+
+private:
+  void bump() {
+    if (Src[Pos] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++Pos;
+  }
+
+  void skipWhitespaceAndComments() {
+    for (;;) {
+      while (Pos < Src.size() &&
+             std::isspace(static_cast<unsigned char>(Src[Pos])))
+        bump();
+      if (Pos < Src.size() && Src[Pos] == '#') {
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          bump();
+        continue;
+      }
+      return;
+    }
+  }
+
+  const std::string &Src;
+  size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+  Token Cur;
+  bool Bad = false;
+};
+
+// --- AST --------------------------------------------------------------------
+
+struct Expr {
+  enum Kind { Number, Scalar, ArrayRef, Binary } K = Number;
+  long Value = 0;       // Number.
+  std::string Name;     // Scalar / ArrayRef.
+  int Offset = 0;       // ArrayRef.
+  char Op = '+';        // Binary.
+  int Lhs = -1, Rhs = -1;
+  int Line = 1, Col = 1;
+};
+
+struct Stmt {
+  bool IsArray = false;
+  std::string Name;
+  int Offset = 0;
+  int Root = -1;
+  int Line = 1, Col = 1;
+};
+
+// --- Parser + code generation ------------------------------------------------
+
+class Compiler {
+public:
+  Compiler(const std::string &Source, const MachineModel &M,
+           std::string *Error)
+      : Lex(Source), M(M), ErrorOut(Error) {}
+
+  std::optional<DependenceGraph> run() {
+    if (!parseLoop())
+      return std::nullopt;
+    if (!generate())
+      return std::nullopt;
+    if (G.numOperations() == 0)
+      return fail(1, 1, "loop has no operations (everything is "
+                        "loop-invariant)");
+    assert(!G.validate() && "frontend produced an invalid graph");
+    return std::move(G);
+  }
+
+private:
+  // --- Diagnostics ---
+  std::nullopt_t fail(int Line, int Col, const std::string &Message) {
+    if (ErrorOut) {
+      char Buf[256];
+      std::snprintf(Buf, sizeof(Buf), "%d:%d: %s", Line, Col,
+                    Message.c_str());
+      *ErrorOut = Buf;
+    }
+    Failed = true;
+    return std::nullopt;
+  }
+  bool failParse(const std::string &Message) {
+    fail(Lex.current().Line, Lex.current().Col, Message);
+    return false;
+  }
+
+  bool expect(TokKind Kind, const char *What) {
+    if (Lex.current().Kind != Kind)
+      return failParse(std::string("expected ") + What + ", got '" +
+                       Lex.current().Text + "'");
+    Lex.advance();
+    return true;
+  }
+
+  // --- Parsing ---
+  bool parseLoop() {
+    if (Lex.current().Kind != TokKind::Ident ||
+        Lex.current().Text != "loop")
+      return failParse("expected 'loop'");
+    Lex.advance();
+    if (Lex.current().Kind != TokKind::Ident)
+      return failParse("expected loop name");
+    G.setName(Lex.current().Text);
+    Lex.advance();
+    if (!expect(TokKind::LBrace, "'{'"))
+      return false;
+    while (Lex.current().Kind != TokKind::RBrace) {
+      if (Lex.current().Kind == TokKind::End)
+        return failParse("unexpected end of input inside loop body");
+      if (!parseStmt())
+        return false;
+    }
+    Lex.advance(); // '}'
+    if (Lex.sawBadCharacter())
+      return failParse("invalid character in input");
+    return true;
+  }
+
+  bool parseStmt() {
+    Stmt S;
+    S.Line = Lex.current().Line;
+    S.Col = Lex.current().Col;
+    if (Lex.current().Kind != TokKind::Ident)
+      return failParse("expected assignment target");
+    S.Name = Lex.current().Text;
+    Lex.advance();
+    if (Lex.current().Kind == TokKind::LBracket) {
+      S.IsArray = true;
+      if (!parseIndex(S.Offset))
+        return false;
+    }
+    if (!expect(TokKind::Assign, "'='"))
+      return false;
+    S.Root = parseExpr();
+    if (S.Root < 0)
+      return false;
+    if (!expect(TokKind::Semi, "';'"))
+      return false;
+    Stmts.push_back(S);
+    return true;
+  }
+
+  /// Parses "[ i (+|-) number ]" or "[ i ]"; fills \p Offset.
+  bool parseIndex(int &Offset) {
+    if (!expect(TokKind::LBracket, "'['"))
+      return false;
+    if (Lex.current().Kind != TokKind::Ident || Lex.current().Text != "i")
+      return failParse("array index must be 'i' (+/- constant)");
+    Lex.advance();
+    Offset = 0;
+    if (Lex.current().Kind == TokKind::Plus ||
+        Lex.current().Kind == TokKind::Minus) {
+      int Sign = Lex.current().Kind == TokKind::Plus ? 1 : -1;
+      Lex.advance();
+      if (Lex.current().Kind != TokKind::Number)
+        return failParse("expected constant after 'i+'/'i-'");
+      Offset = Sign * static_cast<int>(Lex.current().Value);
+      Lex.advance();
+    }
+    return expect(TokKind::RBracket, "']'");
+  }
+
+  int newExpr(Expr E) {
+    E.Line = Lex.current().Line;
+    E.Col = Lex.current().Col;
+    Exprs.push_back(E);
+    return static_cast<int>(Exprs.size()) - 1;
+  }
+
+  /// expr := term (('+'|'-') term)*
+  int parseExpr() {
+    int Lhs = parseTerm();
+    if (Lhs < 0)
+      return -1;
+    while (Lex.current().Kind == TokKind::Plus ||
+           Lex.current().Kind == TokKind::Minus) {
+      char Op = Lex.current().Kind == TokKind::Plus ? '+' : '-';
+      Lex.advance();
+      int Rhs = parseTerm();
+      if (Rhs < 0)
+        return -1;
+      Expr E;
+      E.K = Expr::Binary;
+      E.Op = Op;
+      E.Lhs = Lhs;
+      E.Rhs = Rhs;
+      Lhs = newExpr(E);
+    }
+    return Lhs;
+  }
+
+  /// term := factor (('*'|'/') factor)*
+  int parseTerm() {
+    int Lhs = parseFactor();
+    if (Lhs < 0)
+      return -1;
+    while (Lex.current().Kind == TokKind::Star ||
+           Lex.current().Kind == TokKind::Slash) {
+      char Op = Lex.current().Kind == TokKind::Star ? '*' : '/';
+      Lex.advance();
+      int Rhs = parseFactor();
+      if (Rhs < 0)
+        return -1;
+      Expr E;
+      E.K = Expr::Binary;
+      E.Op = Op;
+      E.Lhs = Lhs;
+      E.Rhs = Rhs;
+      Lhs = newExpr(E);
+    }
+    return Lhs;
+  }
+
+  int parseFactor() {
+    const Token &T = Lex.current();
+    if (T.Kind == TokKind::LParen) {
+      Lex.advance();
+      int Inner = parseExpr();
+      if (Inner < 0)
+        return -1;
+      if (!expect(TokKind::RParen, "')'"))
+        return -1;
+      return Inner;
+    }
+    if (T.Kind == TokKind::Number) {
+      Expr E;
+      E.K = Expr::Number;
+      E.Value = T.Value;
+      Lex.advance();
+      return newExpr(E);
+    }
+    if (T.Kind == TokKind::Ident) {
+      std::string Name = T.Text;
+      Lex.advance();
+      if (Lex.current().Kind == TokKind::LBracket) {
+        Expr E;
+        E.K = Expr::ArrayRef;
+        E.Name = Name;
+        if (!parseIndex(E.Offset))
+          return -1;
+        return newExpr(E);
+      }
+      Expr E;
+      E.K = Expr::Scalar;
+      E.Name = Name;
+      return newExpr(E);
+    }
+    failParse("expected expression");
+    return -1;
+  }
+
+  // --- Code generation ---
+
+  /// The result of evaluating an expression: a defining operation, a
+  /// carried scalar (previous-iteration value, fixed up at the end), or
+  /// a loop-invariant (no operation).
+  struct Value {
+    int Op = -1;
+    std::string Carried;      // Non-empty: previous-iteration scalar.
+    std::string CarriedArray; // Non-empty: earlier iteration's stored
+                              // array element (load eliminated).
+    int CarriedDistance = 0;
+    bool isInvariant() const {
+      return Op < 0 && Carried.empty() && CarriedArray.empty();
+    }
+  };
+
+  /// A Value defined by graph operation \p Op.
+  static Value valueOf(int Op) {
+    Value V;
+    V.Op = Op;
+    return V;
+  }
+
+  int classOf(const char *Name, int Line, int Col) {
+    std::optional<int> C = M.findOpClass(Name);
+    if (!C) {
+      fail(Line, Col, std::string("machine lacks operation class ") + Name);
+      return -1;
+    }
+    return *C;
+  }
+
+  int latencyOf(int Op) {
+    return M.opClass(G.operation(Op).OpClass).Latency;
+  }
+
+  /// Connects \p Operand as an input of \p Consumer.
+  void connect(const Value &Operand, int Consumer) {
+    if (Operand.Op >= 0) {
+      G.addFlowDependence(Operand.Op, Consumer, latencyOf(Operand.Op), 0);
+      return;
+    }
+    if (!Operand.Carried.empty())
+      PendingCarried.push_back({Consumer, Operand.Carried});
+    if (!Operand.CarriedArray.empty())
+      PendingArrayCarried.push_back(
+          {Consumer, Operand.CarriedArray, Operand.CarriedDistance});
+  }
+
+  std::string offsetSuffix(int Offset) {
+    if (Offset == 0)
+      return "0";
+    return (Offset > 0 ? "p" : "m") + std::to_string(std::abs(Offset));
+  }
+
+  Value evaluate(int ExprIdx) {
+    const Expr &E = Exprs[ExprIdx];
+    switch (E.K) {
+    case Expr::Number:
+      return {};
+
+    case Expr::Scalar: {
+      auto Defined = ScalarDef.find(E.Name);
+      if (Defined != ScalarDef.end())
+        return valueOf(Defined->second);
+      if (AssignedScalars.count(E.Name)) {
+        Value V;
+        V.Carried = E.Name;
+        return V;
+      }
+      return {}; // Loop-invariant.
+    }
+
+    case Expr::ArrayRef: {
+      // Store-to-load forwarding within the iteration.
+      auto Forward = ArrayDef.find({E.Name, E.Offset});
+      if (Forward != ArrayDef.end())
+        return Forward->second;
+      // Cross-iteration load elimination ("load-back-substitution", one
+      // of the optimizations the paper assumes pre-applied): when the
+      // loop's unique store to this array writes a HIGHER offset, the
+      // loaded element is exactly the value stored s-l iterations ago —
+      // consume it through a register instead of reloading. Resolved
+      // after codegen because the store may appear later in the body.
+      auto StoredAt = UniqueStoreOffset.find(E.Name);
+      if (StoredAt != UniqueStoreOffset.end() &&
+          StoredAt->second > E.Offset) {
+        Value V;
+        V.CarriedArray = E.Name;
+        V.CarriedDistance = StoredAt->second - E.Offset;
+        return V;
+      }
+      auto Cached = LoadCache.find({E.Name, E.Offset});
+      if (Cached != LoadCache.end())
+        return valueOf(Cached->second);
+      int Class = classOf(opclasses::Load, E.Line, E.Col);
+      if (Class < 0)
+        return {};
+      int Load = G.addOperation(
+          "ld_" + E.Name + "_" + offsetSuffix(E.Offset), Class);
+      LoadCache[{E.Name, E.Offset}] = Load;
+      ArrayLoads.push_back({E.Name, E.Offset, Load});
+      return valueOf(Load);
+    }
+
+    case Expr::Binary: {
+      Value L = evaluate(E.Lhs);
+      Value R = evaluate(E.Rhs);
+      if (Failed)
+        return {};
+      const char *ClassName = E.Op == '+'   ? opclasses::Add
+                              : E.Op == '-' ? opclasses::Sub
+                              : E.Op == '*' ? opclasses::Mul
+                                            : opclasses::Div;
+      int Class = classOf(ClassName, E.Line, E.Col);
+      if (Class < 0)
+        return {};
+      int Op = G.addOperation(std::string(1, E.Op == '+'   ? 'a'
+                                             : E.Op == '-' ? 's'
+                                             : E.Op == '*' ? 'm'
+                                                           : 'd') +
+                                  std::to_string(NextOpId++),
+                              Class);
+      connect(L, Op);
+      connect(R, Op);
+      return valueOf(Op);
+    }
+    }
+    return {};
+  }
+
+  bool generate() {
+    // Which scalars are assigned anywhere (decides carried reads), and
+    // which arrays have exactly one store offset (enables cross-
+    // iteration load elimination; value tracking with several stores to
+    // one array would be ambiguous, so those fall back to loads).
+    std::map<std::string, std::set<int>> StoreOffsets;
+    for (const Stmt &S : Stmts) {
+      if (!S.IsArray)
+        AssignedScalars.insert(S.Name);
+      else
+        StoreOffsets[S.Name].insert(S.Offset);
+    }
+    for (const auto &[Array, Offsets] : StoreOffsets)
+      if (Offsets.size() == 1)
+        UniqueStoreOffset[Array] = *Offsets.begin();
+    // Arrays whose stored value is actually consumed by an eliminated
+    // load (some read sits at a lower offset than the unique store).
+    for (const Expr &E : Exprs) {
+      if (E.K != Expr::ArrayRef)
+        continue;
+      auto It = UniqueStoreOffset.find(E.Name);
+      if (It != UniqueStoreOffset.end() && E.Offset < It->second)
+        ValueConsumed.insert(E.Name);
+    }
+
+    for (const Stmt &S : Stmts) {
+      Value V = evaluate(S.Root);
+      if (Failed)
+        return false;
+      if (S.IsArray) {
+        int Class = classOf(opclasses::Store, S.Line, S.Col);
+        if (Class < 0)
+          return false;
+        // A store whose value other iterations consume through load
+        // elimination needs a real producing operation.
+        if (V.Op < 0 && ValueConsumed.count(S.Name)) {
+          int CopyClass = classOf(opclasses::Copy, S.Line, S.Col);
+          if (CopyClass < 0)
+            return false;
+          int Copy = G.addOperation("cp_" + S.Name, CopyClass);
+          connect(V, Copy);
+          V = valueOf(Copy);
+        }
+        int Store = G.addOperation(
+            "st_" + S.Name + "_" + offsetSuffix(S.Offset), Class);
+        connect(V, Store);
+        ArrayStores.push_back({S.Name, S.Offset, Store});
+        ArrayDef[{S.Name, S.Offset}] = V; // Forwarding.
+        StoreValue[S.Name] = V.Op;
+      } else {
+        // A scalar defined by an invariant expression still needs a
+        // defining operation (a copy) so later reads have a producer.
+        if (V.Op < 0) {
+          int Class = classOf(opclasses::Copy, S.Line, S.Col);
+          if (Class < 0)
+            return false;
+          int Copy = G.addOperation("cp_" + S.Name, Class);
+          connect(V, Copy);
+          V = valueOf(Copy);
+        }
+        ScalarDef[S.Name] = V.Op;
+      }
+    }
+
+    // Carried scalar reads bind to the LAST definition, one iteration
+    // back.
+    for (const auto &[Consumer, Name] : PendingCarried) {
+      auto Def = ScalarDef.find(Name);
+      assert(Def != ScalarDef.end() && "carried scalar without def");
+      G.addFlowDependence(Def->second, Consumer, latencyOf(Def->second),
+                          1);
+    }
+    // Eliminated loads bind to the array's stored value, the recorded
+    // number of iterations back.
+    for (const auto &[Consumer, Array, Distance] : PendingArrayCarried) {
+      auto Def = StoreValue.find(Array);
+      assert(Def != StoreValue.end() && Def->second >= 0 &&
+             "eliminated load without a producing store");
+      G.addFlowDependence(Def->second, Consumer, latencyOf(Def->second),
+                          Distance);
+    }
+
+    // Scalars assigned but never read still hold their value for one
+    // cycle.
+    for (const auto &[Name, Def] : ScalarDef)
+      G.ensureRegister(Def);
+
+    // Memory dependences between stores and loads of the same array.
+    for (const auto &[Array, StOff, Store] : ArrayStores) {
+      for (const auto &[LArray, LdOff, Load] : ArrayLoads) {
+        if (LArray != Array)
+          continue;
+        if (LdOff < StOff) // Store reaches a later iteration's load.
+          G.addSchedEdge(Store, Load, 1, StOff - LdOff);
+        else // Anti: the load must beat the (later) store.
+          G.addSchedEdge(Load, Store, 0, LdOff - StOff);
+      }
+      // Output dependences between stores of the same array.
+      for (const auto &[OArray, OOff, Other] : ArrayStores) {
+        if (OArray != Array || Other == Store)
+          continue;
+        if (OOff < StOff)
+          G.addSchedEdge(Other, Store, 1, StOff - OOff);
+        else if (OOff == StOff && Other < Store)
+          G.addSchedEdge(Other, Store, 1, 0);
+      }
+    }
+    return true;
+  }
+
+  Lexer Lex;
+  const MachineModel &M;
+  std::string *ErrorOut;
+  bool Failed = false;
+
+  std::vector<Expr> Exprs;
+  std::vector<Stmt> Stmts;
+
+  DependenceGraph G;
+  int NextOpId = 0;
+  std::map<std::string, int> ScalarDef;
+  std::set<std::string> AssignedScalars;
+  std::map<std::pair<std::string, int>, int> LoadCache;
+  std::map<std::pair<std::string, int>, Value> ArrayDef;
+  std::map<std::string, int> UniqueStoreOffset;
+  std::map<std::string, int> StoreValue;
+  std::set<std::string> ValueConsumed;
+  std::vector<std::tuple<std::string, int, int>> ArrayLoads;
+  std::vector<std::tuple<std::string, int, int>> ArrayStores;
+  std::vector<std::pair<int, std::string>> PendingCarried;
+  std::vector<std::tuple<int, std::string, int>> PendingArrayCarried;
+};
+
+} // namespace
+
+std::optional<DependenceGraph>
+modsched::compileLoopDsl(const std::string &Source, const MachineModel &M,
+                         std::string *Error) {
+  Compiler C(Source, M, Error);
+  return C.run();
+}

@@ -1,0 +1,62 @@
+//===- frontend/LoopDsl.h - Tiny loop language frontend ---------*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature source-level frontend: innermost loops written as
+/// assignment statements are compiled into dependence graphs, so users
+/// state the computation instead of hand-enumerating edges. Example:
+///
+///   loop daxpy {
+///     y[i] = y[i] + a * x[i];
+///   }
+///
+///   loop firstsum {
+///     s = s + y[i];        # s carries across iterations
+///     x[i] = s;
+///   }
+///
+/// Semantics (the classic ones for an innermost counted loop):
+///  * `name[i+k]` reads/writes array `name` at constant offset k; every
+///    distinct (array, offset) read becomes one load per iteration, a
+///    write becomes a store fed by the expression value.
+///  * A scalar read after an assignment in the same iteration uses that
+///    value (distance 0); read before its (re)definition it refers to
+///    the previous iteration's value (distance 1), creating a
+///    recurrence. A scalar never assigned in the loop is loop-invariant
+///    and generates no operation.
+///  * Memory dependences between a store to `a[i+s]` and loads of
+///    `a[i+l]`: l < s creates a cross-iteration flow (store -> load at
+///    distance s-l, latency 1); l >= s creates an anti-dependence
+///    (load -> store at distance l-s, latency 0).
+///  * Operators +, -, *, / map to the machine's add/sub/mul/div classes;
+///    flow latencies come from the producing operation's class.
+///
+/// Statements are parsed by a hand-written recursive-descent parser with
+/// line/column diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_FRONTEND_LOOPDSL_H
+#define MODSCHED_FRONTEND_LOOPDSL_H
+
+#include "graph/DependenceGraph.h"
+#include "machine/MachineModel.h"
+
+#include <optional>
+#include <string>
+
+namespace modsched {
+
+/// Compiles \p Source (one `loop name { ... }` definition) into a
+/// dependence graph for machine \p M. On failure returns nullopt and
+/// fills \p Error with a "line:col: message" diagnostic when provided.
+std::optional<DependenceGraph> compileLoopDsl(const std::string &Source,
+                                              const MachineModel &M,
+                                              std::string *Error = nullptr);
+
+} // namespace modsched
+
+#endif // MODSCHED_FRONTEND_LOOPDSL_H

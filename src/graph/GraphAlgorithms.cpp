@@ -1,0 +1,183 @@
+//===- graph/GraphAlgorithms.cpp - SCC, cycles, time windows --------------===//
+
+#include "graph/GraphAlgorithms.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace modsched;
+
+namespace {
+
+/// Iterative Tarjan SCC (explicit stack to survive deep graphs).
+class TarjanScc {
+public:
+  TarjanScc(int NumNodes, const std::vector<std::vector<int>> &Succ)
+      : Succ(Succ), Index(NumNodes, -1), LowLink(NumNodes, 0),
+        OnStack(NumNodes, false) {
+    for (int Node = 0; Node < NumNodes; ++Node)
+      if (Index[Node] < 0)
+        visit(Node);
+  }
+
+  std::vector<std::vector<int>> take() { return std::move(Components); }
+
+private:
+  void visit(int Root) {
+    struct Frame {
+      int Node;
+      size_t NextSucc;
+    };
+    std::vector<Frame> CallStack{{Root, 0}};
+    while (!CallStack.empty()) {
+      Frame &F = CallStack.back();
+      int Node = F.Node;
+      if (F.NextSucc == 0) {
+        Index[Node] = LowLink[Node] = NextIndex++;
+        Stack.push_back(Node);
+        OnStack[Node] = true;
+      }
+      bool Descended = false;
+      while (F.NextSucc < Succ[Node].size()) {
+        int Next = Succ[Node][F.NextSucc++];
+        if (Index[Next] < 0) {
+          CallStack.push_back({Next, 0});
+          Descended = true;
+          break;
+        }
+        if (OnStack[Next])
+          LowLink[Node] = std::min(LowLink[Node], Index[Next]);
+      }
+      if (Descended)
+        continue;
+      if (LowLink[Node] == Index[Node]) {
+        std::vector<int> Component;
+        for (;;) {
+          int Popped = Stack.back();
+          Stack.pop_back();
+          OnStack[Popped] = false;
+          Component.push_back(Popped);
+          if (Popped == Node)
+            break;
+        }
+        Components.push_back(std::move(Component));
+      }
+      CallStack.pop_back();
+      if (!CallStack.empty()) {
+        Frame &Parent = CallStack.back();
+        LowLink[Parent.Node] = std::min(LowLink[Parent.Node], LowLink[Node]);
+      }
+    }
+  }
+
+  const std::vector<std::vector<int>> &Succ;
+  std::vector<int> Index, LowLink;
+  std::vector<bool> OnStack;
+  std::vector<int> Stack;
+  std::vector<std::vector<int>> Components;
+  int NextIndex = 0;
+};
+
+std::vector<std::vector<int>> successorLists(const DependenceGraph &G) {
+  std::vector<std::vector<int>> Succ(G.numOperations());
+  for (const SchedEdge &E : G.schedEdges())
+    Succ[E.Src].push_back(E.Dst);
+  return Succ;
+}
+
+/// Longest-path relaxation with weights latency - II * distance (set
+/// II < 0 with ZeroDistanceOnly to restrict to distance-0 edges). Returns
+/// false when a positive cycle prevents convergence.
+bool relaxLongestPaths(const DependenceGraph &G, int II,
+                       std::vector<int> &Time) {
+  int N = G.numOperations();
+  // N rounds suffice for convergence; one extra round detects cycles.
+  for (int Round = 0; Round <= N; ++Round) {
+    bool Changed = false;
+    for (const SchedEdge &E : G.schedEdges()) {
+      // time_dst >= time_src + latency - II * distance.
+      long Needed =
+          long(Time[E.Src]) + E.Latency - long(II) * E.Distance;
+      if (Needed > Time[E.Dst]) {
+        Time[E.Dst] = static_cast<int>(Needed);
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+std::vector<std::vector<int>>
+modsched::stronglyConnectedComponents(const DependenceGraph &G) {
+  std::vector<std::vector<int>> Succ = successorLists(G);
+  TarjanScc Scc(G.numOperations(), Succ);
+  return Scc.take();
+}
+
+bool modsched::hasZeroDistanceCycle(const DependenceGraph &G) {
+  // Restrict to distance-0 edges; any SCC of size > 1 (or a self-loop) is
+  // a zero-distance cycle.
+  std::vector<std::vector<int>> Succ(G.numOperations());
+  for (const SchedEdge &E : G.schedEdges()) {
+    if (E.Distance != 0)
+      continue;
+    if (E.Src == E.Dst)
+      return true;
+    Succ[E.Src].push_back(E.Dst);
+  }
+  TarjanScc Scc(G.numOperations(), Succ);
+  for (const std::vector<int> &Component : Scc.take())
+    if (Component.size() > 1)
+      return true;
+  return false;
+}
+
+bool modsched::hasPositiveCycle(const DependenceGraph &G, int II) {
+  std::vector<int> Time(G.numOperations(), 0);
+  return !relaxLongestPaths(G, II, Time);
+}
+
+std::optional<std::vector<int>> modsched::asapTimes(const DependenceGraph &G,
+                                                    int II) {
+  std::vector<int> Time(G.numOperations(), 0);
+  if (!relaxLongestPaths(G, II, Time))
+    return std::nullopt;
+  return Time;
+}
+
+std::optional<std::vector<int>> modsched::alapTimes(const DependenceGraph &G,
+                                                    int II, int MaxTime) {
+  // Latest times: late_src <= late_dst - latency + II * distance. Relax
+  // downward from MaxTime; a positive cycle would diverge, but the caller
+  // is expected to have verified II >= RecMII first. We still bail out.
+  int N = G.numOperations();
+  std::vector<int> Late(N, MaxTime);
+  for (int Round = 0; Round <= N; ++Round) {
+    bool Changed = false;
+    for (const SchedEdge &E : G.schedEdges()) {
+      long Limit = long(Late[E.Dst]) - E.Latency + long(II) * E.Distance;
+      if (Limit < Late[E.Src]) {
+        Late[E.Src] = static_cast<int>(Limit);
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      return Late;
+  }
+  return std::nullopt;
+}
+
+std::optional<int> modsched::minScheduleLength(const DependenceGraph &G,
+                                               int II) {
+  std::optional<std::vector<int>> Asap = asapTimes(G, II);
+  if (!Asap)
+    return std::nullopt;
+  int Max = 0;
+  for (int T : *Asap)
+    Max = std::max(Max, T);
+  return Max + 1;
+}

@@ -1,0 +1,61 @@
+//===- graph/GraphAlgorithms.h - SCC, cycles, time windows ------*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graph analyses over dependence graphs:
+///  * Tarjan strongly-connected components (recurrence detection),
+///  * positive-cycle detection for a candidate II (edge weight
+///    latency - II * distance),
+///  * ASAP / ALAP start-time windows for a candidate II, used both by the
+///    heuristic scheduler's priorities and to tighten the ILP stage
+///    bounds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_GRAPH_GRAPHALGORITHMS_H
+#define MODSCHED_GRAPH_GRAPHALGORITHMS_H
+
+#include "graph/DependenceGraph.h"
+
+#include <optional>
+#include <vector>
+
+namespace modsched {
+
+/// Computes strongly connected components with Tarjan's algorithm over
+/// the scheduling edges. Returns one vector of operation indices per SCC,
+/// in reverse topological order of the condensation.
+std::vector<std::vector<int>> stronglyConnectedComponents(
+    const DependenceGraph &G);
+
+/// True iff the graph contains a dependence cycle whose total distance is
+/// zero — such a loop is unschedulable at any II.
+bool hasZeroDistanceCycle(const DependenceGraph &G);
+
+/// True iff, at initiation interval \p II, some dependence cycle has
+/// positive weight sum(latency) - II * sum(distance) > 0, i.e. the
+/// recurrence cannot be honored at this II.
+bool hasPositiveCycle(const DependenceGraph &G, int II);
+
+/// Earliest start time of every operation at initiation interval \p II
+/// (longest path from time 0 under the scheduling edges), or nullopt when
+/// \p II is below the recurrence-constrained minimum.
+std::optional<std::vector<int>> asapTimes(const DependenceGraph &G, int II);
+
+/// Latest start times such that every operation can still finish a
+/// schedule in which all start times are <= \p MaxTime; nullopt when
+/// infeasible. All returned times are >= the matching ASAP time iff the
+/// window is non-empty for every operation (checked by the caller).
+std::optional<std::vector<int>> alapTimes(const DependenceGraph &G, int II,
+                                          int MaxTime);
+
+/// Minimum schedule length (1 + latest ASAP start) at \p II, or nullopt
+/// when II is recurrence-infeasible.
+std::optional<int> minScheduleLength(const DependenceGraph &G, int II);
+
+} // namespace modsched
+
+#endif // MODSCHED_GRAPH_GRAPHALGORITHMS_H

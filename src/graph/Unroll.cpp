@@ -1,0 +1,67 @@
+//===- graph/Unroll.cpp - Loop unrolling for fractional II ----------------===//
+
+#include "graph/Unroll.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace modsched;
+
+DependenceGraph modsched::unrollLoop(const DependenceGraph &G, int Factor) {
+  assert(Factor >= 1 && "unroll factor must be positive");
+  int N = G.numOperations();
+
+  // Classify each scheduling edge as register flow or pure ordering, by
+  // matching (def, use, distance) records exactly once (the same scheme
+  // printDdg uses).
+  std::vector<std::vector<std::pair<int, int>>> PendingUses(N);
+  for (const VirtualRegister &R : G.registers())
+    for (const RegisterUse &U : R.Uses)
+      PendingUses[R.Def].push_back({U.Consumer, U.Distance});
+  std::vector<bool> IsFlow(G.numSchedEdges(), false);
+  for (int E = 0; E < G.numSchedEdges(); ++E) {
+    const SchedEdge &Edge = G.schedEdges()[E];
+    auto &Uses = PendingUses[Edge.Src];
+    for (size_t I = 0; I < Uses.size(); ++I) {
+      if (Uses[I].first == Edge.Dst && Uses[I].second == Edge.Distance) {
+        Uses.erase(Uses.begin() + I);
+        IsFlow[E] = true;
+        break;
+      }
+    }
+  }
+
+  DependenceGraph Out;
+  Out.setName(G.name() + "-x" + std::to_string(Factor));
+
+  // Copy-major layout: copy u of op i has index u*N + i.
+  for (int Copy = 0; Copy < Factor; ++Copy)
+    for (int Op = 0; Op < N; ++Op)
+      Out.addOperation(G.operation(Op).Name + "#" + std::to_string(Copy),
+                       G.operation(Op).OpClass);
+
+  for (int E = 0; E < G.numSchedEdges(); ++E) {
+    const SchedEdge &Edge = G.schedEdges()[E];
+    for (int Copy = 0; Copy < Factor; ++Copy) {
+      int TargetAbs = Copy + Edge.Distance;
+      int TargetCopy = TargetAbs % Factor;
+      int NewDistance = TargetAbs / Factor;
+      int Src = Copy * N + Edge.Src;
+      int Dst = TargetCopy * N + Edge.Dst;
+      if (IsFlow[E])
+        Out.addFlowDependence(Src, Dst, Edge.Latency, NewDistance);
+      else
+        Out.addSchedEdge(Src, Dst, Edge.Latency, NewDistance);
+    }
+  }
+
+  // Dead registers (defined, never consumed) must stay registers in each
+  // copy so register metrics remain comparable.
+  for (const VirtualRegister &R : G.registers())
+    if (R.Uses.empty())
+      for (int Copy = 0; Copy < Factor; ++Copy)
+        Out.ensureRegister(Copy * N + R.Def);
+
+  assert(!Out.validate() && "unrolling produced an invalid graph");
+  return Out;
+}

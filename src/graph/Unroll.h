@@ -1,0 +1,38 @@
+//===- graph/Unroll.h - Loop unrolling for fractional II --------*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unrolls a loop body U times before scheduling. Modulo scheduling
+/// quantizes the initiation interval to integers, so a recurrence with
+/// latency 3 and distance 2 (true rate 1.5 cycles/iteration) is stuck at
+/// II=2; after unrolling by 2 the kernel schedules at II=3 — back to 1.5
+/// cycles per original iteration. This is one of the loop transformations
+/// the paper's introduction mentions as future integration work for
+/// optimal modulo schedulers; here it is provided as a preprocessing
+/// pass.
+///
+/// Copy u of operation i represents original iteration U*n + u of the
+/// new iteration n. An edge (i -> j, latency l, distance w) becomes, for
+/// each source copy u, an edge to copy (u + w) mod U with new distance
+/// (u + w) / U. Register def/use structure is preserved per copy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_GRAPH_UNROLL_H
+#define MODSCHED_GRAPH_UNROLL_H
+
+#include "graph/DependenceGraph.h"
+
+namespace modsched {
+
+/// Returns \p G unrolled \p Factor times (Factor >= 1). Operation copy
+/// u of original op named "x" is named "x#u". unrollLoop(G, 1) is a
+/// structural copy of G.
+DependenceGraph unrollLoop(const DependenceGraph &G, int Factor);
+
+} // namespace modsched
+
+#endif // MODSCHED_GRAPH_UNROLL_H

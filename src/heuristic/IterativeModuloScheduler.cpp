@@ -1,0 +1,221 @@
+//===- heuristic/IterativeModuloScheduler.cpp - Rau's IMS ------------------===//
+
+#include "heuristic/IterativeModuloScheduler.h"
+
+#include "sched/Mii.h"
+#include "sched/Verifier.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace modsched;
+
+namespace {
+
+/// Height-based priority: longest path (with weights latency - II *
+/// distance) from each operation to any operation, computed by backward
+/// relaxation. Higher means more urgent.
+std::vector<int> heightPriorities(const DependenceGraph &G, int II) {
+  int N = G.numOperations();
+  std::vector<int> Height(N, 0);
+  for (int Round = 0; Round <= N; ++Round) {
+    bool Changed = false;
+    for (const SchedEdge &E : G.schedEdges()) {
+      int Needed = Height[E.Dst] + E.Latency - II * E.Distance;
+      if (Needed > Height[E.Src]) {
+        Height[E.Src] = Needed;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+  return Height;
+}
+
+/// Mutable modulo reservation table used while scheduling.
+class MrtState {
+public:
+  MrtState(const MachineModel &M, int II)
+      : M(M), II(II), Counts(size_t(II) * M.numResources(), 0) {}
+
+  bool conflictFree(const OpClass &Class, int Time) const {
+    for (const ResourceUsage &U : Class.Usages) {
+      int Row = slotRow(Time + U.Cycle);
+      if (Counts[size_t(Row) * M.numResources() + U.Resource] >=
+          M.resource(U.Resource).Count)
+        return false;
+    }
+    return true;
+  }
+
+  void place(const OpClass &Class, int Time) {
+    for (const ResourceUsage &U : Class.Usages)
+      ++Counts[size_t(slotRow(Time + U.Cycle)) * M.numResources() +
+               U.Resource];
+  }
+
+  void remove(const OpClass &Class, int Time) {
+    for (const ResourceUsage &U : Class.Usages) {
+      int &C = Counts[size_t(slotRow(Time + U.Cycle)) * M.numResources() +
+                      U.Resource];
+      assert(C > 0 && "removing an operation that was not placed");
+      --C;
+    }
+  }
+
+  /// True when placing \p Class at \p Time would collide with the
+  /// reservations of \p Other placed at \p OtherTime.
+  bool collides(const OpClass &Class, int Time, const OpClass &Other,
+                int OtherTime) const {
+    for (const ResourceUsage &U : Class.Usages)
+      for (const ResourceUsage &V : Other.Usages)
+        if (U.Resource == V.Resource &&
+            slotRow(Time + U.Cycle) == slotRow(OtherTime + V.Cycle))
+          return true;
+    return false;
+  }
+
+private:
+  int slotRow(int Time) const {
+    int R = Time % II;
+    return R < 0 ? R + II : R;
+  }
+
+  const MachineModel &M;
+  int II;
+  std::vector<int> Counts;
+};
+
+} // namespace
+
+std::optional<ModuloSchedule>
+IterativeModuloScheduler::scheduleAtIi(const DependenceGraph &G,
+                                       int II) const {
+  int N = G.numOperations();
+  std::vector<int> Height = heightPriorities(G, II);
+
+  // Precompute adjacency for eviction checks.
+  std::vector<std::vector<int>> OutEdges(N), InEdges(N);
+  for (int E = 0; E < G.numSchedEdges(); ++E) {
+    OutEdges[G.schedEdges()[E].Src].push_back(E);
+    InEdges[G.schedEdges()[E].Dst].push_back(E);
+  }
+
+  std::vector<int> Time(N, -1);     // -1 = unscheduled.
+  std::vector<int> LastTime(N, -1); // Last slot tried (forced placement).
+  MrtState Mrt(M, II);
+
+  long Budget = long(Opts.BudgetRatio) * N + N;
+  int NumScheduled = 0;
+
+  auto Unschedule = [&](int Op) {
+    assert(Time[Op] >= 0 && "unscheduling an unscheduled op");
+    Mrt.remove(M.opClass(G.operation(Op).OpClass), Time[Op]);
+    Time[Op] = -1;
+    --NumScheduled;
+  };
+
+  while (NumScheduled < N) {
+    if (Budget-- <= 0)
+      return std::nullopt;
+
+    // Highest-priority unscheduled operation (ties by index).
+    int Op = -1;
+    for (int I = 0; I < N; ++I)
+      if (Time[I] < 0 && (Op < 0 || Height[I] > Height[Op]))
+        Op = I;
+    assert(Op >= 0 && "no unscheduled operation left");
+
+    // Earliest start from scheduled predecessors.
+    int Estart = 0;
+    for (int EI : InEdges[Op]) {
+      const SchedEdge &E = G.schedEdges()[EI];
+      if (Time[E.Src] < 0)
+        continue;
+      Estart = std::max(Estart, Time[E.Src] + E.Latency - II * E.Distance);
+    }
+
+    const OpClass &Class = M.opClass(G.operation(Op).OpClass);
+    int Slot = -1;
+    for (int T = Estart; T < Estart + II; ++T) {
+      if (Mrt.conflictFree(Class, T)) {
+        Slot = T;
+        break;
+      }
+    }
+    bool Forced = Slot < 0;
+    if (Forced) {
+      // Rau's forced placement: min(Estart, 1 + last attempt), which
+      // guarantees forward progress across evictions.
+      Slot = std::max(Estart, LastTime[Op] + 1);
+    }
+    LastTime[Op] = Slot;
+
+    if (Forced) {
+      // Evict every scheduled operation whose reservations collide.
+      for (int Other = 0; Other < N; ++Other) {
+        if (Other == Op || Time[Other] < 0)
+          continue;
+        const OpClass &OtherClass = M.opClass(G.operation(Other).OpClass);
+        if (Mrt.collides(Class, Slot, OtherClass, Time[Other]))
+          Unschedule(Other);
+      }
+    }
+
+    Mrt.place(Class, Slot);
+    Time[Op] = Slot;
+    ++NumScheduled;
+
+    // Evict successors whose dependence constraints the placement broke.
+    for (int EI : OutEdges[Op]) {
+      const SchedEdge &E = G.schedEdges()[EI];
+      if (E.Dst == Op || Time[E.Dst] < 0)
+        continue;
+      if (Time[E.Dst] + II * E.Distance - Slot < E.Latency)
+        Unschedule(E.Dst);
+    }
+    // A forced slot below a scheduled predecessor's requirement cannot
+    // happen (Slot >= Estart covers scheduled predecessors), but a
+    // self-loop edge can be violated if the slot is simply illegal.
+    for (int EI : InEdges[Op]) {
+      const SchedEdge &E = G.schedEdges()[EI];
+      if (E.Src == Op && Slot + II * E.Distance - Slot < E.Latency)
+        return std::nullopt; // Self-recurrence cannot fit this II.
+      if (E.Src != Op && Time[E.Src] >= 0 &&
+          Slot + II * E.Distance - Time[E.Src] < E.Latency)
+        Unschedule(E.Src);
+    }
+  }
+
+  // Normalize: shift so the earliest start time is >= 0 (forced
+  // placements keep times >= 0 already, but stay defensive).
+  int MinTime = *std::min_element(Time.begin(), Time.end());
+  if (MinTime < 0) {
+    // Shift by whole stages to keep rows stable.
+    int Shift = ((-MinTime + II - 1) / II) * II;
+    for (int &T : Time)
+      T += Shift;
+  }
+
+  ModuloSchedule S(II, std::move(Time));
+  if (verifySchedule(G, M, S))
+    return std::nullopt; // Defensive: never return an invalid schedule.
+  return S;
+}
+
+ImsResult IterativeModuloScheduler::schedule(const DependenceGraph &G) const {
+  ImsResult Result;
+  Result.Mii = mii(G, M);
+  for (int II = Result.Mii; II <= Result.Mii + Opts.MaxIiIncrease; ++II) {
+    std::optional<ModuloSchedule> S = scheduleAtIi(G, II);
+    if (S) {
+      Result.Found = true;
+      Result.II = II;
+      Result.Schedule = std::move(*S);
+      return Result;
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,66 @@
+//===- heuristic/IterativeModuloScheduler.h - Rau's IMS ---------*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rau's Iterative Modulo Scheduler [3][8]: the production heuristic the
+/// paper evaluates against its optimal schedulers. Operations are
+/// scheduled in height-based priority order; each operation searches the
+/// II consecutive slots from its earliest start for a resource-conflict-
+/// free slot, and may forcibly displace previously scheduled operations
+/// (whose rescheduling consumes a budget). When the budget is exhausted
+/// the candidate II is abandoned and II+1 is tried.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_HEURISTIC_ITERATIVEMODULOSCHEDULER_H
+#define MODSCHED_HEURISTIC_ITERATIVEMODULOSCHEDULER_H
+
+#include "graph/DependenceGraph.h"
+#include "machine/MachineModel.h"
+#include "sched/ModuloSchedule.h"
+
+#include <optional>
+
+namespace modsched {
+
+/// IMS tuning knobs.
+struct ImsOptions {
+  /// Budget = BudgetRatio * number of operations scheduling steps per
+  /// candidate II (Rau's recommended default is small, e.g. 3).
+  int BudgetRatio = 3;
+  /// Give up after MII + MaxIiIncrease.
+  int MaxIiIncrease = 32;
+};
+
+/// Result of an IMS run.
+struct ImsResult {
+  bool Found = false;
+  ModuloSchedule Schedule;
+  int II = 0;
+  int Mii = 0;
+};
+
+/// The Iterative Modulo Scheduler.
+class IterativeModuloScheduler {
+public:
+  IterativeModuloScheduler(const MachineModel &M, ImsOptions Options = {})
+      : M(M), Opts(Options) {}
+
+  /// Schedules \p G at the smallest II the heuristic can achieve.
+  ImsResult schedule(const DependenceGraph &G) const;
+
+  /// Attempts one candidate \p II; nullopt when the budget is exhausted.
+  std::optional<ModuloSchedule> scheduleAtIi(const DependenceGraph &G,
+                                             int II) const;
+
+private:
+  const MachineModel &M;
+  ImsOptions Opts;
+};
+
+} // namespace modsched
+
+#endif // MODSCHED_HEURISTIC_ITERATIVEMODULOSCHEDULER_H

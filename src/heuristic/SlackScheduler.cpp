@@ -1,0 +1,236 @@
+//===- heuristic/SlackScheduler.cpp - Huff's slack scheduling -------------===//
+
+#include "heuristic/SlackScheduler.h"
+
+#include "graph/GraphAlgorithms.h"
+#include "sched/Mii.h"
+#include "sched/Verifier.h"
+
+#include <algorithm>
+#include <cassert>
+#include <climits>
+#include <vector>
+
+using namespace modsched;
+
+namespace {
+
+/// Mutable MRT mirroring the one in the iterative scheduler.
+class MrtState {
+public:
+  MrtState(const MachineModel &M, int II)
+      : M(M), II(II), Counts(size_t(II) * M.numResources(), 0) {}
+
+  bool conflictFree(const OpClass &Class, int Time) const {
+    for (const ResourceUsage &U : Class.Usages) {
+      int Row = slotRow(Time + U.Cycle);
+      if (Counts[size_t(Row) * M.numResources() + U.Resource] >=
+          M.resource(U.Resource).Count)
+        return false;
+    }
+    return true;
+  }
+
+  void place(const OpClass &Class, int Time) {
+    for (const ResourceUsage &U : Class.Usages)
+      ++Counts[size_t(slotRow(Time + U.Cycle)) * M.numResources() +
+               U.Resource];
+  }
+
+  void remove(const OpClass &Class, int Time) {
+    for (const ResourceUsage &U : Class.Usages) {
+      int &C = Counts[size_t(slotRow(Time + U.Cycle)) * M.numResources() +
+                      U.Resource];
+      assert(C > 0 && "removing an operation that was not placed");
+      --C;
+    }
+  }
+
+  bool collides(const OpClass &Class, int Time, const OpClass &Other,
+                int OtherTime) const {
+    for (const ResourceUsage &U : Class.Usages)
+      for (const ResourceUsage &V : Other.Usages)
+        if (U.Resource == V.Resource &&
+            slotRow(Time + U.Cycle) == slotRow(OtherTime + V.Cycle))
+          return true;
+    return false;
+  }
+
+private:
+  int slotRow(int Time) const {
+    int R = Time % II;
+    return R < 0 ? R + II : R;
+  }
+
+  const MachineModel &M;
+  int II;
+  std::vector<int> Counts;
+};
+
+} // namespace
+
+std::optional<ModuloSchedule>
+SlackScheduler::scheduleAtIi(const DependenceGraph &G, int II) const {
+  int N = G.numOperations();
+
+  std::optional<int> MinLenOpt = minScheduleLength(G, II);
+  if (!MinLenOpt)
+    return std::nullopt; // Below the recurrence bound.
+  int MaxTime = *MinLenOpt - 1 + Opts.ScheduleLengthSlack;
+
+  std::optional<std::vector<int>> AsapOpt = asapTimes(G, II);
+  std::optional<std::vector<int>> AlapOpt = alapTimes(G, II, MaxTime);
+  if (!AsapOpt || !AlapOpt)
+    return std::nullopt;
+  const std::vector<int> &StaticAsap = *AsapOpt;
+  const std::vector<int> &StaticAlap = *AlapOpt;
+
+  std::vector<std::vector<int>> OutEdges(N), InEdges(N);
+  for (int E = 0; E < G.numSchedEdges(); ++E) {
+    OutEdges[G.schedEdges()[E].Src].push_back(E);
+    InEdges[G.schedEdges()[E].Dst].push_back(E);
+  }
+
+  std::vector<int> Time(N, -1);
+  std::vector<int> LastTime(N, -1);
+  MrtState Mrt(M, II);
+  long Budget = long(Opts.BudgetRatio) * N + N;
+  int NumScheduled = 0;
+
+  auto Unschedule = [&](int Op) {
+    Mrt.remove(M.opClass(G.operation(Op).OpClass), Time[Op]);
+    Time[Op] = -1;
+    --NumScheduled;
+  };
+
+  // Dynamic window of an unscheduled op given the scheduled neighbors.
+  auto WindowOf = [&](int Op) {
+    int E = StaticAsap[Op], L = StaticAlap[Op];
+    for (int EI : InEdges[Op]) {
+      const SchedEdge &Edge = G.schedEdges()[EI];
+      if (Edge.Src != Op && Time[Edge.Src] >= 0)
+        E = std::max(E, Time[Edge.Src] + Edge.Latency - II * Edge.Distance);
+    }
+    for (int EI : OutEdges[Op]) {
+      const SchedEdge &Edge = G.schedEdges()[EI];
+      if (Edge.Dst != Op && Time[Edge.Dst] >= 0)
+        L = std::min(L, Time[Edge.Dst] + II * Edge.Distance - Edge.Latency);
+    }
+    return std::pair<int, int>{E, L};
+  };
+
+  while (NumScheduled < N) {
+    if (Budget-- <= 0)
+      return std::nullopt;
+
+    // Minimum-slack unscheduled operation (Huff's priority).
+    int Op = -1, OpE = 0, OpL = 0;
+    int BestSlack = INT_MAX;
+    for (int I = 0; I < N; ++I) {
+      if (Time[I] >= 0)
+        continue;
+      auto [E, L] = WindowOf(I);
+      int Slack = L - E;
+      if (Slack < BestSlack) {
+        BestSlack = Slack;
+        Op = I;
+        OpE = E;
+        OpL = L;
+      }
+    }
+    assert(Op >= 0 && "no unscheduled operation left");
+
+    const OpClass &Class = M.opClass(G.operation(Op).OpClass);
+
+    // Bidirectional placement: an operation that consumes more live
+    // values than its own result has uses is placed as EARLY as possible
+    // (shortening its inputs' lifetimes); otherwise as LATE as possible
+    // (shortening its output's lifetime).
+    int NumInputs = static_cast<int>(InEdges[Op].size());
+    int NumOutputs = static_cast<int>(OutEdges[Op].size());
+    bool ScanEarly = NumInputs >= NumOutputs;
+
+    int Slot = -1;
+    int WindowLo = OpE;
+    int WindowHi = std::min(OpL, OpE + II - 1); // At most II candidates.
+    if (WindowLo <= WindowHi) {
+      if (ScanEarly) {
+        for (int T = WindowLo; T <= WindowHi; ++T)
+          if (Mrt.conflictFree(Class, T)) {
+            Slot = T;
+            break;
+          }
+      } else {
+        for (int T = WindowHi; T >= WindowLo; --T)
+          if (Mrt.conflictFree(Class, T)) {
+            Slot = T;
+            break;
+          }
+      }
+    }
+    bool Forced = Slot < 0;
+    if (Forced) {
+      // Eject and force, with the IMS forward-progress rule.
+      Slot = std::max(OpE, LastTime[Op] + 1);
+      if (Slot > MaxTime)
+        return std::nullopt; // Window budget exhausted at this II.
+    }
+    LastTime[Op] = Slot;
+
+    if (Forced) {
+      for (int Other = 0; Other < N; ++Other) {
+        if (Other == Op || Time[Other] < 0)
+          continue;
+        const OpClass &OtherClass = M.opClass(G.operation(Other).OpClass);
+        if (Mrt.collides(Class, Slot, OtherClass, Time[Other]))
+          Unschedule(Other);
+      }
+    }
+
+    Mrt.place(Class, Slot);
+    Time[Op] = Slot;
+    ++NumScheduled;
+
+    // Eject dependence-violated neighbors (forced placements may break
+    // successors; the window construction protects scheduled ones
+    // otherwise).
+    for (int EI : OutEdges[Op]) {
+      const SchedEdge &E = G.schedEdges()[EI];
+      if (E.Dst == Op || Time[E.Dst] < 0)
+        continue;
+      if (Time[E.Dst] + II * E.Distance - Slot < E.Latency)
+        Unschedule(E.Dst);
+    }
+    for (int EI : InEdges[Op]) {
+      const SchedEdge &E = G.schedEdges()[EI];
+      if (E.Src == Op) {
+        if (II * E.Distance < E.Latency)
+          return std::nullopt; // Self-recurrence cannot fit this II.
+        continue;
+      }
+      if (Time[E.Src] >= 0 &&
+          Slot + II * E.Distance - Time[E.Src] < E.Latency)
+        Unschedule(E.Src);
+    }
+  }
+
+  ModuloSchedule S(II, std::move(Time));
+  if (verifySchedule(G, M, S))
+    return std::nullopt; // Defensive: never return an invalid schedule.
+  return S;
+}
+
+SlackResult SlackScheduler::schedule(const DependenceGraph &G) const {
+  SlackResult Result;
+  Result.Mii = mii(G, M);
+  for (int II = Result.Mii; II <= Result.Mii + Opts.MaxIiIncrease; ++II) {
+    std::optional<ModuloSchedule> S = scheduleAtIi(G, II);
+    if (S) {
+      Result.Found = true;
+      Result.II = II;
+      Result.Schedule = std::move(*S);
+      return Result;
+    }
+  }
+  return Result;
+}

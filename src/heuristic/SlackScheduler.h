@@ -1,0 +1,70 @@
+//===- heuristic/SlackScheduler.h - Huff's slack scheduling -----*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lifetime-sensitive modulo scheduling in the style of Huff [12]
+/// ("Lifetime-sensitive modulo scheduling", PLDI 1993), the algorithm
+/// that introduced the MaxLive measure the paper's MinReg scheduler
+/// minimizes exactly. Operations are scheduled in order of increasing
+/// slack (latest start minus earliest start, recomputed as placements
+/// accumulate); each operation is placed bidirectionally — near its
+/// producers when it consumes more values than its result feeds, near
+/// its consumers otherwise — to keep lifetimes short. When no
+/// conflict-free slot exists in the window, conflicting operations are
+/// ejected and rescheduled, with a budget bounding the total effort.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_HEURISTIC_SLACKSCHEDULER_H
+#define MODSCHED_HEURISTIC_SLACKSCHEDULER_H
+
+#include "graph/DependenceGraph.h"
+#include "machine/MachineModel.h"
+#include "sched/ModuloSchedule.h"
+
+#include <optional>
+
+namespace modsched {
+
+/// Slack scheduler knobs.
+struct SlackSchedulerOptions {
+  /// Scheduling-step budget per candidate II, as a multiple of N.
+  int BudgetRatio = 5;
+  /// Give up after MII + MaxIiIncrease.
+  int MaxIiIncrease = 32;
+  /// Extra schedule length beyond the minimum allowed for placements.
+  int ScheduleLengthSlack = 20;
+};
+
+/// Result of a slack-scheduler run.
+struct SlackResult {
+  bool Found = false;
+  ModuloSchedule Schedule;
+  int II = 0;
+  int Mii = 0;
+};
+
+/// Huff-style lifetime-sensitive modulo scheduler.
+class SlackScheduler {
+public:
+  SlackScheduler(const MachineModel &M, SlackSchedulerOptions Options = {})
+      : M(M), Opts(Options) {}
+
+  /// Schedules \p G at the smallest II the heuristic achieves.
+  SlackResult schedule(const DependenceGraph &G) const;
+
+  /// One candidate II; nullopt when the budget is exhausted.
+  std::optional<ModuloSchedule> scheduleAtIi(const DependenceGraph &G,
+                                             int II) const;
+
+private:
+  const MachineModel &M;
+  SlackSchedulerOptions Opts;
+};
+
+} // namespace modsched
+
+#endif // MODSCHED_HEURISTIC_SLACKSCHEDULER_H

@@ -1,0 +1,100 @@
+//===- heuristic/StageScheduler.cpp - Stage scheduling post-pass ----------===//
+
+#include "heuristic/StageScheduler.h"
+
+#include "sched/RegisterPressure.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace modsched;
+
+namespace {
+
+/// Metric value of a schedule under \p Metric. Lexicographic tie-break on
+/// the other metric so sweeps converge deterministically.
+std::pair<long, long> metricOf(const DependenceGraph &G,
+                               const ModuloSchedule &S, StageMetric Metric) {
+  RegisterPressure P = computeRegisterPressure(G, S);
+  if (Metric == StageMetric::MaxLive)
+    return {P.MaxLive, P.TotalLifetime};
+  return {P.TotalLifetime, P.MaxLive};
+}
+
+} // namespace
+
+ModuloSchedule modsched::stageSchedule(const DependenceGraph &G,
+                                       const ModuloSchedule &S,
+                                       StageSchedulerOptions Opts) {
+  int II = S.ii();
+  int N = G.numOperations();
+  ModuloSchedule Best = S;
+
+  // Feasible time window of one operation given all the others, moving by
+  // whole stages only (the row stays fixed, so resources are untouched).
+  int MaxStage = S.numStages() - 1 + Opts.ExtraStages;
+  int MaxTime = (MaxStage + 1) * II - 1;
+
+  std::vector<std::vector<int>> OutEdges(N), InEdges(N);
+  for (int E = 0; E < G.numSchedEdges(); ++E) {
+    OutEdges[G.schedEdges()[E].Src].push_back(E);
+    InEdges[G.schedEdges()[E].Dst].push_back(E);
+  }
+
+  std::pair<long, long> BestMetric = metricOf(G, Best, Opts.Metric);
+  for (int Sweep = 0; Sweep < Opts.MaxSweeps; ++Sweep) {
+    bool Improved = false;
+    for (int Op = 0; Op < N; ++Op) {
+      // Dependence window for Op with all other times fixed.
+      int Lo = 0, Hi = MaxTime;
+      for (int EI : InEdges[Op]) {
+        const SchedEdge &E = G.schedEdges()[EI];
+        if (E.Src == Op)
+          continue; // Self-loops constrain II, not the placement.
+        Lo = std::max(Lo, Best.time(E.Src) + E.Latency - II * E.Distance);
+      }
+      for (int EI : OutEdges[Op]) {
+        const SchedEdge &E = G.schedEdges()[EI];
+        if (E.Dst == Op)
+          continue;
+        Hi = std::min(Hi, Best.time(E.Dst) + II * E.Distance - E.Latency);
+      }
+      if (Lo > Hi)
+        continue; // No slack (should not happen on a valid schedule).
+
+      int Row = Best.row(Op);
+      int Original = Best.time(Op);
+      // Candidate stages: every k >= 0 with k*II + Row in [Lo, Hi].
+      auto FloorDiv = [](int A, int B) {
+        int Q = A / B;
+        if (A % B != 0 && A < 0)
+          --Q;
+        return Q;
+      };
+      int KLo = std::max(0, FloorDiv(Lo - Row + II - 1, II));
+      int KHi = std::min(MaxStage, FloorDiv(Hi - Row, II));
+      for (int K = KLo; K <= KHi; ++K) {
+        int Candidate = K * II + Row;
+        if (Candidate < Lo || Candidate > Hi || Candidate == Original)
+          continue;
+        Best.times()[Op] = Candidate;
+        std::pair<long, long> Metric = metricOf(G, Best, Opts.Metric);
+        if (Metric < BestMetric) {
+          BestMetric = Metric;
+          Improved = true;
+        } else {
+          Best.times()[Op] = Original;
+        }
+        Original = Best.times()[Op];
+      }
+    }
+    if (!Improved)
+      break;
+  }
+
+  // Rows must be unchanged: stage scheduling never touches the MRT.
+  for (int Op = 0; Op < N; ++Op)
+    assert(Best.row(Op) == S.row(Op) && "stage scheduler changed a row");
+  return Best;
+}

@@ -1,0 +1,55 @@
+//===- heuristic/StageScheduler.h - Stage scheduling post-pass --*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stage scheduling [9][10]: given a modulo schedule, keep every
+/// operation's MRT row fixed (so the resource allocation is untouched)
+/// and move operations between stages — i.e. adjust each k_i by whole
+/// multiples of II within its dependence slack — to reduce the register
+/// requirements. This reproduces the heuristic the paper's Section 6
+/// evaluates against the MinReg/MinLife/MinBuff optimal schedulers.
+///
+/// The implementation is a greedy coordinate-descent: repeatedly sweep
+/// the operations, and for each one pick the stage (within the feasible
+/// stage window implied by the other operations) that minimizes the
+/// chosen register metric, until a fixpoint or the sweep limit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_HEURISTIC_STAGESCHEDULER_H
+#define MODSCHED_HEURISTIC_STAGESCHEDULER_H
+
+#include "graph/DependenceGraph.h"
+#include "sched/ModuloSchedule.h"
+
+namespace modsched {
+
+/// Which register metric the stage scheduler greedily reduces.
+enum class StageMetric {
+  TotalLifetime, ///< Cumulative lifetime (cheap, good proxy).
+  MaxLive,       ///< The exact register requirement.
+};
+
+/// Options for the stage scheduler.
+struct StageSchedulerOptions {
+  StageMetric Metric = StageMetric::TotalLifetime;
+  /// Maximum number of full sweeps over the operations.
+  int MaxSweeps = 8;
+  /// Largest stage index allowed (bounds the search; stages beyond the
+  /// original schedule's span + this slack are not considered).
+  int ExtraStages = 2;
+};
+
+/// Runs stage scheduling on \p S and returns the improved schedule (rows
+/// are provably identical; only stages change). The result never has a
+/// worse metric than the input.
+ModuloSchedule stageSchedule(const DependenceGraph &G,
+                             const ModuloSchedule &S,
+                             StageSchedulerOptions Opts = {});
+
+} // namespace modsched
+
+#endif // MODSCHED_HEURISTIC_STAGESCHEDULER_H

@@ -1,0 +1,221 @@
+//===- ilp/BranchAndBound.cpp - MIP solver over the simplex ---------------===//
+
+#include "ilp/BranchAndBound.h"
+
+#include "ilp/Presolve.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <climits>
+#include <cmath>
+
+using namespace modsched;
+using namespace modsched::ilp;
+using namespace modsched::lp;
+
+const char *ilp::toString(MipStatus Status) {
+  switch (Status) {
+  case MipStatus::Optimal:
+    return "optimal";
+  case MipStatus::Infeasible:
+    return "infeasible";
+  case MipStatus::Limit:
+    return "limit";
+  }
+  return "unknown";
+}
+
+void ilp::roundIntegralValues(std::vector<double> &X, double Tol) {
+  for (double &V : X) {
+    double R = std::round(V);
+    if (std::abs(V - R) <= Tol)
+      V = R;
+  }
+}
+
+namespace {
+
+/// One open subproblem: the variable-bound vectors it was created with.
+struct Node {
+  std::vector<double> Lower;
+  std::vector<double> Upper;
+};
+
+/// Returns the index of the integer variable to branch on, or -1 if \p X
+/// is integral on all integer variables. Only variables of the highest
+/// priority class with a fractional member are considered.
+int pickBranchVariable(const Model &M, const std::vector<double> &X,
+                       double IntTol, BranchRule Rule) {
+  int Best = -1;
+  double BestScore = -1.0;
+  int BestPriority = INT_MIN;
+  for (int Var = 0; Var < M.numVariables(); ++Var) {
+    const Variable &V = M.variable(Var);
+    if (V.Kind != VarKind::Integer)
+      continue;
+    double Frac = X[Var] - std::floor(X[Var]);
+    double Dist = std::min(Frac, 1.0 - Frac);
+    if (Dist <= IntTol)
+      continue;
+    if (V.BranchPriority < BestPriority)
+      continue;
+    bool HigherClass = V.BranchPriority > BestPriority;
+    if (HigherClass) {
+      BestPriority = V.BranchPriority;
+      BestScore = -1.0;
+      Best = Var; // Any fractional var of the new class beats the old.
+    }
+    switch (Rule) {
+    case BranchRule::FirstFractional:
+      if (HigherClass)
+        break; // Keep the first (smallest-index) one of this class.
+      break;
+    case BranchRule::LastFractional:
+      Best = Var;
+      break;
+    case BranchRule::MostFractional:
+      if (Dist > BestScore) {
+        BestScore = Dist;
+        Best = Var;
+      }
+      break;
+    }
+  }
+  return Best;
+}
+
+} // namespace
+
+MipResult MipSolver::solve(const Model &M) const {
+  Stopwatch Watch;
+  MipResult Result;
+
+  double Incumbent = 1e300;
+  bool Aborted = false;
+
+  // Lower bound on the objective value implied by an LP bound, after
+  // integral-objective rounding.
+  auto TightenBound = [this](double LpBound) {
+    if (!Opts.IntegralObjective)
+      return LpBound;
+    return std::ceil(LpBound - 1e-6);
+  };
+
+  // Root relaxation.
+  Node Root;
+  Root.Lower.reserve(M.numVariables());
+  Root.Upper.reserve(M.numVariables());
+  for (const Variable &V : M.variables()) {
+    Root.Lower.push_back(V.Lower);
+    Root.Upper.push_back(V.Upper);
+  }
+
+  std::vector<Node> Stack;
+  Stack.push_back(std::move(Root));
+  bool IsRoot = true;
+
+  while (!Stack.empty()) {
+    if (Watch.seconds() > Opts.TimeLimitSeconds ||
+        Result.Nodes >= Opts.NodeLimit) {
+      Aborted = true;
+      break;
+    }
+
+    Node N = std::move(Stack.back());
+    Stack.pop_back();
+    if (!IsRoot)
+      ++Result.Nodes;
+
+    if (Opts.NodePresolve &&
+        propagateBounds(M, N.Lower, N.Upper) ==
+            PropagationResult::Infeasible) {
+      if (IsRoot)
+        break; // Root proved infeasible without an LP.
+      continue;
+    }
+
+    // Forward the remaining wall-clock budget into the LP so a single
+    // huge relaxation cannot overshoot the outer time limit.
+    lp::SimplexOptions LpOpts = Opts.Lp;
+    if (Opts.TimeLimitSeconds < 1e29) {
+      double Remaining = Opts.TimeLimitSeconds - Watch.seconds();
+      LpOpts.TimeLimitSeconds =
+          std::min(LpOpts.TimeLimitSeconds, std::max(0.05, Remaining));
+    }
+    SimplexSolver Lp(LpOpts);
+    LpResult Relax = Lp.solve(M, N.Lower, N.Upper);
+    Result.SimplexIterations += Relax.Iterations;
+
+    if (Relax.Status == LpStatus::IterationLimit) {
+      // Cannot bound this subtree; give up on exactness.
+      Aborted = true;
+      IsRoot = false;
+      break;
+    }
+    if (Relax.Status == LpStatus::Infeasible) {
+      if (IsRoot) {
+        IsRoot = false;
+        // Infeasible root proves MIP infeasibility immediately.
+        break;
+      }
+      continue;
+    }
+    assert(Relax.Status != LpStatus::Unbounded &&
+           "scheduling MIPs are bounded; model is missing variable bounds");
+    IsRoot = false;
+
+    double Bound = TightenBound(Relax.Objective);
+    if (Result.HasSolution && Bound >= Incumbent - 1e-9)
+      continue; // Cannot improve on the incumbent.
+
+    int BranchVar =
+        pickBranchVariable(M, Relax.Values, Opts.IntTol, Opts.Branching);
+    if (BranchVar < 0) {
+      // Integral: new incumbent.
+      double Obj = Relax.Objective;
+      if (!Result.HasSolution || Obj < Incumbent - 1e-9) {
+        Incumbent = Obj;
+        Result.HasSolution = true;
+        Result.Objective = Obj;
+        Result.Values = Relax.Values;
+        roundIntegralValues(Result.Values, Opts.IntTol);
+      }
+      if (Opts.StopAtFirstSolution)
+        break;
+      continue;
+    }
+
+    // Branch: floor child and ceil child. Depth-first; explore the child
+    // containing the LP value's rounding first (pushed last).
+    double X = Relax.Values[BranchVar];
+    double Floor = std::floor(X);
+
+    Node Down = N; // x <= floor
+    Down.Upper[BranchVar] = std::min(Down.Upper[BranchVar], Floor);
+    Node Up = std::move(N); // x >= floor + 1
+    Up.Lower[BranchVar] = std::max(Up.Lower[BranchVar], Floor + 1.0);
+
+    bool PreferDown = (X - Floor) < 0.5;
+    if (PreferDown) {
+      Stack.push_back(std::move(Up));
+      Stack.push_back(std::move(Down));
+    } else {
+      Stack.push_back(std::move(Down));
+      Stack.push_back(std::move(Up));
+    }
+  }
+
+  Result.Seconds = Watch.seconds();
+  if (Result.HasSolution)
+    Result.Status = Aborted || !Stack.empty() ? MipStatus::Limit
+                                              : MipStatus::Optimal;
+  else
+    Result.Status = Aborted || !Stack.empty() ? MipStatus::Limit
+                                              : MipStatus::Infeasible;
+  // StopAtFirstSolution intentionally reports Optimal even though open
+  // nodes remain: with a zero objective every feasible point is optimal.
+  if (Result.HasSolution && Opts.StopAtFirstSolution && !Aborted)
+    Result.Status = MipStatus::Optimal;
+  return Result;
+}

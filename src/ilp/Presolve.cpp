@@ -1,0 +1,112 @@
+//===- ilp/Presolve.cpp - Bound propagation for MIP nodes ------------------===//
+
+#include "ilp/Presolve.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace modsched;
+using namespace modsched::ilp;
+using namespace modsched::lp;
+
+namespace {
+
+/// Minimum activity contribution of term (coeff, var) under the bounds.
+double minContribution(double Coeff, double Lo, double Up) {
+  return Coeff >= 0 ? Coeff * Lo : Coeff * Up;
+}
+
+/// Maximum activity contribution.
+double maxContribution(double Coeff, double Lo, double Up) {
+  return Coeff >= 0 ? Coeff * Up : Coeff * Lo;
+}
+
+} // namespace
+
+PropagationResult ilp::propagateBounds(const Model &M,
+                                       std::vector<double> &Lower,
+                                       std::vector<double> &Upper,
+                                       int MaxRounds) {
+  assert(Lower.size() == static_cast<size_t>(M.numVariables()) &&
+         Upper.size() == Lower.size() && "bound vectors sized to model");
+  const double Tol = 1e-9;
+
+  for (int Round = 0; Round < MaxRounds; ++Round) {
+    bool Changed = false;
+    for (const Constraint &C : M.constraints()) {
+      // A constraint `expr <= b` bounds each variable from the side of
+      // its coefficient; `expr >= b` from the other; `=` from both.
+      bool UseUpperSide = C.Sense != ConstraintSense::GE; // expr <= Rhs
+      bool UseLowerSide = C.Sense != ConstraintSense::LE; // expr >= Rhs
+
+      // Precompute total min/max activity; per-variable residuals are
+      // obtained by subtracting the variable's own contribution.
+      double MinAct = 0.0, MaxAct = 0.0;
+      for (const Term &T : C.Terms) {
+        MinAct += minContribution(T.second, Lower[T.first], Upper[T.first]);
+        MaxAct += maxContribution(T.second, Lower[T.first], Upper[T.first]);
+      }
+      if (UseUpperSide && MinAct > C.Rhs + 1e-7)
+        return PropagationResult::Infeasible;
+      if (UseLowerSide && MaxAct < C.Rhs - 1e-7)
+        return PropagationResult::Infeasible;
+
+      for (const Term &T : C.Terms) {
+        int Var = T.first;
+        double A = T.second;
+        bool IsInt = M.variable(Var).Kind == VarKind::Integer;
+        double Lo = Lower[Var], Up = Upper[Var];
+
+        if (UseUpperSide && std::isfinite(MinAct)) {
+          // sum <= Rhs: residual = MinAct - minContribution(this term).
+          double Residual = MinAct - minContribution(A, Lo, Up);
+          double Budget = C.Rhs - Residual;
+          if (A > 0) {
+            double NewUp = Budget / A;
+            if (IsInt)
+              NewUp = std::floor(NewUp + Tol);
+            if (NewUp < Upper[Var] - Tol) {
+              Upper[Var] = NewUp;
+              Changed = true;
+            }
+          } else if (A < 0) {
+            double NewLo = Budget / A;
+            if (IsInt)
+              NewLo = std::ceil(NewLo - Tol);
+            if (NewLo > Lower[Var] + Tol) {
+              Lower[Var] = NewLo;
+              Changed = true;
+            }
+          }
+        }
+        if (UseLowerSide && std::isfinite(MaxAct)) {
+          // sum >= Rhs: residual = MaxAct - maxContribution(this term).
+          double Residual = MaxAct - maxContribution(A, Lo, Up);
+          double Budget = C.Rhs - Residual;
+          if (A > 0) {
+            double NewLo = Budget / A;
+            if (IsInt)
+              NewLo = std::ceil(NewLo - Tol);
+            if (NewLo > Lower[Var] + Tol) {
+              Lower[Var] = NewLo;
+              Changed = true;
+            }
+          } else if (A < 0) {
+            double NewUp = Budget / A;
+            if (IsInt)
+              NewUp = std::floor(NewUp + Tol);
+            if (NewUp < Upper[Var] - Tol) {
+              Upper[Var] = NewUp;
+              Changed = true;
+            }
+          }
+        }
+        if (Lower[Var] > Upper[Var] + 1e-7)
+          return PropagationResult::Infeasible;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+  return PropagationResult::Feasible;
+}

@@ -1,0 +1,44 @@
+//===- ilp/Presolve.h - Bound propagation for MIP nodes ---------*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constraint-based bound propagation ("node presolve"): given the
+/// current variable bounds of a branch-and-bound node, repeatedly
+/// tightens each variable's bounds using the activity bounds of every
+/// constraint, rounding integer variables' bounds inward. Detects some
+/// infeasible nodes without an LP solve and shrinks others' feasible
+/// boxes, which is particularly effective after branching fixes a row-
+/// assignment variable of the scheduling formulations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_ILP_PRESOLVE_H
+#define MODSCHED_ILP_PRESOLVE_H
+
+#include "lp/Model.h"
+
+#include <vector>
+
+namespace modsched {
+namespace ilp {
+
+/// Result of a propagation pass.
+enum class PropagationResult {
+  Feasible,   ///< Bounds are consistent (possibly tightened).
+  Infeasible, ///< Some variable's bounds crossed: the node is dead.
+};
+
+/// Propagates \p M's constraints over the bounds [\p Lower, \p Upper]
+/// in place. \p MaxRounds caps the fixpoint iteration.
+PropagationResult propagateBounds(const lp::Model &M,
+                                  std::vector<double> &Lower,
+                                  std::vector<double> &Upper,
+                                  int MaxRounds = 8);
+
+} // namespace ilp
+} // namespace modsched
+
+#endif // MODSCHED_ILP_PRESOLVE_H

@@ -1,0 +1,205 @@
+//===- ilpsched/Formulation.h - ILP modulo scheduling models ----*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the integer linear programs of the paper for one candidate II:
+///
+///   variables   a[r][i] (binary MRT-row assignment, paper's A matrix)
+///               k[i]    (integer stage numbers, paper's k vector)
+///   constraints assignment   (Eq. 1)
+///               dependence   (Ineq. 4 "traditional" or Ineq. 20
+///                             "structured"; Ineq. 19 without the
+///                             Chaudhuri tightening as an ablation)
+///               resource     (Ineq. 5)
+///
+/// plus the secondary-objective machinery:
+///
+///   MinReg  exact MaxLive: per register a "kill" pseudo-operation with
+///           its own row-assignment vector and stage, constrained to
+///           follow every use; per-row live counts are +/-1 expressions
+///           (see below); MaxLive bounds every row's total.
+///   MinBuff sum of per-register buffer counts ceil(lifetime/II),
+///           following [7] (traditional, coefficient-II constraints) or
+///           the 0-1-structured reformulation in the spirit of [15].
+///   MinLife cumulative lifetime, following [16] (traditional) or fully
+///           structured.
+///
+/// The structured live-count identity: with count(T, r) = #{t in [0, T] :
+/// t mod II == r} and time = stage * II + row, one has
+///   count(time, r)     = stage + sum_{z=r}^{II-1} rowvar[z]
+///   count(time - 1, r) = stage + sum_{z=r+1}^{II-1} rowvar[z]
+/// so the number of times register v (defined at time_d, killed at
+/// time_k) is live in row r is
+///   live[v][r] = killStage_v - k_def + sum_{z=r}^{II-1} killRow[z][v]
+///                - sum_{z=r+1}^{II-1} a[z][def],
+/// an expression in which every variable has coefficient +/-1. This is
+/// our concrete realization of the 0-1-structured MaxLive objective of
+/// [4], which the paper reuses for both formulations of MinReg.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_ILPSCHED_FORMULATION_H
+#define MODSCHED_ILPSCHED_FORMULATION_H
+
+#include "graph/DependenceGraph.h"
+#include "lp/Model.h"
+#include "machine/MachineModel.h"
+#include "sched/ModuloSchedule.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace modsched {
+
+/// Secondary objective minimized among all schedules at the chosen II.
+enum class Objective {
+  None,    ///< Feasibility only (the paper's NoObj scheduler).
+  MinReg,  ///< Exact MaxLive (register requirement).
+  MinBuff, ///< Buffers: sum of ceil(lifetime / II).
+  MinLife, ///< Cumulative lifetime in cycles.
+  MinSL,   ///< Schedule length of one iteration (transient performance;
+           ///< listed among the classic objectives in the paper's Sec. 1).
+};
+
+const char *toString(Objective Obj);
+
+/// How the dependence constraints are emitted.
+enum class DependenceStyle {
+  Traditional,       ///< Paper Ineq. (4): coefficients r and II.
+  Structured,        ///< Paper Ineq. (20): 0-1-structured + tightening.
+  StructuredLoose,   ///< Paper Ineq. (19): structured, no Chaudhuri
+                     ///< tightening (ablation).
+};
+
+const char *toString(DependenceStyle Style);
+
+/// How the secondary-objective machinery is emitted.
+enum class ObjectiveStyle {
+  Traditional, ///< Coefficient-II constraints ([7]/[16] style).
+  Structured,  ///< 0-1-structured reformulation.
+};
+
+/// Options shared by all formulations.
+struct FormulationOptions {
+  Objective Obj = Objective::None;
+  DependenceStyle DepStyle = DependenceStyle::Structured;
+  ObjectiveStyle ObjStyle = ObjectiveStyle::Structured;
+  /// Schedule-length budget beyond the minimum (paper: 20 cycles).
+  int ScheduleLengthSlack = 20;
+  /// Derive per-operation stage bounds from ASAP/ALAP windows. Applied
+  /// identically to both formulations.
+  bool TightenStageBounds = true;
+  /// Map every operation to a specific resource INSTANCE it holds for
+  /// its whole usage pattern (Altman et al. [5]), instead of the
+  /// counting constraints of Ineq. (5). Strictly stronger on machines
+  /// where a multi-cycle pattern must stay on one instance: counting can
+  /// accept IIs for which no consistent instance assignment exists.
+  bool InstanceMapped = false;
+  /// When >= 0: register-CONSTRAINED scheduling — every MRT row's live
+  /// count must not exceed this register-file size (a hard constraint
+  /// rather than the MinReg objective). Combine with Objective::None to
+  /// find the minimum II fitting a given rotating file, the practical
+  /// question on a real machine (the Cydra 5 had 64 rotating registers).
+  /// Not combinable with Objective::MinReg (asserted).
+  int RegisterLimit = -1;
+};
+
+/// The ILP for one (graph, machine, II) triple, with decoding metadata.
+class Formulation {
+public:
+  /// Builds the model. When the windows prove II infeasible (recurrence
+  /// cannot fit the schedule-length budget), valid() is false and the
+  /// model is empty.
+  Formulation(const DependenceGraph &G, const MachineModel &M, int II,
+              const FormulationOptions &Opts);
+
+  /// False when II was proved infeasible during window computation.
+  bool valid() const { return Valid; }
+
+  const lp::Model &model() const { return Ilp; }
+  int ii() const { return II; }
+  /// Latest allowed start time (schedule-length budget).
+  int maxTime() const { return MaxTime; }
+
+  /// Variable index of a[r][i].
+  int aVar(int Row, int Op) const { return ABase + Op * II + Row; }
+  /// Variable index of k[i].
+  int kVar(int Op) const { return KBase + Op; }
+
+  /// Decodes an integral solver solution into a modulo schedule.
+  ModuloSchedule decode(const std::vector<double> &Values) const;
+
+  /// With InstanceMapped set: the resource instance operation \p Op was
+  /// mapped to for resource type \p Resource, or -1 when the op does not
+  /// use that type (or mapping is disabled / not needed for the type).
+  int decodeInstance(const std::vector<double> &Values, int Op,
+                     int Resource) const;
+
+private:
+  void buildAssignment();
+  void buildDependence(const SchedEdge &E);
+  void buildResource();
+  void buildObjective();
+
+  /// Creates the per-register kill pseudo-operations (row vectors,
+  /// stages, assignment + kill dependence constraints) once; shared by
+  /// MinReg, MinLife, and the RegisterLimit constraint.
+  void buildKillOps();
+
+  /// Emits one dependence constraint between two scheduled events given
+  /// by their (row-variable base, stage-variable) pairs; shared by real
+  /// edges and register-kill edges. Latency may be <= 0 and distance may
+  /// be negative (kill edges).
+  void emitDependence(int SrcRowBase, int SrcK, int DstRowBase, int DstK,
+                      int Latency, int Distance, const std::string &Tag);
+
+  /// Appends sum_{z=Lo}^{Hi} of row variables (base + z) to \p Terms.
+  void appendRowRange(std::vector<lp::Term> &Terms, int RowBase, int Lo,
+                      int Hi, double Coeff) const;
+
+  /// Appends the structured live-count expression of register \p Reg in
+  /// row \p Row (see file comment) to \p Terms.
+  void appendLiveCount(std::vector<lp::Term> &Terms, int Reg, int Row) const;
+
+  /// A constant lower bound on register \p Reg's lifetime in cycles,
+  /// derived from the flow-edge latencies (lifetime >= latency + 1 for
+  /// any used value, >= 1 always). Used to tighten the LP relaxation of
+  /// the lifetime objectives.
+  int minLifetimeBound(int Reg) const;
+
+  const DependenceGraph &G;
+  const MachineModel &M;
+  int II;
+  FormulationOptions Opts;
+  bool Valid = false;
+  int MaxTime = 0;
+
+  lp::Model Ilp;
+  int ABase = 0;
+  int KBase = 0;
+  /// Kill pseudo-op variables (MinReg / MinLife): row base and stage per
+  /// register; -1 when unused.
+  std::vector<int> KillRowBase;
+  std::vector<int> KillStage;
+  /// MinBuff: buffer variable per register; MinReg: MaxLive variable.
+  std::vector<int> BufferVar;
+  int MaxLiveVar = -1;
+  /// MinSL: sink pseudo-operation (row base / stage variable).
+  int SinkRowBase = -1;
+  int SinkStage = -1;
+  /// Traditional-style auxiliary lifetime variables (MinLife).
+  std::vector<int> LifeVar;
+  std::vector<int> Asap, Alap;
+  /// InstanceMapped: base of the w[i][q][e] mapping-choice binaries,
+  /// indexed by MapVarBase[Op * numResources + Resource] (-1 = the op
+  /// does not use the type or the type is not instance-mapped).
+  std::vector<int> MapVarBase;
+};
+
+} // namespace modsched
+
+#endif // MODSCHED_ILPSCHED_FORMULATION_H

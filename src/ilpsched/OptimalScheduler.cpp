@@ -1,0 +1,82 @@
+//===- ilpsched/OptimalScheduler.cpp - Min-II ILP search ------------------===//
+
+#include "ilpsched/OptimalScheduler.h"
+
+#include "sched/Mii.h"
+#include "sched/Verifier.h"
+#include "support/Timer.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace modsched;
+using namespace modsched::ilp;
+
+std::optional<ModuloSchedule>
+OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
+                                     ScheduleResult &Stats,
+                                     double TimeBudget) const {
+  Formulation F(G, M, II, Opts.Formulation);
+  if (!F.valid())
+    return std::nullopt; // II infeasible within the window budget.
+
+  MipOptions MipOpts;
+  MipOpts.TimeLimitSeconds = TimeBudget;
+  MipOpts.NodeLimit = Opts.NodeLimit - Stats.Nodes;
+  MipOpts.Branching = Opts.Branching;
+  MipOpts.StopAtFirstSolution = Opts.Formulation.Obj == Objective::None;
+  MipSolver Solver(MipOpts);
+
+  MipResult R = Solver.solve(F.model());
+  Stats.Nodes += R.Nodes;
+  Stats.SimplexIterations += R.SimplexIterations;
+
+  if (R.Status == MipStatus::Limit) {
+    // Budget expired. A feasible-but-unproven incumbent is not reported
+    // as an optimal schedule; the caller records a timeout.
+    Stats.TimedOut = true;
+    return std::nullopt;
+  }
+  if (!R.HasSolution)
+    return std::nullopt; // Proved infeasible at this II.
+
+  Stats.Variables = F.model().numVariables();
+  Stats.Constraints = F.model().numConstraints();
+  Stats.SecondaryObjective = R.Objective;
+  ModuloSchedule S = F.decode(R.Values);
+  // Every ILP schedule is independently re-verified; a failure here means
+  // a formulation bug and must never be silently reported as a result.
+  if (std::optional<std::string> Err = verifySchedule(G, M, S, F.maxTime())) {
+    std::fprintf(stderr, "fatal: ILP produced an invalid schedule: %s\n",
+                 Err->c_str());
+    std::abort();
+  }
+  return S;
+}
+
+ScheduleResult OptimalModuloScheduler::schedule(const DependenceGraph &G) const {
+  Stopwatch Watch;
+  ScheduleResult Result;
+  Result.Mii = mii(G, M);
+
+  for (int II = Result.Mii; II <= Result.Mii + Opts.MaxIiIncrease; ++II) {
+    double Remaining = Opts.TimeLimitSeconds - Watch.seconds();
+    if (Remaining <= 0 || Result.Nodes >= Opts.NodeLimit) {
+      Result.TimedOut = true;
+      break;
+    }
+    std::optional<ModuloSchedule> S =
+        scheduleAtIi(G, II, Result, Remaining);
+    if (Result.TimedOut)
+      break;
+    if (S) {
+      Result.Found = true;
+      Result.II = II;
+      Result.Schedule = std::move(*S);
+      break;
+    }
+  }
+  Result.Seconds = Watch.seconds();
+  return Result;
+}

@@ -1,0 +1,96 @@
+//===- ilpsched/OptimalScheduler.h - Min-II ILP search ----------*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimal modulo scheduling framework of the paper's Section 3.4:
+/// compute MII, build the ILP for the tentative II, solve it (optionally
+/// minimizing a secondary objective), and increment II on infeasibility
+/// until a schedule is found or the per-loop budget runs out. The four
+/// schedulers evaluated in the paper (NoObj, MinReg, MinBuff, MinLife)
+/// are this driver instantiated with different FormulationOptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_ILPSCHED_OPTIMALSCHEDULER_H
+#define MODSCHED_ILPSCHED_OPTIMALSCHEDULER_H
+
+#include "ilp/BranchAndBound.h"
+#include "ilpsched/Formulation.h"
+#include "sched/ModuloSchedule.h"
+
+#include <optional>
+
+namespace modsched {
+
+/// Budgets and knobs for one scheduling run.
+struct SchedulerOptions {
+  FormulationOptions Formulation;
+  /// Per-loop wall-clock budget, shared across all tentative IIs (the
+  /// paper used 15 minutes).
+  double TimeLimitSeconds = 60.0;
+  /// Per-loop branch-and-bound node budget (censoring alternative that
+  /// is deterministic across machines).
+  int64_t NodeLimit = INT64_MAX;
+  /// Stop trying IIs after MII + MaxIiIncrease.
+  int MaxIiIncrease = 64;
+  /// Branch rule forwarded to the MIP solver.
+  ilp::BranchRule Branching = ilp::BranchRule::MostFractional;
+};
+
+/// Result of scheduling one loop.
+struct ScheduleResult {
+  /// True when a schedule was found and (unless the objective is None
+  /// with StopAtFirstSolution semantics) proved optimal.
+  bool Found = false;
+  /// True when the per-loop budget expired before a conclusion.
+  bool TimedOut = false;
+  ModuloSchedule Schedule;
+  /// The achieved initiation interval (valid when Found).
+  int II = 0;
+  /// MII lower bound for the loop.
+  int Mii = 0;
+  /// Optimal secondary objective value at the achieved II (0 for NoObj).
+  double SecondaryObjective = 0.0;
+
+  // --- Statistics in the style of the paper's Tables 1 and 2 ---
+  /// Branch-and-bound nodes summed over every tentative II attempted.
+  int64_t Nodes = 0;
+  /// Simplex iterations summed over every tentative II attempted.
+  int64_t SimplexIterations = 0;
+  /// Variables / constraints of the model at the final (achieved) II,
+  /// prior to solver simplifications.
+  int Variables = 0;
+  int Constraints = 0;
+  /// Total wall-clock time.
+  double Seconds = 0.0;
+};
+
+/// The optimal scheduler driver.
+class OptimalModuloScheduler {
+public:
+  OptimalModuloScheduler(const MachineModel &M, SchedulerOptions Options)
+      : M(M), Opts(Options) {}
+
+  /// Schedules \p G for minimum II (and minimum secondary objective among
+  /// all min-II schedules).
+  ScheduleResult schedule(const DependenceGraph &G) const;
+
+  /// Solves a single tentative \p II. Returns nullopt when the ILP is
+  /// infeasible at this II; fills \p Stats regardless.
+  std::optional<ModuloSchedule> scheduleAtIi(const DependenceGraph &G,
+                                             int II, ScheduleResult &Stats,
+                                             double TimeBudget) const;
+
+  const SchedulerOptions &options() const { return Opts; }
+
+private:
+  const MachineModel &M;
+  SchedulerOptions Opts;
+};
+
+} // namespace modsched
+
+#endif // MODSCHED_ILPSCHED_OPTIMALSCHEDULER_H

@@ -1,0 +1,166 @@
+//===- lp/Model.cpp - Linear/integer program model ------------------------===//
+
+#include "lp/Model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <map>
+
+using namespace modsched;
+using namespace modsched::lp;
+
+int Model::addVariable(std::string Name, double Lower, double Upper,
+                       double Objective, VarKind Kind) {
+  assert(Lower <= Upper && "inverted variable bounds");
+  Vars.push_back({std::move(Name), Lower, Upper, Objective, Kind});
+  return static_cast<int>(Vars.size()) - 1;
+}
+
+int Model::addConstraint(std::vector<Term> Terms, ConstraintSense Sense,
+                         double Rhs, std::string Name) {
+  // Merge duplicate variables and drop zero coefficients so downstream
+  // consumers (simplex, structure checks) see a canonical form.
+  std::map<int, double> Merged;
+  for (const Term &T : Terms) {
+    assert(T.first >= 0 && T.first < numVariables() &&
+           "constraint references unknown variable");
+    Merged[T.first] += T.second;
+  }
+  std::vector<Term> Canonical;
+  Canonical.reserve(Merged.size());
+  for (const auto &[Var, Coeff] : Merged)
+    if (Coeff != 0.0)
+      Canonical.push_back({Var, Coeff});
+  Cons.push_back({std::move(Canonical), Sense, Rhs, std::move(Name)});
+  return static_cast<int>(Cons.size()) - 1;
+}
+
+void Model::setObjective(int Var, double Coefficient) {
+  assert(Var >= 0 && Var < numVariables() && "unknown variable");
+  Vars[Var].Objective = Coefficient;
+}
+
+void Model::setBounds(int Var, double Lower, double Upper) {
+  assert(Var >= 0 && Var < numVariables() && "unknown variable");
+  assert(Lower <= Upper && "inverted variable bounds");
+  Vars[Var].Lower = Lower;
+  Vars[Var].Upper = Upper;
+}
+
+void Model::setBranchPriority(int Var, int Priority) {
+  assert(Var >= 0 && Var < numVariables() && "unknown variable");
+  Vars[Var].BranchPriority = Priority;
+}
+
+int Model::numIntegerVariables() const {
+  int Count = 0;
+  for (const Variable &V : Vars)
+    if (V.Kind == VarKind::Integer)
+      ++Count;
+  return Count;
+}
+
+double Model::evaluateObjective(const std::vector<double> &X) const {
+  assert(X.size() == Vars.size() && "solution size mismatch");
+  double Sum = 0.0;
+  for (size_t I = 0; I < Vars.size(); ++I)
+    Sum += Vars[I].Objective * X[I];
+  return Sum;
+}
+
+bool Model::isFeasible(const std::vector<double> &X, double Tolerance,
+                       std::string *WhyNot) const {
+  assert(X.size() == Vars.size() && "solution size mismatch");
+  char Buf[256];
+  for (size_t I = 0; I < Vars.size(); ++I) {
+    if (X[I] < Vars[I].Lower - Tolerance || X[I] > Vars[I].Upper + Tolerance) {
+      if (WhyNot) {
+        std::snprintf(Buf, sizeof(Buf), "variable %s=%g outside [%g, %g]",
+                      Vars[I].Name.c_str(), X[I], Vars[I].Lower,
+                      Vars[I].Upper);
+        *WhyNot = Buf;
+      }
+      return false;
+    }
+  }
+  for (const Constraint &C : Cons) {
+    double Lhs = 0.0;
+    for (const Term &T : C.Terms)
+      Lhs += T.second * X[T.first];
+    bool Ok = true;
+    switch (C.Sense) {
+    case ConstraintSense::LE:
+      Ok = Lhs <= C.Rhs + Tolerance;
+      break;
+    case ConstraintSense::GE:
+      Ok = Lhs >= C.Rhs - Tolerance;
+      break;
+    case ConstraintSense::EQ:
+      Ok = std::abs(Lhs - C.Rhs) <= Tolerance;
+      break;
+    }
+    if (!Ok) {
+      if (WhyNot) {
+        std::snprintf(Buf, sizeof(Buf), "constraint %s violated: lhs=%g rhs=%g",
+                      C.Name.c_str(), Lhs, C.Rhs);
+        *WhyNot = Buf;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Model::isZeroOneStructured() const {
+  for (const Constraint &C : Cons)
+    for (const Term &T : C.Terms)
+      if (T.second != 1.0 && T.second != -1.0)
+        return false; // Zero coefficients were canonicalized away.
+  return true;
+}
+
+std::string Model::toString() const {
+  std::string Out = "minimize\n ";
+  bool First = true;
+  for (size_t I = 0; I < Vars.size(); ++I) {
+    if (Vars[I].Objective == 0.0)
+      continue;
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf), " %+g %s", Vars[I].Objective,
+                  Vars[I].Name.c_str());
+    Out += Buf;
+    First = false;
+  }
+  if (First)
+    Out += " 0";
+  Out += "\nsubject to\n";
+  for (const Constraint &C : Cons) {
+    Out += "  ";
+    if (!C.Name.empty()) {
+      Out += C.Name;
+      Out += ": ";
+    }
+    for (const Term &T : C.Terms) {
+      char Buf[96];
+      std::snprintf(Buf, sizeof(Buf), "%+g %s ", T.second,
+                    Vars[T.first].Name.c_str());
+      Out += Buf;
+    }
+    const char *SenseStr = C.Sense == ConstraintSense::LE   ? "<="
+                           : C.Sense == ConstraintSense::GE ? ">="
+                                                            : "=";
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%s %g\n", SenseStr, C.Rhs);
+    Out += Buf;
+  }
+  Out += "bounds\n";
+  for (const Variable &V : Vars) {
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf), "  %g <= %s <= %g%s\n", V.Lower,
+                  V.Name.c_str(), V.Upper,
+                  V.Kind == VarKind::Integer ? " integer" : "");
+    Out += Buf;
+  }
+  return Out;
+}

@@ -1,0 +1,134 @@
+//===- lp/Model.h - Linear/integer program model -----------------*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// In-memory representation of a (mixed-integer) linear program:
+/// minimize c'x subject to linear constraints and variable bounds.
+/// This is the interface between the scheduling formulations
+/// (src/ilpsched) and the solver stack (src/lp simplex, src/ilp
+/// branch-and-bound), playing the role CPLEX's model API plays in the
+/// paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_LP_MODEL_H
+#define MODSCHED_LP_MODEL_H
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace modsched {
+namespace lp {
+
+/// Positive infinity used for unbounded variable bounds.
+inline double infinity() { return std::numeric_limits<double>::infinity(); }
+
+/// Whether a variable must take an integral value in a MIP solve.
+enum class VarKind { Continuous, Integer };
+
+/// Constraint comparison sense.
+enum class ConstraintSense { LE, GE, EQ };
+
+/// One decision variable.
+struct Variable {
+  std::string Name;
+  double Lower = 0.0;
+  double Upper = infinity();
+  double Objective = 0.0;
+  VarKind Kind = VarKind::Continuous;
+  /// Branching priority for MIP search: the branch-and-bound solver only
+  /// branches on a lower-priority variable when all higher-priority
+  /// integer variables are integral. Scheduling formulations use this to
+  /// branch on row-assignment variables before stage and bookkeeping
+  /// variables.
+  int BranchPriority = 0;
+};
+
+/// A sparse linear term: (variable index, coefficient).
+using Term = std::pair<int, double>;
+
+/// One linear constraint: sum of Terms `Sense` Rhs.
+struct Constraint {
+  std::vector<Term> Terms;
+  ConstraintSense Sense = ConstraintSense::LE;
+  double Rhs = 0.0;
+  std::string Name;
+};
+
+/// A minimization LP/MIP model.
+///
+/// The objective is always minimized; callers maximizing a quantity should
+/// negate its coefficients. Variables and constraints are identified by
+/// dense indices in creation order.
+class Model {
+public:
+  /// Adds a variable and returns its index.
+  int addVariable(std::string Name, double Lower, double Upper,
+                  double Objective = 0.0,
+                  VarKind Kind = VarKind::Continuous);
+
+  /// Convenience: adds a binary {0,1} integer variable.
+  int addBinaryVariable(std::string Name, double Objective = 0.0) {
+    return addVariable(std::move(Name), 0.0, 1.0, Objective,
+                       VarKind::Integer);
+  }
+
+  /// Adds a constraint and returns its index. Terms with the same variable
+  /// index are merged; zero coefficients are dropped.
+  int addConstraint(std::vector<Term> Terms, ConstraintSense Sense,
+                    double Rhs, std::string Name = "");
+
+  /// Overwrites the objective coefficient of variable \p Var.
+  void setObjective(int Var, double Coefficient);
+
+  /// Tightens (replaces) the bounds of variable \p Var.
+  void setBounds(int Var, double Lower, double Upper);
+
+  /// Sets the MIP branching priority of variable \p Var.
+  void setBranchPriority(int Var, int Priority);
+
+  int numVariables() const { return static_cast<int>(Vars.size()); }
+  int numConstraints() const { return static_cast<int>(Cons.size()); }
+
+  /// Number of variables flagged integer.
+  int numIntegerVariables() const;
+
+  const Variable &variable(int Var) const { return Vars[Var]; }
+  const Constraint &constraint(int C) const { return Cons[C]; }
+  const std::vector<Variable> &variables() const { return Vars; }
+  const std::vector<Constraint> &constraints() const { return Cons; }
+
+  /// Evaluates the objective at \p X.
+  double evaluateObjective(const std::vector<double> &X) const;
+
+  /// Returns true iff \p X satisfies every constraint and bound within
+  /// \p Tolerance, writing a description of the first violation into
+  /// \p WhyNot if provided. Integrality is NOT checked here.
+  bool isFeasible(const std::vector<double> &X, double Tolerance = 1e-6,
+                  std::string *WhyNot = nullptr) const;
+
+  /// True if every constraint of the model is 0-1-structured in the
+  /// paper's Definition 1: each variable appears at most once, with
+  /// coefficient -1, 0, or +1. (Objective and bounds are exempt, matching
+  /// the paper's usage.)
+  bool isZeroOneStructured() const;
+
+  /// Renders the model in an LP-like text format, for debugging and for
+  /// golden tests of the formulations.
+  std::string toString() const;
+
+private:
+  std::vector<Variable> Vars;
+  std::vector<Constraint> Cons;
+};
+
+} // namespace lp
+} // namespace modsched
+
+#endif // MODSCHED_LP_MODEL_H

@@ -1,0 +1,102 @@
+//===- lp/Simplex.h - Bounded-variable primal simplex ------------*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense two-phase primal simplex solver with general variable bounds.
+/// It is the LP engine underneath the branch-and-bound MIP solver
+/// (src/ilp) that substitutes for the CPLEX solver used in the paper.
+///
+/// Implementation notes:
+///  * Every constraint row gets a slack variable with bounds encoding the
+///    sense (LE: [0, inf), GE: (-inf, 0], EQ: [0, 0]); the system becomes
+///    Ax + Is = b.
+///  * Nonbasic variables rest at one of their finite bounds (or 0 when
+///    free); phase 1 introduces artificial columns only for rows whose
+///    slack cannot absorb the initial residual, and minimizes the sum of
+///    artificials.
+///  * Pricing is Dantzig (most negative reduced cost) with an automatic
+///    switch to Bland's rule after a run of degenerate pivots, which
+///    guarantees termination.
+///  * The ratio test handles bound flips of the entering variable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_LP_SIMPLEX_H
+#define MODSCHED_LP_SIMPLEX_H
+
+#include "lp/Model.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace modsched {
+namespace lp {
+
+/// Outcome of an LP solve.
+enum class LpStatus {
+  Optimal,       ///< Optimal basic solution found.
+  Infeasible,    ///< Constraints admit no solution.
+  Unbounded,     ///< Objective can decrease without limit.
+  IterationLimit ///< Gave up after SimplexOptions::MaxIterations pivots.
+};
+
+/// Returns a printable name for \p Status.
+const char *toString(LpStatus Status);
+
+/// Tuning knobs for the simplex solver.
+struct SimplexOptions {
+  /// Hard cap on total pivots (both phases).
+  int64_t MaxIterations = 200000;
+  /// Wall-clock budget for one solve(), in seconds (checked every few
+  /// pivots). Exceeding it reports LpStatus::IterationLimit. The MIP
+  /// solver forwards its remaining per-loop budget here so one huge LP
+  /// relaxation cannot blow through the outer time limit.
+  double TimeLimitSeconds = 1e30;
+  /// Primal feasibility tolerance.
+  double FeasTol = 1e-7;
+  /// Reduced-cost optimality tolerance.
+  double OptTol = 1e-7;
+  /// Smallest acceptable pivot magnitude.
+  double PivotTol = 1e-8;
+  /// Number of consecutive degenerate pivots before switching to Bland's
+  /// rule.
+  int DegenerateLimit = 512;
+};
+
+/// Result of an LP solve.
+struct LpResult {
+  LpStatus Status = LpStatus::Infeasible;
+  /// Objective value (valid when Status == Optimal).
+  double Objective = 0.0;
+  /// Value of each structural (model) variable.
+  std::vector<double> Values;
+  /// Number of simplex pivots performed (the paper's "simplex
+  /// iterations" metric).
+  int64_t Iterations = 0;
+};
+
+/// Dense two-phase bounded-variable primal simplex.
+class SimplexSolver {
+public:
+  explicit SimplexSolver(SimplexOptions Options = {}) : Opts(Options) {}
+
+  /// Solves \p M (a minimization LP; integrality flags are ignored).
+  LpResult solve(const Model &M);
+
+  /// Solves \p M with the variable bounds replaced by \p Lower / \p Upper
+  /// (used by branch-and-bound nodes to tighten integer bounds without
+  /// copying the whole model).
+  LpResult solve(const Model &M, const std::vector<double> &Lower,
+                 const std::vector<double> &Upper);
+
+private:
+  SimplexOptions Opts;
+};
+
+} // namespace lp
+} // namespace modsched
+
+#endif // MODSCHED_LP_SIMPLEX_H

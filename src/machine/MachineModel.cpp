@@ -1,0 +1,121 @@
+//===- machine/MachineModel.cpp - Resource/reservation model --------------===//
+
+#include "machine/MachineModel.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace modsched;
+
+int MachineModel::addResource(std::string Name, int Count) {
+  assert(Count > 0 && "resource must have at least one instance");
+  Resources.push_back({std::move(Name), Count});
+  return static_cast<int>(Resources.size()) - 1;
+}
+
+int MachineModel::addOpClass(std::string Name, int Latency,
+                             std::vector<ResourceUsage> Usages) {
+  for (const ResourceUsage &U : Usages) {
+    assert(U.Resource >= 0 && U.Resource < numResources() &&
+           "usage references unknown resource");
+    assert(U.Cycle >= 0 && "usage cycle must be non-negative");
+    (void)U;
+  }
+  Classes.push_back({std::move(Name), Latency, std::move(Usages)});
+  return static_cast<int>(Classes.size()) - 1;
+}
+
+std::optional<int> MachineModel::findOpClass(const std::string &Name) const {
+  for (int C = 0; C < numOpClasses(); ++C)
+    if (Classes[C].Name == Name)
+      return C;
+  return std::nullopt;
+}
+
+std::string MachineModel::toString() const {
+  std::string Out = "machine " + MachineName + "\n";
+  char Buf[256];
+  for (const ResourceType &R : Resources) {
+    std::snprintf(Buf, sizeof(Buf), "  resource %s x%d\n", R.Name.c_str(),
+                  R.Count);
+    Out += Buf;
+  }
+  for (const OpClass &C : Classes) {
+    std::snprintf(Buf, sizeof(Buf), "  class %s latency=%d uses=",
+                  C.Name.c_str(), C.Latency);
+    Out += Buf;
+    for (size_t U = 0; U < C.Usages.size(); ++U) {
+      std::snprintf(Buf, sizeof(Buf), "%s%s@%d", U ? "," : "",
+                    Resources[C.Usages[U].Resource].Name.c_str(),
+                    C.Usages[U].Cycle);
+      Out += Buf;
+    }
+    Out += "\n";
+  }
+  return Out;
+}
+
+MachineModel MachineModel::example3() {
+  MachineModel M;
+  M.setName("example3");
+  int Fu = M.addResource("fu", 3);
+  // All classes are fully pipelined and only occupy an issue slot.
+  M.addOpClass(opclasses::Load, 1, {{Fu, 0}});
+  M.addOpClass(opclasses::Store, 1, {{Fu, 0}});
+  M.addOpClass(opclasses::Add, 1, {{Fu, 0}});
+  M.addOpClass(opclasses::Sub, 1, {{Fu, 0}});
+  M.addOpClass(opclasses::Mul, 4, {{Fu, 0}});
+  M.addOpClass(opclasses::Div, 4, {{Fu, 0}});
+  M.addOpClass(opclasses::Copy, 1, {{Fu, 0}});
+  M.addOpClass(opclasses::Branch, 1, {{Fu, 0}});
+  return M;
+}
+
+MachineModel MachineModel::cydraLike() {
+  // A synthetic stand-in for the Cydra 5's "complex resource
+  // requirements": several resource types, operations that hold a
+  // resource for multiple cycles, and shared result buses claimed late in
+  // an operation's execution (which makes the modulo resource constraints
+  // interact across MRT rows).
+  MachineModel M;
+  M.setName("cydra-like");
+  int MemPort = M.addResource("memport", 2);
+  int AddrAlu = M.addResource("addralu", 2);
+  int FAdd = M.addResource("fadd", 1);
+  int FMul = M.addResource("fmul", 1);
+  int Alu = M.addResource("alu", 2);
+  int Bus = M.addResource("bus", 2);
+
+  // Loads occupy a memory port for two consecutive cycles and deliver
+  // their value over a shared result bus.
+  M.addOpClass(opclasses::Load, 6,
+               {{MemPort, 0}, {MemPort, 1}, {AddrAlu, 0}, {Bus, 6}});
+  M.addOpClass(opclasses::Store, 1, {{MemPort, 0}, {AddrAlu, 0}});
+  // Floating add: pipelined, result bus at the end.
+  M.addOpClass(opclasses::Add, 3, {{FAdd, 0}, {Bus, 3}});
+  M.addOpClass(opclasses::Sub, 3, {{FAdd, 0}, {Bus, 3}});
+  // Floating multiply: initiates at most every other cycle.
+  M.addOpClass(opclasses::Mul, 4, {{FMul, 0}, {FMul, 1}, {Bus, 4}});
+  // Divide blocks the multiplier for four cycles.
+  M.addOpClass(opclasses::Div, 10,
+               {{FMul, 0}, {FMul, 1}, {FMul, 2}, {FMul, 3}, {Bus, 10}});
+  M.addOpClass(opclasses::Copy, 1, {{Alu, 0}, {Bus, 1}});
+  M.addOpClass(opclasses::Branch, 1, {{Alu, 0}});
+  return M;
+}
+
+MachineModel MachineModel::vliw2() {
+  MachineModel M;
+  M.setName("vliw2");
+  int Mem = M.addResource("mem", 1);
+  int Pipe = M.addResource("pipe", 1);
+  M.addOpClass(opclasses::Load, 2, {{Mem, 0}});
+  M.addOpClass(opclasses::Store, 1, {{Mem, 0}});
+  M.addOpClass(opclasses::Add, 1, {{Pipe, 0}});
+  M.addOpClass(opclasses::Sub, 1, {{Pipe, 0}});
+  M.addOpClass(opclasses::Mul, 3, {{Pipe, 0}});
+  M.addOpClass(opclasses::Div, 8, {{Pipe, 0}, {Pipe, 1}, {Pipe, 2}});
+  M.addOpClass(opclasses::Copy, 1, {{Pipe, 0}});
+  M.addOpClass(opclasses::Branch, 1, {{Pipe, 0}});
+  return M;
+}

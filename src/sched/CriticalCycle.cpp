@@ -1,0 +1,89 @@
+//===- sched/CriticalCycle.cpp - Critical recurrence analysis -------------===//
+
+#include "sched/CriticalCycle.h"
+
+#include "graph/GraphAlgorithms.h"
+#include "sched/Mii.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+using namespace modsched;
+
+std::optional<RecurrenceCycle>
+modsched::findCriticalCycle(const DependenceGraph &G) {
+  assert(!hasZeroDistanceCycle(G) && "zero-distance cycle");
+  int N = G.numOperations();
+  if (N == 0 || G.numSchedEdges() == 0)
+    return std::nullopt;
+
+  int Rec = recMii(G);
+  // Any positive cycle at II = RecMII - 1 has ceil(L/d) == RecMII (it is
+  // positive there, and no cycle exceeds RecMII by minimality).
+  int II = Rec - 1;
+
+  // Bellman-Ford longest path with predecessor-edge tracking.
+  std::vector<long> Dist(N, 0);
+  std::vector<int> PredEdge(N, -1);
+  int LastUpdated = -1;
+  for (int Round = 0; Round <= N; ++Round) {
+    LastUpdated = -1;
+    for (int E = 0; E < G.numSchedEdges(); ++E) {
+      const SchedEdge &Edge = G.schedEdges()[E];
+      long Weight = Edge.Latency - long(II) * Edge.Distance;
+      if (Dist[Edge.Src] + Weight > Dist[Edge.Dst]) {
+        Dist[Edge.Dst] = Dist[Edge.Src] + Weight;
+        PredEdge[Edge.Dst] = E;
+        LastUpdated = Edge.Dst;
+      }
+    }
+    if (LastUpdated < 0)
+      return std::nullopt; // Converged: no positive cycle (acyclic or
+                           // non-positive cycles only).
+  }
+
+  // Walk N predecessor links to guarantee landing on the cycle itself.
+  int Node = LastUpdated;
+  for (int Step = 0; Step < N; ++Step) {
+    assert(PredEdge[Node] >= 0 && "relaxed node must have a predecessor");
+    Node = G.schedEdges()[PredEdge[Node]].Src;
+  }
+
+  // Extract the cycle by walking predecessors until Node repeats.
+  RecurrenceCycle Cycle;
+  int Start = Node;
+  int Current = Start;
+  do {
+    int E = PredEdge[Current];
+    assert(E >= 0 && "cycle member must have a predecessor");
+    Cycle.Edges.push_back(E);
+    Cycle.TotalLatency += G.schedEdges()[E].Latency;
+    Cycle.TotalDistance += G.schedEdges()[E].Distance;
+    Current = G.schedEdges()[E].Src;
+  } while (Current != Start);
+  std::reverse(Cycle.Edges.begin(), Cycle.Edges.end());
+
+  assert(Cycle.TotalDistance > 0 && "cycle must be loop-carried");
+  assert(Cycle.iiBound() == Rec && "extracted cycle must be critical");
+  return Cycle;
+}
+
+std::string modsched::describeCycle(const DependenceGraph &G,
+                                    const RecurrenceCycle &Cycle) {
+  std::string Out;
+  char Buf[128];
+  for (int E : Cycle.Edges) {
+    const SchedEdge &Edge = G.schedEdges()[E];
+    std::snprintf(Buf, sizeof(Buf), "%s -(%d,%d)-> ",
+                  G.operation(Edge.Src).Name.c_str(), Edge.Latency,
+                  Edge.Distance);
+    Out += Buf;
+  }
+  if (!Cycle.Edges.empty())
+    Out += G.operation(G.schedEdges()[Cycle.Edges.front()].Src).Name;
+  std::snprintf(Buf, sizeof(Buf), "  [latency %ld over distance %ld => II >= %d]",
+                Cycle.TotalLatency, Cycle.TotalDistance, Cycle.iiBound());
+  Out += Buf;
+  return Out;
+}

@@ -1,0 +1,58 @@
+//===- sched/CriticalCycle.h - Critical recurrence analysis -----*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extraction of the binding recurrence: the dependence cycle maximizing
+/// latency(C) / distance(C), whose ceiling is RecMII. Besides serving as
+/// an independent cross-check of the binary-search RecMII in sched/Mii,
+/// the concrete cycle is the actionable diagnostic a compiler engineer
+/// wants ("this II is limited by the path add -> mul -> add carried over
+/// one iteration").
+///
+/// Implementation: for a candidate II, edge weight latency - II*distance
+/// makes the critical cycle the one with weight sum zero at the critical
+/// (rational) ratio. We find RecMII by binary search (as in sched/Mii)
+/// and then recover a maximum-weight cycle at that II by walking the
+/// predecessor links of a Bellman-Ford longest-path pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_SCHED_CRITICALCYCLE_H
+#define MODSCHED_SCHED_CRITICALCYCLE_H
+
+#include "graph/DependenceGraph.h"
+
+#include <optional>
+#include <vector>
+
+namespace modsched {
+
+/// A dependence cycle with its aggregate latency and distance.
+struct RecurrenceCycle {
+  /// Edge indices (into G.schedEdges()) forming the cycle, in order.
+  std::vector<int> Edges;
+  long TotalLatency = 0;
+  long TotalDistance = 0;
+
+  /// The cycle's II requirement: ceil(latency / distance).
+  int iiBound() const {
+    return static_cast<int>((TotalLatency + TotalDistance - 1) /
+                            TotalDistance);
+  }
+};
+
+/// Finds a critical recurrence cycle: one whose iiBound() equals
+/// RecMII. Returns nullopt for acyclic graphs (RecMII trivially 1).
+/// Requires no zero-distance cycles.
+std::optional<RecurrenceCycle> findCriticalCycle(const DependenceGraph &G);
+
+/// Renders the cycle as "a -(l,w)-> b -(l,w)-> ... -> a".
+std::string describeCycle(const DependenceGraph &G,
+                          const RecurrenceCycle &Cycle);
+
+} // namespace modsched
+
+#endif // MODSCHED_SCHED_CRITICALCYCLE_H

@@ -1,0 +1,49 @@
+//===- sched/Mii.cpp - Minimum initiation interval -------------------------===//
+
+#include "sched/Mii.h"
+
+#include "graph/GraphAlgorithms.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace modsched;
+
+int modsched::resMii(const DependenceGraph &G, const MachineModel &M) {
+  std::vector<long> Uses(M.numResources(), 0);
+  for (const Operation &Op : G.operations())
+    for (const ResourceUsage &U : M.opClass(Op.OpClass).Usages)
+      ++Uses[U.Resource];
+  long Best = 1;
+  for (int R = 0; R < M.numResources(); ++R) {
+    long Need = (Uses[R] + M.resource(R).Count - 1) / M.resource(R).Count;
+    Best = std::max(Best, Need);
+  }
+  return static_cast<int>(Best);
+}
+
+int modsched::recMii(const DependenceGraph &G) {
+  assert(!hasZeroDistanceCycle(G) &&
+         "zero-distance dependence cycle: loop is unschedulable");
+  // Feasibility (no positive cycle) is monotone in II because every cycle
+  // has total distance >= 1. Binary search over [1, sum of latencies].
+  long LatencySum = 1;
+  for (const SchedEdge &E : G.schedEdges())
+    LatencySum += std::max(0, E.Latency);
+  int Lo = 1, Hi = static_cast<int>(std::min<long>(LatencySum, 1 << 20));
+  if (!hasPositiveCycle(G, Lo))
+    return 1;
+  while (Lo + 1 < Hi) {
+    int Mid = Lo + (Hi - Lo) / 2;
+    if (hasPositiveCycle(G, Mid))
+      Lo = Mid;
+    else
+      Hi = Mid;
+  }
+  assert(!hasPositiveCycle(G, Hi) && "latency sum bound must be feasible");
+  return Hi;
+}
+
+int modsched::mii(const DependenceGraph &G, const MachineModel &M) {
+  return std::max(resMii(G, M), recMii(G));
+}

@@ -1,0 +1,37 @@
+//===- sched/Mii.h - Minimum initiation interval ----------------*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lower bound MII = max(ResMII, RecMII) of Rau & Glaeser [1]:
+/// ResMII from critical resources being fully utilized, RecMII from
+/// critical loop-carried dependence cycles. MII is not tight (paper
+/// Section 2); the ILP schedulers search upward from it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_SCHED_MII_H
+#define MODSCHED_SCHED_MII_H
+
+#include "graph/DependenceGraph.h"
+#include "machine/MachineModel.h"
+
+namespace modsched {
+
+/// Resource-constrained MII: max over resource types q of
+/// ceil(total uses of q / count(q)). At least 1.
+int resMii(const DependenceGraph &G, const MachineModel &M);
+
+/// Recurrence-constrained MII: smallest II >= 1 such that every
+/// dependence cycle C satisfies sum(latency) - II * sum(distance) <= 0.
+/// Requires the graph to have no zero-distance cycles (asserts).
+int recMii(const DependenceGraph &G);
+
+/// max(resMii, recMii).
+int mii(const DependenceGraph &G, const MachineModel &M);
+
+} // namespace modsched
+
+#endif // MODSCHED_SCHED_MII_H

@@ -1,0 +1,60 @@
+//===- sched/ModuloSchedule.cpp - Modulo schedule + MRT --------------------===//
+
+#include "sched/ModuloSchedule.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace modsched;
+
+int ModuloSchedule::scheduleLength() const {
+  int Max = 0;
+  for (int T : StartTime)
+    Max = std::max(Max, T);
+  return Max + 1;
+}
+
+Mrt::Mrt(const DependenceGraph &G, const MachineModel &M,
+         const ModuloSchedule &S)
+    : Interval(S.ii()), NumResources(M.numResources()) {
+  Counts.assign(size_t(Interval) * NumResources, 0);
+  for (int Op = 0; Op < G.numOperations(); ++Op) {
+    const OpClass &Class = M.opClass(G.operation(Op).OpClass);
+    for (const ResourceUsage &U : Class.Usages) {
+      int Row = (S.time(Op) + U.Cycle) % Interval;
+      if (Row < 0)
+        Row += Interval;
+      ++Counts[size_t(Row) * NumResources + U.Resource];
+    }
+  }
+}
+
+bool Mrt::fitsMachine(const MachineModel &M) const {
+  for (int Row = 0; Row < Interval; ++Row)
+    for (int R = 0; R < NumResources; ++R)
+      if (usage(Row, R) > M.resource(R).Count)
+        return false;
+  return true;
+}
+
+std::string Mrt::toString(const MachineModel &M) const {
+  std::string Out = "row ";
+  for (const ResourceType &R : M.resources()) {
+    Out += R.Name;
+    Out += ' ';
+  }
+  Out += '\n';
+  char Buf[64];
+  for (int Row = 0; Row < Interval; ++Row) {
+    std::snprintf(Buf, sizeof(Buf), "%3d ", Row);
+    Out += Buf;
+    for (int R = 0; R < NumResources; ++R) {
+      std::snprintf(Buf, sizeof(Buf), "%*d ",
+                    static_cast<int>(M.resource(R).Name.size()),
+                    usage(Row, R));
+      Out += Buf;
+    }
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,101 @@
+//===- sched/ModuloSchedule.h - Modulo schedule + MRT -----------*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A modulo schedule assigns each operation of the loop body a start
+/// cycle; iterations initiate every II cycles with the same schedule.
+/// row(i) = time(i) mod II and stage(i) = time(i) div II, matching the
+/// paper's Section 2. The modulo reservation table (MRT) collapses the
+/// schedule to II rows with wraparound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_SCHED_MODULOSCHEDULE_H
+#define MODSCHED_SCHED_MODULOSCHEDULE_H
+
+#include "graph/DependenceGraph.h"
+#include "machine/MachineModel.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace modsched {
+
+/// A complete modulo schedule for one loop.
+class ModuloSchedule {
+public:
+  ModuloSchedule() = default;
+  ModuloSchedule(int II, std::vector<int> Times)
+      : Interval(II), StartTime(std::move(Times)) {
+    assert(II >= 1 && "initiation interval must be positive");
+  }
+
+  int ii() const { return Interval; }
+  int numOperations() const { return static_cast<int>(StartTime.size()); }
+
+  /// Start cycle of operation \p Op.
+  int time(int Op) const { return StartTime[Op]; }
+
+  /// MRT row of operation \p Op (time mod II, non-negative).
+  int row(int Op) const {
+    int R = StartTime[Op] % Interval;
+    return R < 0 ? R + Interval : R;
+  }
+
+  /// Stage of operation \p Op (time div II, floored).
+  int stage(int Op) const {
+    int T = StartTime[Op];
+    int Q = T / Interval;
+    if (T % Interval < 0)
+      --Q;
+    return Q;
+  }
+
+  /// Number of cycles from cycle 0 through the last start cycle;
+  /// iterations of the schedule span ceil(length / II) stages.
+  int scheduleLength() const;
+
+  /// Number of stages spanned (max stage + 1), assuming all times >= 0.
+  int numStages() const { return (scheduleLength() + Interval - 1) / Interval; }
+
+  const std::vector<int> &times() const { return StartTime; }
+  std::vector<int> &times() { return StartTime; }
+
+private:
+  int Interval = 1;
+  std::vector<int> StartTime;
+};
+
+/// The modulo reservation table: per (row, resource type) usage counts.
+class Mrt {
+public:
+  /// Builds the MRT of \p S for graph \p G on machine \p M.
+  Mrt(const DependenceGraph &G, const MachineModel &M,
+      const ModuloSchedule &S);
+
+  int ii() const { return Interval; }
+
+  /// Usage count of resource type \p Resource in row \p Row.
+  int usage(int Row, int Resource) const {
+    return Counts[size_t(Row) * NumResources + Resource];
+  }
+
+  /// True iff no (row, resource) usage exceeds the machine's counts.
+  bool fitsMachine(const MachineModel &M) const;
+
+  /// Renders the MRT as a small table (rows x resources).
+  std::string toString(const MachineModel &M) const;
+
+private:
+  int Interval = 1;
+  int NumResources = 0;
+  std::vector<int> Counts;
+};
+
+} // namespace modsched
+
+#endif // MODSCHED_SCHED_MODULOSCHEDULE_H

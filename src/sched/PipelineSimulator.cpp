@@ -1,0 +1,121 @@
+//===- sched/PipelineSimulator.cpp - Dynamic schedule execution -----------===//
+
+#include "sched/PipelineSimulator.h"
+
+#include "sched/RegisterPressure.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+using namespace modsched;
+
+SimulationReport modsched::simulateSchedule(const DependenceGraph &G,
+                                            const MachineModel &M,
+                                            const ModuloSchedule &S,
+                                            int Iterations) {
+  assert(Iterations >= 1 && "need at least one iteration");
+  SimulationReport Report;
+  Report.Iterations = Iterations;
+  int II = S.ii();
+  char Buf[256];
+
+  // Horizon: last issue plus the longest reservation-table tail and the
+  // longest cross-iteration lifetime.
+  int MaxUsageCycle = 0;
+  for (const OpClass &C : M.opClasses())
+    for (const ResourceUsage &U : C.Usages)
+      MaxUsageCycle = std::max(MaxUsageCycle, U.Cycle);
+  long LastIssue = long(Iterations - 1) * II + S.scheduleLength() - 1;
+  int MaxUseDistance = 0;
+  for (const VirtualRegister &R : G.registers())
+    for (const RegisterUse &U : R.Uses)
+      MaxUseDistance = std::max(MaxUseDistance, U.Distance);
+  long Horizon = LastIssue + MaxUsageCycle +
+                 long(MaxUseDistance + 1) * II + S.scheduleLength() + 1;
+
+  Report.LastIssueCycle = LastIssue;
+  Report.TotalCycles = LastIssue + 1;
+  Report.CyclesPerIteration =
+      static_cast<double>(Report.TotalCycles) / Iterations;
+
+  // --- Resource usage, cycle by cycle -----------------------------------
+  int NumRes = M.numResources();
+  std::vector<int> Busy(static_cast<size_t>(Horizon + 1) * NumRes, 0);
+  for (int Iter = 0; Iter < Iterations && !Report.Violation; ++Iter) {
+    for (int Op = 0; Op < G.numOperations(); ++Op) {
+      const OpClass &Class = M.opClass(G.operation(Op).OpClass);
+      long Issue = S.time(Op) + long(Iter) * II;
+      for (const ResourceUsage &U : Class.Usages) {
+        long Cycle = Issue + U.Cycle;
+        int &Count = Busy[static_cast<size_t>(Cycle) * NumRes + U.Resource];
+        if (++Count > M.resource(U.Resource).Count) {
+          std::snprintf(Buf, sizeof(Buf),
+                        "cycle %ld: resource %s oversubscribed by %s "
+                        "(iteration %d)",
+                        Cycle, M.resource(U.Resource).Name.c_str(),
+                        G.operation(Op).Name.c_str(), Iter);
+          Report.Violation = std::string(Buf);
+          break;
+        }
+      }
+      if (Report.Violation)
+        break;
+    }
+  }
+
+  // --- Dynamic dependence check ------------------------------------------
+  // The constraint is iteration-invariant, so checking the first
+  // iteration pair that exists suffices.
+  if (!Report.Violation) {
+    for (const SchedEdge &E : G.schedEdges()) {
+      if (E.Distance > Iterations - 1)
+        continue; // No such producer/consumer pair in this run.
+      long Produced = S.time(E.Src); // Iteration 0.
+      long Consumed = S.time(E.Dst) + long(E.Distance) * II;
+      if (Consumed - Produced < E.Latency) {
+        std::snprintf(Buf, sizeof(Buf),
+                      "value of %s (iter 0) consumed by %s (iter %d) "
+                      "after %ld cycles, latency is %d",
+                      G.operation(E.Src).Name.c_str(),
+                      G.operation(E.Dst).Name.c_str(), E.Distance,
+                      Consumed - Produced, E.Latency);
+        Report.Violation = std::string(Buf);
+        break;
+      }
+    }
+  }
+
+  // --- Liveness profile ----------------------------------------------------
+  // Every (register, iteration) instance is live from its definition
+  // through its last use (uses by iterations beyond the run still hold
+  // the value, as the epilogue would).
+  std::vector<int> LiveDelta(static_cast<size_t>(Horizon + 2), 0);
+  for (int Reg = 0; Reg < G.numRegisters(); ++Reg) {
+    long KillOffset = registerKillTime(G, S, Reg);
+    long DefOffset = S.time(G.registers()[Reg].Def);
+    for (int Iter = 0; Iter < Iterations; ++Iter) {
+      long Def = DefOffset + long(Iter) * II;
+      long Kill = std::min(KillOffset + long(Iter) * II, Horizon);
+      ++LiveDelta[static_cast<size_t>(Def)];
+      --LiveDelta[static_cast<size_t>(Kill) + 1];
+    }
+  }
+  int Live = 0;
+  // Steady-state window: late enough that every older iteration's
+  // lifetime (which may extend MaxUseDistance iterations past its last
+  // schedule cycle) is represented, early enough that younger iterations
+  // still issue.
+  long SteadyBegin = S.scheduleLength() + long(MaxUseDistance) * II;
+  long SteadyEnd = long(Iterations - 1) * II; // Exclusive.
+  for (long Cycle = 0; Cycle <= Horizon; ++Cycle) {
+    Live += LiveDelta[static_cast<size_t>(Cycle)];
+    Report.PeakLiveValues = std::max(Report.PeakLiveValues, Live);
+    if (Cycle >= SteadyBegin && Cycle < SteadyEnd)
+      Report.SteadyStateLiveValues =
+          std::max(Report.SteadyStateLiveValues, Live);
+  }
+  if (SteadyEnd <= SteadyBegin) // Run too short for a steady state.
+    Report.SteadyStateLiveValues = Report.PeakLiveValues;
+  return Report;
+}

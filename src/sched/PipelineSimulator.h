@@ -1,0 +1,63 @@
+//===- sched/PipelineSimulator.h - Dynamic schedule execution ---*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cycle-accurate simulator of a modulo-scheduled loop: it issues K
+/// overlapped iterations (iteration i starts at i * II), tracks every
+/// resource reservation and every value's definition and last use, and
+/// reports:
+///
+///  * dynamic constraint violations (a second, execution-based check,
+///    independent of the static verifier),
+///  * the total cycle count and steady-state throughput,
+///  * the peak number of simultaneously live values, which in steady
+///    state must equal the static MaxLive of Section 2 (this identity is
+///    exercised by the property tests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_SCHED_PIPELINESIMULATOR_H
+#define MODSCHED_SCHED_PIPELINESIMULATOR_H
+
+#include "graph/DependenceGraph.h"
+#include "machine/MachineModel.h"
+#include "sched/ModuloSchedule.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace modsched {
+
+/// Outcome of simulating a modulo schedule.
+struct SimulationReport {
+  /// Description of the first dynamic violation, if any.
+  std::optional<std::string> Violation;
+  /// Cycle in which the last operation of the last iteration issued.
+  long LastIssueCycle = 0;
+  /// Total cycles = LastIssueCycle + 1.
+  long TotalCycles = 0;
+  /// Iterations completed.
+  int Iterations = 0;
+  /// Average cycles per iteration over the whole run (approaches II as
+  /// the iteration count grows).
+  double CyclesPerIteration = 0.0;
+  /// Peak number of simultaneously live values over the run.
+  int PeakLiveValues = 0;
+  /// Peak live values restricted to the steady-state region (all stages
+  /// overlapping); equals the static MaxLive.
+  int SteadyStateLiveValues = 0;
+};
+
+/// Simulates \p Iterations overlapped iterations of \p S. The schedule
+/// does not have to be valid; violations are reported, not asserted.
+SimulationReport simulateSchedule(const DependenceGraph &G,
+                                  const MachineModel &M,
+                                  const ModuloSchedule &S, int Iterations);
+
+} // namespace modsched
+
+#endif // MODSCHED_SCHED_PIPELINESIMULATOR_H

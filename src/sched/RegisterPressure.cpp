@@ -1,0 +1,51 @@
+//===- sched/RegisterPressure.cpp - MaxLive / lifetimes --------------------===//
+
+#include "sched/RegisterPressure.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace modsched;
+
+int modsched::registerKillTime(const DependenceGraph &G,
+                               const ModuloSchedule &S, int Reg) {
+  const VirtualRegister &R = G.registers()[Reg];
+  int Kill = S.time(R.Def);
+  for (const RegisterUse &U : R.Uses) {
+    int UseTime = S.time(U.Consumer) + U.Distance * S.ii();
+    Kill = std::max(Kill, UseTime);
+  }
+  return Kill;
+}
+
+RegisterPressure
+modsched::computeRegisterPressure(const DependenceGraph &G,
+                                  const ModuloSchedule &S) {
+  int II = S.ii();
+  RegisterPressure P;
+  P.LivePerRow.assign(II, 0);
+
+  for (int Reg = 0; Reg < G.numRegisters(); ++Reg) {
+    const VirtualRegister &R = G.registers()[Reg];
+    int Def = S.time(R.Def);
+    int Kill = registerKillTime(G, S, Reg);
+    assert(Kill >= Def && "use scheduled before definition");
+    int Length = Kill - Def + 1;
+    P.LifetimeCycles.push_back(Length);
+    P.TotalLifetime += Length;
+    P.Buffers += (Length + II - 1) / II;
+
+    // The lifetime covers cycles [Def, Kill]; fold onto the II rows.
+    int FullTurns = Length / II;
+    int Remainder = Length % II;
+    for (int Row = 0; Row < II; ++Row)
+      P.LivePerRow[Row] += FullTurns;
+    int StartRow = ((Def % II) + II) % II;
+    for (int Offset = 0; Offset < Remainder; ++Offset)
+      ++P.LivePerRow[(StartRow + Offset) % II];
+  }
+
+  for (int Live : P.LivePerRow)
+    P.MaxLive = std::max(P.MaxLive, Live);
+  return P;
+}

@@ -1,0 +1,57 @@
+//===- sched/RegisterPressure.h - MaxLive / lifetimes -----------*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register-requirement metrics of a modulo schedule, per the paper's
+/// Section 2: a virtual register is reserved from the cycle its defining
+/// operation issues until the cycle of its last use (inclusive, across
+/// iterations). Collapsing all lifetimes onto the II rows of the steady
+/// state with wraparound gives the per-row live counts; their maximum is
+/// MaxLive [12], the exact register requirement. We also expose the
+/// cumulative lifetime (the MinLife objective of [16]) and the buffer
+/// count (lifetimes rounded up to multiples of II, the MinBuff objective
+/// of [7]).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_SCHED_REGISTERPRESSURE_H
+#define MODSCHED_SCHED_REGISTERPRESSURE_H
+
+#include "graph/DependenceGraph.h"
+#include "sched/ModuloSchedule.h"
+
+#include <vector>
+
+namespace modsched {
+
+/// Register metrics of one schedule.
+struct RegisterPressure {
+  /// Maximum number of simultaneously live virtual registers over the II
+  /// rows of the steady state (the paper's MaxLive).
+  int MaxLive = 0;
+  /// Per-row live counts (size II).
+  std::vector<int> LivePerRow;
+  /// Sum of all lifetime lengths in cycles.
+  long TotalLifetime = 0;
+  /// Sum over registers of ceil(lifetime / II).
+  long Buffers = 0;
+  /// Per-register lifetime length in cycles (>= 1; a dead value is live
+  /// for its definition cycle only).
+  std::vector<int> LifetimeCycles;
+};
+
+/// Computes the register metrics of \p S for graph \p G.
+RegisterPressure computeRegisterPressure(const DependenceGraph &G,
+                                         const ModuloSchedule &S);
+
+/// The kill time of register \p Reg under \p S: the last cycle the value
+/// is used (or its definition cycle when it has no uses).
+int registerKillTime(const DependenceGraph &G, const ModuloSchedule &S,
+                     int Reg);
+
+} // namespace modsched
+
+#endif // MODSCHED_SCHED_REGISTERPRESSURE_H

@@ -1,0 +1,59 @@
+//===- sched/Verifier.cpp - Schedule validity checking ---------------------===//
+
+#include "sched/Verifier.h"
+
+#include <cstdio>
+
+using namespace modsched;
+
+std::optional<std::string> modsched::verifySchedule(const DependenceGraph &G,
+                                                    const MachineModel &M,
+                                                    const ModuloSchedule &S,
+                                                    int MaxTime) {
+  char Buf[256];
+  if (S.numOperations() != G.numOperations())
+    return std::string("schedule has wrong number of operations");
+  if (S.ii() < 1)
+    return std::string("non-positive initiation interval");
+
+  if (MaxTime >= 0) {
+    for (int Op = 0; Op < G.numOperations(); ++Op) {
+      if (S.time(Op) < 0 || S.time(Op) > MaxTime) {
+        std::snprintf(Buf, sizeof(Buf),
+                      "operation %s scheduled at %d outside [0, %d]",
+                      G.operation(Op).Name.c_str(), S.time(Op), MaxTime);
+        return std::string(Buf);
+      }
+    }
+  }
+
+  // Dependence constraints: time_j + w * II - time_i >= latency.
+  for (const SchedEdge &E : G.schedEdges()) {
+    long Lhs = long(S.time(E.Dst)) + long(E.Distance) * S.ii() -
+               long(S.time(E.Src));
+    if (Lhs < E.Latency) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "dependence %s -> %s (latency %d, omega %d) violated: "
+                    "slack %ld",
+                    G.operation(E.Src).Name.c_str(),
+                    G.operation(E.Dst).Name.c_str(), E.Latency, E.Distance,
+                    Lhs - E.Latency);
+      return std::string(Buf);
+    }
+  }
+
+  // Modulo resource constraints via the MRT.
+  Mrt Table(G, M, S);
+  for (int Row = 0; Row < S.ii(); ++Row) {
+    for (int R = 0; R < M.numResources(); ++R) {
+      if (Table.usage(Row, R) > M.resource(R).Count) {
+        std::snprintf(Buf, sizeof(Buf),
+                      "resource %s oversubscribed in MRT row %d: %d > %d",
+                      M.resource(R).Name.c_str(), Row, Table.usage(Row, R),
+                      M.resource(R).Count);
+        return std::string(Buf);
+      }
+    }
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,39 @@
+//===- sched/Verifier.h - Schedule validity checking ------------*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Independent validity checker for modulo schedules: dependence
+/// constraints (paper Ineq. 3) and modulo resource constraints (paper
+/// Ineq. 5). Every schedule produced by any scheduler in this repo —
+/// optimal or heuristic — is passed through this verifier in the tests
+/// and benchmark harnesses, so formulation bugs cannot silently corrupt
+/// the experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_SCHED_VERIFIER_H
+#define MODSCHED_SCHED_VERIFIER_H
+
+#include "graph/DependenceGraph.h"
+#include "machine/MachineModel.h"
+#include "sched/ModuloSchedule.h"
+
+#include <optional>
+#include <string>
+
+namespace modsched {
+
+/// Returns a description of the first violated constraint, or nullopt if
+/// \p S is a valid modulo schedule for \p G on \p M. When \p MaxTime is
+/// non-negative, also checks that every start time lies in [0, MaxTime].
+std::optional<std::string> verifySchedule(const DependenceGraph &G,
+                                          const MachineModel &M,
+                                          const ModuloSchedule &S,
+                                          int MaxTime = -1);
+
+} // namespace modsched
+
+#endif // MODSCHED_SCHED_VERIFIER_H

@@ -1,0 +1,84 @@
+//===- support/Format.cpp - Table formatting helpers ---------------------===//
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace modsched;
+
+void TablePrinter::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back({/*IsSection=*/false, std::move(Cells)});
+}
+
+void TablePrinter::addSection(std::string Label) {
+  Rows.push_back({/*IsSection=*/true, {std::move(Label)}});
+}
+
+std::string TablePrinter::render() const {
+  // Compute column widths over the header and all non-section rows.
+  std::vector<size_t> Widths;
+  auto Grow = [&Widths](const std::vector<std::string> &Cells) {
+    if (Widths.size() < Cells.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0; I < Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  Grow(Header);
+  for (const Row &R : Rows)
+    if (!R.IsSection)
+      Grow(R.Cells);
+
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+
+  std::string Out;
+  auto Emit = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      std::string Cell = I < Cells.size() ? Cells[I] : "";
+      if (I == 0) { // Left-align the label column.
+        Out += Cell;
+        Out.append(Widths[I] - Cell.size() + 2, ' ');
+      } else {
+        Out.append(Widths[I] - Cell.size(), ' ');
+        Out += Cell;
+        Out.append(2, ' ');
+      }
+    }
+    while (!Out.empty() && Out.back() == ' ')
+      Out.pop_back();
+    Out += '\n';
+  };
+
+  if (!Header.empty()) {
+    Emit(Header);
+    Out.append(Total, '-');
+    Out += '\n';
+  }
+  for (const Row &R : Rows) {
+    if (R.IsSection) {
+      Out += R.Cells.front();
+      Out += '\n';
+      continue;
+    }
+    Emit(R.Cells);
+  }
+  return Out;
+}
+
+std::string modsched::formatDouble(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string modsched::formatPercent(double Fraction, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Precision, Fraction * 100.0);
+  return Buf;
+}

@@ -1,0 +1,55 @@
+//===- support/Format.h - Table formatting helpers --------------*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny fixed-width table printer used by the benchmark harnesses to emit
+/// rows in the layout of the paper's Tables 1 and 2 and of Figure 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_SUPPORT_FORMAT_H
+#define MODSCHED_SUPPORT_FORMAT_H
+
+#include <string>
+#include <vector>
+
+namespace modsched {
+
+/// Accumulates rows of cells and renders them with per-column widths.
+class TablePrinter {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a data row.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a full-width section label row (e.g. a scheduler name).
+  void addSection(std::string Label);
+
+  /// Renders the table to a string, right-aligning all but the first
+  /// column.
+  std::string render() const;
+
+private:
+  struct Row {
+    bool IsSection = false;
+    std::vector<std::string> Cells;
+  };
+
+  std::vector<std::string> Header;
+  std::vector<Row> Rows;
+};
+
+/// Formats a double with \p Precision digits after the point.
+std::string formatDouble(double Value, int Precision = 2);
+
+/// Formats a fraction as a percentage string like "73.9%".
+std::string formatPercent(double Fraction, int Precision = 1);
+
+} // namespace modsched
+
+#endif // MODSCHED_SUPPORT_FORMAT_H

@@ -1,0 +1,79 @@
+//===- support/Statistics.cpp - Summary statistics accumulators ----------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <numeric>
+
+using namespace modsched;
+
+void SummaryStats::add(double Value) {
+  Values.push_back(Value);
+  Sorted = false;
+}
+
+void SummaryStats::ensureSorted() const {
+  if (Sorted)
+    return;
+  std::sort(Values.begin(), Values.end());
+  Sorted = true;
+}
+
+double SummaryStats::min() const {
+  assert(!Values.empty() && "min() of empty sample");
+  ensureSorted();
+  return Values.front();
+}
+
+double SummaryStats::max() const {
+  assert(!Values.empty() && "max() of empty sample");
+  ensureSorted();
+  return Values.back();
+}
+
+double SummaryStats::freqOfMin() const {
+  assert(!Values.empty() && "freqOfMin() of empty sample");
+  ensureSorted();
+  double Min = Values.front();
+  size_t NumEqual =
+      std::upper_bound(Values.begin(), Values.end(), Min) - Values.begin();
+  return static_cast<double>(NumEqual) / static_cast<double>(Values.size());
+}
+
+double SummaryStats::median() const {
+  assert(!Values.empty() && "median() of empty sample");
+  ensureSorted();
+  size_t N = Values.size();
+  if (N % 2 == 1)
+    return Values[N / 2];
+  return (Values[N / 2 - 1] + Values[N / 2]) / 2.0;
+}
+
+double SummaryStats::average() const {
+  assert(!Values.empty() && "average() of empty sample");
+  return sum() / static_cast<double>(Values.size());
+}
+
+double SummaryStats::sum() const {
+  return std::accumulate(Values.begin(), Values.end(), 0.0);
+}
+
+std::string SummaryStats::formatRow() const {
+  if (Values.empty())
+    return "(empty)";
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf), "%10.2f %6.1f%% %10.2f %10.2f %10.2f",
+                min(), freqOfMin() * 100.0, median(), average(), max());
+  return Buf;
+}
+
+double modsched::medianOf(std::vector<double> Values) {
+  assert(!Values.empty() && "medianOf empty vector");
+  std::sort(Values.begin(), Values.end());
+  size_t N = Values.size();
+  if (N % 2 == 1)
+    return Values[N / 2];
+  return (Values[N / 2 - 1] + Values[N / 2]) / 2.0;
+}

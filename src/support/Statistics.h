@@ -1,0 +1,73 @@
+//===- support/Statistics.h - Summary statistics accumulators --*- C++ -*-===//
+//
+// Part of the modsched project: a reproduction of Eichenberger & Davidson,
+// "Efficient Formulation for Optimal Modulo Schedulers", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary-statistics accumulator matching the row format of Tables 1 and 2
+/// in the paper: min, frequency of the min value, median, average, and max.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_SUPPORT_STATISTICS_H
+#define MODSCHED_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace modsched {
+
+/// Accumulates a sample of double-valued measurements and reports the
+/// five summary statistics used throughout the paper's evaluation tables.
+///
+/// The "freq" column in the paper gives the fraction of samples equal to
+/// the minimum value (e.g. "0 node in 73.9% of the loops").
+class SummaryStats {
+public:
+  /// Adds one measurement to the sample.
+  void add(double Value);
+
+  /// Returns the number of measurements added so far.
+  size_t count() const { return Values.size(); }
+
+  bool empty() const { return Values.empty(); }
+
+  /// Smallest measurement. Requires a non-empty sample.
+  double min() const;
+
+  /// Largest measurement. Requires a non-empty sample.
+  double max() const;
+
+  /// Fraction of measurements equal to the minimum, in [0, 1].
+  double freqOfMin() const;
+
+  /// Median (average of the two middle elements for even-sized samples).
+  double median() const;
+
+  /// Arithmetic mean.
+  double average() const;
+
+  /// Sum of all measurements.
+  double sum() const;
+
+  /// Renders "min freq% median average max" with fixed precision, matching
+  /// the layout of the paper's tables.
+  std::string formatRow() const;
+
+private:
+  /// Sorts the sample lazily; const accessors call this first.
+  void ensureSorted() const;
+
+  mutable std::vector<double> Values;
+  mutable bool Sorted = true;
+};
+
+/// Computes the median of an arbitrary vector (copies and sorts it).
+double medianOf(std::vector<double> Values);
+
+} // namespace modsched
+
+#endif // MODSCHED_SUPPORT_STATISTICS_H

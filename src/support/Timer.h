@@ -1,0 +1,41 @@
+//===- support/Timer.h - Wall-clock timing ----------------------*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal wall-clock stopwatch used for the solver time budget (the
+/// paper's "never search for more than 15 minutes per loop") and for the
+/// total-time experiment (E3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_SUPPORT_TIMER_H
+#define MODSCHED_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace modsched {
+
+/// Stopwatch over std::chrono::steady_clock. Starts on construction.
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace modsched
+
+#endif // MODSCHED_SUPPORT_TIMER_H

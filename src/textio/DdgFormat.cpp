@@ -1,0 +1,169 @@
+//===- textio/DdgFormat.cpp - Loop text format -----------------------------===//
+
+#include "textio/DdgFormat.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+using namespace modsched;
+
+namespace {
+
+/// Splits a line into whitespace-separated tokens, dropping '#' comments.
+std::vector<std::string> tokenize(const std::string &Line) {
+  std::vector<std::string> Tokens;
+  std::istringstream In(Line);
+  std::string Tok;
+  while (In >> Tok) {
+    if (Tok[0] == '#')
+      break;
+    Tokens.push_back(Tok);
+  }
+  return Tokens;
+}
+
+/// Parses "key=value" with an integer value; returns false on mismatch.
+bool parseKeyInt(const std::string &Tok, const char *Key, int &Out) {
+  std::string Prefix = std::string(Key) + "=";
+  if (Tok.rfind(Prefix, 0) != 0)
+    return false;
+  try {
+    size_t Used = 0;
+    Out = std::stoi(Tok.substr(Prefix.size()), &Used);
+    return Used == Tok.size() - Prefix.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+std::optional<DependenceGraph> fail(std::string *Error, int LineNo,
+                                    const std::string &Message) {
+  if (Error) {
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf), "line %d: %s", LineNo, Message.c_str());
+    *Error = Buf;
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+std::optional<DependenceGraph> modsched::parseDdg(const std::string &Text,
+                                                  const MachineModel &M,
+                                                  std::string *Error) {
+  DependenceGraph G;
+  std::map<std::string, int> OpByName;
+  std::istringstream In(Text);
+  std::string Line;
+  int LineNo = 0;
+
+  auto LookupOp = [&](const std::string &Name) {
+    auto It = OpByName.find(Name);
+    return It == OpByName.end() ? -1 : It->second;
+  };
+
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::vector<std::string> Tok = tokenize(Line);
+    if (Tok.empty())
+      continue;
+
+    if (Tok[0] == "loop") {
+      if (Tok.size() != 2)
+        return fail(Error, LineNo, "expected: loop <name>");
+      G.setName(Tok[1]);
+      continue;
+    }
+    if (Tok[0] == "op") {
+      if (Tok.size() != 3)
+        return fail(Error, LineNo, "expected: op <name> <class>");
+      if (OpByName.count(Tok[1]))
+        return fail(Error, LineNo, "duplicate operation name " + Tok[1]);
+      std::optional<int> Class = M.findOpClass(Tok[2]);
+      if (!Class)
+        return fail(Error, LineNo, "unknown operation class " + Tok[2]);
+      OpByName[Tok[1]] = G.addOperation(Tok[1], *Class);
+      continue;
+    }
+    if (Tok[0] == "flow" || Tok[0] == "edge") {
+      if (Tok.size() != 5)
+        return fail(Error, LineNo,
+                    "expected: " + Tok[0] +
+                        " <src> <dst> latency=<l> omega=<w>");
+      int Src = LookupOp(Tok[1]);
+      int Dst = LookupOp(Tok[2]);
+      if (Src < 0 || Dst < 0)
+        return fail(Error, LineNo, "unknown operation in edge");
+      int Latency = 0, Omega = 0;
+      if (!parseKeyInt(Tok[3], "latency", Latency) ||
+          !parseKeyInt(Tok[4], "omega", Omega))
+        return fail(Error, LineNo, "malformed latency/omega");
+      if (Omega < 0)
+        return fail(Error, LineNo, "omega must be non-negative");
+      if (Tok[0] == "flow")
+        G.addFlowDependence(Src, Dst, Latency, Omega);
+      else
+        G.addSchedEdge(Src, Dst, Latency, Omega);
+      continue;
+    }
+    return fail(Error, LineNo, "unknown directive " + Tok[0]);
+  }
+
+  if (std::optional<std::string> Problem = G.validate())
+    return fail(Error, LineNo, *Problem);
+  return G;
+}
+
+std::optional<DependenceGraph>
+modsched::loadDdgFile(const std::string &Path, const MachineModel &M,
+                      std::string *Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    if (Error)
+      *Error = "cannot open " + Path;
+    return std::nullopt;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return parseDdg(Buffer.str(), M, Error);
+}
+
+std::string modsched::printDdg(const DependenceGraph &G,
+                               const MachineModel &M) {
+  std::string Out = "loop " + G.name() + "\n";
+  char Buf[256];
+  for (const Operation &Op : G.operations()) {
+    std::snprintf(Buf, sizeof(Buf), "op %s %s\n", Op.Name.c_str(),
+                  M.opClass(Op.OpClass).Name.c_str());
+    Out += Buf;
+  }
+  // Flow edges are those matching a (def, use, distance) register record;
+  // emit them as "flow" and everything else as "edge". Each register use
+  // consumes one matching sched edge.
+  std::vector<std::vector<std::pair<int, int>>> PendingUses(
+      G.numOperations()); // def -> list of (use, distance) not yet matched
+  for (const VirtualRegister &R : G.registers())
+    for (const RegisterUse &U : R.Uses)
+      PendingUses[R.Def].push_back({U.Consumer, U.Distance});
+
+  for (const SchedEdge &E : G.schedEdges()) {
+    bool IsFlow = false;
+    auto &Uses = PendingUses[E.Src];
+    for (size_t I = 0; I < Uses.size(); ++I) {
+      if (Uses[I].first == E.Dst && Uses[I].second == E.Distance) {
+        Uses.erase(Uses.begin() + I);
+        IsFlow = true;
+        break;
+      }
+    }
+    std::snprintf(Buf, sizeof(Buf), "%s %s %s latency=%d omega=%d\n",
+                  IsFlow ? "flow" : "edge",
+                  G.operation(E.Src).Name.c_str(),
+                  G.operation(E.Dst).Name.c_str(), E.Latency, E.Distance);
+    Out += Buf;
+  }
+  return Out;
+}

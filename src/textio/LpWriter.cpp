@@ -1,0 +1,110 @@
+//===- textio/LpWriter.cpp - CPLEX LP-format model export ------------------===//
+
+#include "textio/LpWriter.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+using namespace modsched;
+using namespace modsched::lp;
+
+namespace {
+
+/// LP-format-safe variable name: prefixed with the index, punctuation
+/// replaced by underscores.
+std::string lpName(int Index, const Variable &V) {
+  std::string Name = "v" + std::to_string(Index) + "_";
+  for (char C : V.Name)
+    Name += (std::isalnum(static_cast<unsigned char>(C)) || C == '_')
+                ? C
+                : '_';
+  return Name;
+}
+
+void appendCoeff(std::string &Out, double Coeff, const std::string &Name,
+                 bool First) {
+  char Buf[128];
+  if (First)
+    std::snprintf(Buf, sizeof(Buf), "%g %s", Coeff, Name.c_str());
+  else if (Coeff < 0)
+    std::snprintf(Buf, sizeof(Buf), " - %g %s", -Coeff, Name.c_str());
+  else
+    std::snprintf(Buf, sizeof(Buf), " + %g %s", Coeff, Name.c_str());
+  Out += Buf;
+}
+
+} // namespace
+
+std::string modsched::writeLpFormat(const Model &M) {
+  std::vector<std::string> Names;
+  Names.reserve(M.numVariables());
+  for (int V = 0; V < M.numVariables(); ++V)
+    Names.push_back(lpName(V, M.variable(V)));
+
+  std::string Out = "\\ exported by modsched (PLDI'97 repro)\nMinimize\n obj:";
+  bool First = true;
+  for (int V = 0; V < M.numVariables(); ++V) {
+    double C = M.variable(V).Objective;
+    if (C == 0.0)
+      continue;
+    Out += ' ';
+    appendCoeff(Out, C, Names[V], First);
+    First = false;
+  }
+  if (First)
+    Out += " 0 " + (M.numVariables() ? Names[0] : std::string("x"));
+  Out += "\nSubject To\n";
+
+  char Buf[128];
+  for (int C = 0; C < M.numConstraints(); ++C) {
+    const Constraint &Con = M.constraint(C);
+    std::snprintf(Buf, sizeof(Buf), " c%d: ", C);
+    Out += Buf;
+    bool FirstTerm = true;
+    for (const Term &T : Con.Terms) {
+      appendCoeff(Out, T.second, Names[T.first], FirstTerm);
+      FirstTerm = false;
+    }
+    if (FirstTerm)
+      Out += "0 " + Names[0];
+    const char *Sense = Con.Sense == ConstraintSense::LE   ? "<="
+                        : Con.Sense == ConstraintSense::GE ? ">="
+                                                           : "=";
+    std::snprintf(Buf, sizeof(Buf), " %s %g\n", Sense, Con.Rhs);
+    Out += Buf;
+  }
+
+  Out += "Bounds\n";
+  for (int V = 0; V < M.numVariables(); ++V) {
+    const Variable &Var = M.variable(V);
+    bool LoInf = std::isinf(Var.Lower);
+    bool UpInf = std::isinf(Var.Upper);
+    if (LoInf && UpInf) {
+      Out += " " + Names[V] + " free\n";
+      continue;
+    }
+    if (LoInf)
+      std::snprintf(Buf, sizeof(Buf), " -inf <= %s <= %g\n",
+                    Names[V].c_str(), Var.Upper);
+    else if (UpInf)
+      std::snprintf(Buf, sizeof(Buf), " %g <= %s\n", Var.Lower,
+                    Names[V].c_str());
+    else
+      std::snprintf(Buf, sizeof(Buf), " %g <= %s <= %g\n", Var.Lower,
+                    Names[V].c_str(), Var.Upper);
+    Out += Buf;
+  }
+
+  bool AnyInteger = false;
+  for (int V = 0; V < M.numVariables(); ++V) {
+    if (M.variable(V).Kind != VarKind::Integer)
+      continue;
+    if (!AnyInteger)
+      Out += "Generals\n";
+    AnyInteger = true;
+    Out += " " + Names[V] + "\n";
+  }
+  Out += "End\n";
+  return Out;
+}

@@ -1,0 +1,32 @@
+//===- textio/LpWriter.h - CPLEX LP-format model export ---------*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exports an lp::Model in the CPLEX LP text format, so the scheduling
+/// ILPs built by this library can be handed to an external solver
+/// (CPLEX, Gurobi, CBC, HiGHS, glpsol --lp) for cross-validation — the
+/// paper's original experiments used CPLEX.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_TEXTIO_LPWRITER_H
+#define MODSCHED_TEXTIO_LPWRITER_H
+
+#include "lp/Model.h"
+
+#include <string>
+
+namespace modsched {
+
+/// Renders \p M in CPLEX LP format (Minimize / Subject To / Bounds /
+/// Generals / End). Variable names are sanitized: LP format forbids
+/// names starting with a digit or 'e'/'E' followed by digits, so every
+/// name is prefixed with "v<idx>_".
+std::string writeLpFormat(const lp::Model &M);
+
+} // namespace modsched
+
+#endif // MODSCHED_TEXTIO_LPWRITER_H

@@ -1,0 +1,129 @@
+//===- textio/MachineFormat.cpp - Machine description text format ---------===//
+
+#include "textio/MachineFormat.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <vector>
+
+using namespace modsched;
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string &Line) {
+  std::vector<std::string> Tokens;
+  std::istringstream In(Line);
+  std::string Tok;
+  while (In >> Tok) {
+    if (Tok[0] == '#')
+      break;
+    Tokens.push_back(Tok);
+  }
+  return Tokens;
+}
+
+std::optional<MachineModel> fail(std::string *Error, int LineNo,
+                                 const std::string &Message) {
+  if (Error) {
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf), "line %d: %s", LineNo, Message.c_str());
+    *Error = Buf;
+  }
+  return std::nullopt;
+}
+
+/// Parses a non-negative integer; returns -1 on failure.
+int parseInt(const std::string &S) {
+  if (S.empty())
+    return -1;
+  int Value = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return -1;
+    Value = Value * 10 + (C - '0');
+    if (Value > 1000000)
+      return -1;
+  }
+  return Value;
+}
+
+} // namespace
+
+std::optional<MachineModel> modsched::parseMachine(const std::string &Text,
+                                                   std::string *Error) {
+  MachineModel M;
+  std::map<std::string, int> ResourceByName;
+  std::istringstream In(Text);
+  std::string Line;
+  int LineNo = 0;
+
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::vector<std::string> Tok = tokenize(Line);
+    if (Tok.empty())
+      continue;
+
+    if (Tok[0] == "machine") {
+      if (Tok.size() != 2)
+        return fail(Error, LineNo, "expected: machine <name>");
+      M.setName(Tok[1]);
+      continue;
+    }
+    if (Tok[0] == "resource") {
+      if (Tok.size() != 3 || Tok[2].empty() || Tok[2][0] != 'x')
+        return fail(Error, LineNo, "expected: resource <name> x<count>");
+      int Count = parseInt(Tok[2].substr(1));
+      if (Count <= 0)
+        return fail(Error, LineNo, "resource count must be positive");
+      if (ResourceByName.count(Tok[1]))
+        return fail(Error, LineNo, "duplicate resource " + Tok[1]);
+      ResourceByName[Tok[1]] = M.addResource(Tok[1], Count);
+      continue;
+    }
+    if (Tok[0] == "class") {
+      if (Tok.size() != 4 || Tok[2].rfind("latency=", 0) != 0 ||
+          Tok[3].rfind("uses=", 0) != 0)
+        return fail(Error, LineNo,
+                    "expected: class <name> latency=<l> uses=<r>@<c>,...");
+      int Latency = parseInt(Tok[2].substr(8));
+      if (Latency < 0)
+        return fail(Error, LineNo, "malformed latency");
+      if (M.findOpClass(Tok[1]))
+        return fail(Error, LineNo, "duplicate class " + Tok[1]);
+
+      std::vector<ResourceUsage> Usages;
+      std::string UsesSpec = Tok[3].substr(5);
+      std::istringstream UseIn(UsesSpec);
+      std::string Item;
+      while (std::getline(UseIn, Item, ',')) {
+        if (Item.empty())
+          continue;
+        size_t At = Item.find('@');
+        if (At == std::string::npos)
+          return fail(Error, LineNo, "usage must be <resource>@<cycle>");
+        std::string ResName = Item.substr(0, At);
+        int Cycle = parseInt(Item.substr(At + 1));
+        auto It = ResourceByName.find(ResName);
+        if (It == ResourceByName.end())
+          return fail(Error, LineNo, "unknown resource " + ResName);
+        if (Cycle < 0)
+          return fail(Error, LineNo, "malformed usage cycle");
+        Usages.push_back({It->second, Cycle});
+      }
+      M.addOpClass(Tok[1], Latency, std::move(Usages));
+      continue;
+    }
+    return fail(Error, LineNo, "unknown directive " + Tok[0]);
+  }
+
+  if (M.numOpClasses() == 0)
+    return fail(Error, LineNo, "machine defines no operation classes");
+  return M;
+}
+
+std::string modsched::printMachine(const MachineModel &M) {
+  // MachineModel::toString already emits the parseable format; keep a
+  // dedicated entry point so callers do not depend on that coincidence.
+  return M.toString();
+}

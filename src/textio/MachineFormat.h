@@ -1,0 +1,42 @@
+//===- textio/MachineFormat.h - Machine description text format -*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line-oriented text format for machine models, the mirror image of
+/// MachineModel::toString():
+///
+///   machine <name>
+///   resource <name> x<count>
+///   class <name> latency=<l> uses=<res>@<cycle>,<res>@<cycle>,...
+///   # comments and blank lines ignored
+///
+/// This is the reduced-machine-description style of [22]: resource types
+/// with multiplicities and per-class reservation offsets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_TEXTIO_MACHINEFORMAT_H
+#define MODSCHED_TEXTIO_MACHINEFORMAT_H
+
+#include "machine/MachineModel.h"
+
+#include <optional>
+#include <string>
+
+namespace modsched {
+
+/// Parses \p Text into a machine model. On failure returns nullopt and,
+/// when provided, fills \p Error with a line-numbered message.
+std::optional<MachineModel> parseMachine(const std::string &Text,
+                                         std::string *Error = nullptr);
+
+/// Renders \p M in the machine text format; round-trips through
+/// parseMachine.
+std::string printMachine(const MachineModel &M);
+
+} // namespace modsched
+
+#endif // MODSCHED_TEXTIO_MACHINEFORMAT_H

@@ -1,0 +1,474 @@
+//===- workloads/KernelLibrary.cpp - Hand-translated kernels --------------===//
+
+#include "workloads/KernelLibrary.h"
+
+#include <cassert>
+
+using namespace modsched;
+
+namespace {
+
+/// Small helper binding a graph to a machine's operation classes.
+class KernelBuilder {
+public:
+  explicit KernelBuilder(const MachineModel &M, std::string Name) : M(M) {
+    G.setName(std::move(Name));
+  }
+
+  int op(const char *ClassName, std::string OpName) {
+    std::optional<int> Class = M.findOpClass(ClassName);
+    assert(Class && "machine lacks a required operation class");
+    return G.addOperation(std::move(OpName), *Class);
+  }
+
+  /// Flow dependence with the producer's class latency.
+  void flow(int Def, int Use, int Distance = 0) {
+    int Latency = M.opClass(G.operation(Def).OpClass).Latency;
+    G.addFlowDependence(Def, Use, Latency, Distance);
+  }
+
+  /// Pure ordering edge (e.g. memory).
+  void order(int Src, int Dst, int Latency, int Distance) {
+    G.addSchedEdge(Src, Dst, Latency, Distance);
+  }
+
+  DependenceGraph take() {
+    assert(!G.validate() && "kernel construction produced invalid graph");
+    return std::move(G);
+  }
+
+private:
+  const MachineModel &M;
+  DependenceGraph G;
+};
+
+} // namespace
+
+DependenceGraph modsched::paperExample1(const MachineModel &M) {
+  // y[i] = x[i]^2 - x[i] - a. Figure 1a: load -> {mult, add}; mult and
+  // add feed sub; sub feeds store. The load's value is vr0, used by both
+  // mult (twice, squaring) and add.
+  KernelBuilder B(M, "paper-example1");
+  int Load = B.op(opclasses::Load, "load_x");
+  int Mult = B.op(opclasses::Mul, "mult");
+  int Add = B.op(opclasses::Add, "add");
+  int Sub = B.op(opclasses::Sub, "sub");
+  int Store = B.op(opclasses::Store, "store_y");
+  B.flow(Load, Mult);
+  B.flow(Load, Add);
+  B.flow(Mult, Sub);
+  B.flow(Add, Sub);
+  B.flow(Sub, Store);
+  return B.take();
+}
+
+DependenceGraph modsched::livermore1(const MachineModel &M) {
+  // x[k] = q + y[k] * (r*z[k+10] + t*z[k+11])
+  KernelBuilder B(M, "livermore1-hydro");
+  int LoadY = B.op(opclasses::Load, "load_y");
+  int LoadZ10 = B.op(opclasses::Load, "load_z10");
+  int LoadZ11 = B.op(opclasses::Load, "load_z11");
+  int MulR = B.op(opclasses::Mul, "mul_r_z10");
+  int MulT = B.op(opclasses::Mul, "mul_t_z11");
+  int AddInner = B.op(opclasses::Add, "add_inner");
+  int MulY = B.op(opclasses::Mul, "mul_y");
+  int AddQ = B.op(opclasses::Add, "add_q");
+  int Store = B.op(opclasses::Store, "store_x");
+  B.flow(LoadZ10, MulR);
+  B.flow(LoadZ11, MulT);
+  B.flow(MulR, AddInner);
+  B.flow(MulT, AddInner);
+  B.flow(LoadY, MulY);
+  B.flow(AddInner, MulY);
+  B.flow(MulY, AddQ);
+  B.flow(AddQ, Store);
+  return B.take();
+}
+
+DependenceGraph modsched::livermore5(const MachineModel &M) {
+  // x[i] = z[i] * (y[i] - x[i-1]): the freshly computed x feeds the next
+  // iteration's subtraction (distance 1).
+  KernelBuilder B(M, "livermore5-tridiag");
+  int LoadZ = B.op(opclasses::Load, "load_z");
+  int LoadY = B.op(opclasses::Load, "load_y");
+  int Sub = B.op(opclasses::Sub, "sub");
+  int Mul = B.op(opclasses::Mul, "mul");
+  int Store = B.op(opclasses::Store, "store_x");
+  B.flow(LoadZ, Mul);
+  B.flow(LoadY, Sub);
+  B.flow(Sub, Mul);
+  B.flow(Mul, Sub, /*Distance=*/1); // x[i-1] into the next subtract.
+  B.flow(Mul, Store);
+  return B.take();
+}
+
+DependenceGraph modsched::livermore11(const MachineModel &M) {
+  // x[k] = x[k-1] + y[k].
+  KernelBuilder B(M, "livermore11-firstsum");
+  int LoadY = B.op(opclasses::Load, "load_y");
+  int Add = B.op(opclasses::Add, "add");
+  int Store = B.op(opclasses::Store, "store_x");
+  B.flow(LoadY, Add);
+  B.flow(Add, Add, /*Distance=*/1); // Running sum.
+  B.flow(Add, Store);
+  return B.take();
+}
+
+DependenceGraph modsched::dotProduct(const MachineModel &M) {
+  // s += x[i] * y[i].
+  KernelBuilder B(M, "dotproduct");
+  int LoadX = B.op(opclasses::Load, "load_x");
+  int LoadY = B.op(opclasses::Load, "load_y");
+  int Mul = B.op(opclasses::Mul, "mul");
+  int Add = B.op(opclasses::Add, "acc");
+  B.flow(LoadX, Mul);
+  B.flow(LoadY, Mul);
+  B.flow(Mul, Add);
+  B.flow(Add, Add, /*Distance=*/1); // Accumulator recurrence.
+  return B.take();
+}
+
+DependenceGraph modsched::daxpy(const MachineModel &M) {
+  // y[i] = y[i] + a * x[i].
+  KernelBuilder B(M, "daxpy");
+  int LoadX = B.op(opclasses::Load, "load_x");
+  int LoadY = B.op(opclasses::Load, "load_y");
+  int Mul = B.op(opclasses::Mul, "mul_a_x");
+  int Add = B.op(opclasses::Add, "add");
+  int Store = B.op(opclasses::Store, "store_y");
+  B.flow(LoadX, Mul);
+  B.flow(LoadY, Add);
+  B.flow(Mul, Add);
+  B.flow(Add, Store);
+  // The store writes the location the load read: ordering edge so the
+  // next iteration's (different-address) accesses may still reorder, but
+  // this iteration's load precedes its store.
+  B.order(LoadY, Store, 1, 0);
+  return B.take();
+}
+
+DependenceGraph modsched::complexMultiply(const MachineModel &M) {
+  // cr = ar*br - ai*bi ; ci = ar*bi + ai*br.
+  KernelBuilder B(M, "complex-multiply");
+  int Ar = B.op(opclasses::Load, "load_ar");
+  int Ai = B.op(opclasses::Load, "load_ai");
+  int Br = B.op(opclasses::Load, "load_br");
+  int Bi = B.op(opclasses::Load, "load_bi");
+  int M1 = B.op(opclasses::Mul, "mul_ar_br");
+  int M2 = B.op(opclasses::Mul, "mul_ai_bi");
+  int M3 = B.op(opclasses::Mul, "mul_ar_bi");
+  int M4 = B.op(opclasses::Mul, "mul_ai_br");
+  int Sub = B.op(opclasses::Sub, "sub_cr");
+  int Add = B.op(opclasses::Add, "add_ci");
+  int StR = B.op(opclasses::Store, "store_cr");
+  int StI = B.op(opclasses::Store, "store_ci");
+  B.flow(Ar, M1);
+  B.flow(Br, M1);
+  B.flow(Ai, M2);
+  B.flow(Bi, M2);
+  B.flow(Ar, M3);
+  B.flow(Bi, M3);
+  B.flow(Ai, M4);
+  B.flow(Br, M4);
+  B.flow(M1, Sub);
+  B.flow(M2, Sub);
+  B.flow(M3, Add);
+  B.flow(M4, Add);
+  B.flow(Sub, StR);
+  B.flow(Add, StI);
+  return B.take();
+}
+
+DependenceGraph modsched::stencil3(const MachineModel &M) {
+  // b[i] = s * (a[i-1] + a[i] + a[i+1]). A rotating-register compiler
+  // would reuse loads across iterations; here each iteration reloads, as
+  // the Cydra compiler does without load-elimination across iterations.
+  KernelBuilder B(M, "stencil3");
+  int L0 = B.op(opclasses::Load, "load_am1");
+  int L1 = B.op(opclasses::Load, "load_a0");
+  int L2 = B.op(opclasses::Load, "load_ap1");
+  int A0 = B.op(opclasses::Add, "add01");
+  int A1 = B.op(opclasses::Add, "add2");
+  int Mu = B.op(opclasses::Mul, "scale");
+  int St = B.op(opclasses::Store, "store_b");
+  B.flow(L0, A0);
+  B.flow(L1, A0);
+  B.flow(A0, A1);
+  B.flow(L2, A1);
+  B.flow(A1, Mu);
+  B.flow(Mu, St);
+  return B.take();
+}
+
+DependenceGraph modsched::secondOrderRecurrence(const MachineModel &M) {
+  // x[i] = a*x[i-1] + b*x[i-2] + c.
+  KernelBuilder B(M, "second-order-recurrence");
+  int MulA = B.op(opclasses::Mul, "mul_a");
+  int MulB = B.op(opclasses::Mul, "mul_b");
+  int Add1 = B.op(opclasses::Add, "add_ab");
+  int Add2 = B.op(opclasses::Add, "add_c");
+  int Store = B.op(opclasses::Store, "store_x");
+  B.flow(MulA, Add1);
+  B.flow(MulB, Add1);
+  B.flow(Add1, Add2);
+  B.flow(Add2, Store);
+  B.flow(Add2, MulA, /*Distance=*/1); // x[i-1].
+  B.flow(Add2, MulB, /*Distance=*/2); // x[i-2].
+  return B.take();
+}
+
+DependenceGraph modsched::ambiguousMemory(const MachineModel &M) {
+  // a[i+1] = a[i] * s where the compiler must assume the store may alias
+  // the next iteration's load: a store -> load ordering edge at distance
+  // 1 joins the true flow recurrence.
+  KernelBuilder B(M, "ambiguous-memory");
+  int Load = B.op(opclasses::Load, "load_a");
+  int Mul = B.op(opclasses::Mul, "mul_s");
+  int Store = B.op(opclasses::Store, "store_a");
+  B.flow(Load, Mul);
+  B.flow(Mul, Store);
+  B.order(Store, Load, 1, 1); // May-alias: next load after this store.
+  return B.take();
+}
+
+DependenceGraph modsched::livermore3Unrolled2(const MachineModel &M) {
+  // q += z[k]*x[k], unrolled twice with independent partial sums, the way
+  // the Cydra compiler's recurrence back-substitution would emit it.
+  KernelBuilder B(M, "livermore3-inner-unroll2");
+  int Z0 = B.op(opclasses::Load, "load_z0");
+  int X0 = B.op(opclasses::Load, "load_x0");
+  int Z1 = B.op(opclasses::Load, "load_z1");
+  int X1 = B.op(opclasses::Load, "load_x1");
+  int M0 = B.op(opclasses::Mul, "mul0");
+  int M1 = B.op(opclasses::Mul, "mul1");
+  int A0 = B.op(opclasses::Add, "acc0");
+  int A1 = B.op(opclasses::Add, "acc1");
+  B.flow(Z0, M0);
+  B.flow(X0, M0);
+  B.flow(Z1, M1);
+  B.flow(X1, M1);
+  B.flow(M0, A0);
+  B.flow(M1, A1);
+  B.flow(A0, A0, /*Distance=*/1);
+  B.flow(A1, A1, /*Distance=*/1);
+  return B.take();
+}
+
+DependenceGraph modsched::livermore7(const MachineModel &M) {
+  // x[k] = u[k] + r*(z[k] + r*y[k]) + t*(u[k+3] + r*(u[k+2] + r*u[k+1])
+  //        + t*(u[k+6] + q*(u[k+5] + q*u[k+4]))).
+  KernelBuilder B(M, "livermore7-eos");
+  int U0 = B.op(opclasses::Load, "load_u0");
+  int Z = B.op(opclasses::Load, "load_z");
+  int Y = B.op(opclasses::Load, "load_y");
+  int U1 = B.op(opclasses::Load, "load_u1");
+  int U2 = B.op(opclasses::Load, "load_u2");
+  int U3 = B.op(opclasses::Load, "load_u3");
+  int U4 = B.op(opclasses::Load, "load_u4");
+  int U5 = B.op(opclasses::Load, "load_u5");
+  int U6 = B.op(opclasses::Load, "load_u6");
+  int Ry = B.op(opclasses::Mul, "mul_r_y");
+  int Az = B.op(opclasses::Add, "add_z_ry");
+  int Rz = B.op(opclasses::Mul, "mul_r_zry");
+  int T1 = B.op(opclasses::Add, "add_u0");
+  int Ru1 = B.op(opclasses::Mul, "mul_r_u1");
+  int Au2 = B.op(opclasses::Add, "add_u2");
+  int Ru2 = B.op(opclasses::Mul, "mul_r_u2t");
+  int Au3 = B.op(opclasses::Add, "add_u3");
+  int Qu4 = B.op(opclasses::Mul, "mul_q_u4");
+  int Au5 = B.op(opclasses::Add, "add_u5");
+  int Qu5 = B.op(opclasses::Mul, "mul_q_u5t");
+  int Au6 = B.op(opclasses::Add, "add_u6");
+  int Tt = B.op(opclasses::Mul, "mul_t_inner");
+  int At = B.op(opclasses::Add, "add_t");
+  int Tm = B.op(opclasses::Mul, "mul_t_outer");
+  int Fin = B.op(opclasses::Add, "add_final");
+  int St = B.op(opclasses::Store, "store_x");
+  B.flow(Y, Ry);
+  B.flow(Z, Az);
+  B.flow(Ry, Az);
+  B.flow(Az, Rz);
+  B.flow(U0, T1);
+  B.flow(Rz, T1);
+  B.flow(U1, Ru1);
+  B.flow(U2, Au2);
+  B.flow(Ru1, Au2);
+  B.flow(Au2, Ru2);
+  B.flow(U3, Au3);
+  B.flow(Ru2, Au3);
+  B.flow(U4, Qu4);
+  B.flow(U5, Au5);
+  B.flow(Qu4, Au5);
+  B.flow(Au5, Qu5);
+  B.flow(U6, Au6);
+  B.flow(Qu5, Au6);
+  B.flow(Au6, Tt);
+  B.flow(Au3, At);
+  B.flow(Tt, At);
+  B.flow(At, Tm);
+  B.flow(T1, Fin);
+  B.flow(Tm, Fin);
+  B.flow(Fin, St);
+  return B.take();
+}
+
+DependenceGraph modsched::livermore12(const MachineModel &M) {
+  // x[k] = y[k+1] - y[k].
+  KernelBuilder B(M, "livermore12-firstdiff");
+  int Y1 = B.op(opclasses::Load, "load_y1");
+  int Y0 = B.op(opclasses::Load, "load_y0");
+  int Sub = B.op(opclasses::Sub, "sub");
+  int St = B.op(opclasses::Store, "store_x");
+  B.flow(Y1, Sub);
+  B.flow(Y0, Sub);
+  B.flow(Sub, St);
+  return B.take();
+}
+
+DependenceGraph modsched::fir4(const MachineModel &M) {
+  // y[i] = c0*x[i] + c1*x[i+1] + c2*x[i+2] + c3*x[i+3].
+  KernelBuilder B(M, "fir4");
+  int X0 = B.op(opclasses::Load, "load_x0");
+  int X1 = B.op(opclasses::Load, "load_x1");
+  int X2 = B.op(opclasses::Load, "load_x2");
+  int X3 = B.op(opclasses::Load, "load_x3");
+  int M0 = B.op(opclasses::Mul, "mul_c0");
+  int M1 = B.op(opclasses::Mul, "mul_c1");
+  int M2 = B.op(opclasses::Mul, "mul_c2");
+  int M3 = B.op(opclasses::Mul, "mul_c3");
+  int A0 = B.op(opclasses::Add, "add01");
+  int A1 = B.op(opclasses::Add, "add23");
+  int A2 = B.op(opclasses::Add, "add_final");
+  int St = B.op(opclasses::Store, "store_y");
+  B.flow(X0, M0);
+  B.flow(X1, M1);
+  B.flow(X2, M2);
+  B.flow(X3, M3);
+  B.flow(M0, A0);
+  B.flow(M1, A0);
+  B.flow(M2, A1);
+  B.flow(M3, A1);
+  B.flow(A0, A2);
+  B.flow(A1, A2);
+  B.flow(A2, St);
+  return B.take();
+}
+
+DependenceGraph modsched::horner(const MachineModel &M) {
+  // p = p * x + c[i]: the multiply-add recurrence dominates RecMII.
+  KernelBuilder B(M, "horner");
+  int C = B.op(opclasses::Load, "load_c");
+  int Mu = B.op(opclasses::Mul, "mul_p_x");
+  int Ad = B.op(opclasses::Add, "add_c");
+  B.flow(C, Ad);
+  B.flow(Mu, Ad);
+  B.flow(Ad, Mu, /*Distance=*/1);
+  return B.take();
+}
+
+DependenceGraph modsched::backSubstitution(const MachineModel &M) {
+  // s = s - l[i]*x[i]; x[j] = s / d[j]: a divide inside the carried
+  // computation stresses blocking resource patterns (cydra fdiv).
+  KernelBuilder B(M, "back-substitution");
+  int L = B.op(opclasses::Load, "load_l");
+  int X = B.op(opclasses::Load, "load_x");
+  int Mu = B.op(opclasses::Mul, "mul_lx");
+  int Su = B.op(opclasses::Sub, "sub_s");
+  int Dv = B.op(opclasses::Div, "div_d");
+  int St = B.op(opclasses::Store, "store_x");
+  B.flow(L, Mu);
+  B.flow(X, Mu);
+  B.flow(Mu, Su);
+  B.flow(Su, Su, /*Distance=*/1); // Running s.
+  B.flow(Su, Dv);
+  B.flow(Dv, St);
+  return B.take();
+}
+
+DependenceGraph modsched::hydro2d(const MachineModel &M) {
+  // A 20-op fragment with two interleaved expression trees:
+  //   za[j] = (zp[j] + zq[j]) * zr[j] + zm[j]
+  //   zb[j] = (zz[j] - zr[j]) * zr[j] + zq[j] * zu[j]
+  KernelBuilder B(M, "hydro2d-fragment");
+  int Zp = B.op(opclasses::Load, "load_zp");
+  int Zq = B.op(opclasses::Load, "load_zq");
+  int Zr = B.op(opclasses::Load, "load_zr");
+  int Zm = B.op(opclasses::Load, "load_zm");
+  int Zz = B.op(opclasses::Load, "load_zz");
+  int Zu = B.op(opclasses::Load, "load_zu");
+  int A1 = B.op(opclasses::Add, "add_pq");
+  int M1 = B.op(opclasses::Mul, "mul_pq_r");
+  int A2 = B.op(opclasses::Add, "add_m");
+  int S1 = B.op(opclasses::Sub, "sub_zz_r");
+  int M2 = B.op(opclasses::Mul, "mul_zzr_r");
+  int M3 = B.op(opclasses::Mul, "mul_q_u");
+  int A3 = B.op(opclasses::Add, "add_b");
+  int Cp = B.op(opclasses::Copy, "copy_a");
+  int Sa = B.op(opclasses::Store, "store_za");
+  int Sb = B.op(opclasses::Store, "store_zb");
+  int A4 = B.op(opclasses::Add, "add_diag");
+  int M4 = B.op(opclasses::Mul, "mul_diag");
+  int S2 = B.op(opclasses::Sub, "sub_diag");
+  int Sc = B.op(opclasses::Store, "store_zc");
+  B.flow(Zp, A1);
+  B.flow(Zq, A1);
+  B.flow(A1, M1);
+  B.flow(Zr, M1);
+  B.flow(M1, A2);
+  B.flow(Zm, A2);
+  B.flow(A2, Cp);
+  B.flow(Cp, Sa);
+  B.flow(Zz, S1);
+  B.flow(Zr, S1);
+  B.flow(S1, M2);
+  B.flow(Zr, M2);
+  B.flow(Zq, M3);
+  B.flow(Zu, M3);
+  B.flow(M2, A3);
+  B.flow(M3, A3);
+  B.flow(A3, Sb);
+  B.flow(A2, A4);
+  B.flow(A3, A4);
+  B.flow(A4, M4);
+  B.flow(Zm, S2);
+  B.flow(M4, S2);
+  B.flow(S2, Sc);
+  return B.take();
+}
+
+DependenceGraph modsched::prefixAverage(const MachineModel &M) {
+  // y[i] = (x[i] + y[i-2]) * h: distance-2 recurrence through add + mul.
+  KernelBuilder B(M, "prefix-average");
+  int X = B.op(opclasses::Load, "load_x");
+  int Ad = B.op(opclasses::Add, "add");
+  int Mu = B.op(opclasses::Mul, "mul_h");
+  int St = B.op(opclasses::Store, "store_y");
+  B.flow(X, Ad);
+  B.flow(Mu, Ad, /*Distance=*/2); // y[i-2].
+  B.flow(Ad, Mu);
+  B.flow(Mu, St);
+  return B.take();
+}
+
+std::vector<DependenceGraph> modsched::allKernels(const MachineModel &M) {
+  std::vector<DependenceGraph> Kernels;
+  Kernels.push_back(paperExample1(M));
+  Kernels.push_back(livermore1(M));
+  Kernels.push_back(livermore5(M));
+  Kernels.push_back(livermore11(M));
+  Kernels.push_back(dotProduct(M));
+  Kernels.push_back(daxpy(M));
+  Kernels.push_back(complexMultiply(M));
+  Kernels.push_back(stencil3(M));
+  Kernels.push_back(secondOrderRecurrence(M));
+  Kernels.push_back(ambiguousMemory(M));
+  Kernels.push_back(livermore3Unrolled2(M));
+  Kernels.push_back(livermore7(M));
+  Kernels.push_back(livermore12(M));
+  Kernels.push_back(fir4(M));
+  Kernels.push_back(horner(M));
+  Kernels.push_back(backSubstitution(M));
+  Kernels.push_back(hydro2d(M));
+  Kernels.push_back(prefixAverage(M));
+  return Kernels;
+}

@@ -1,0 +1,100 @@
+//===- workloads/KernelLibrary.h - Hand-translated kernels ------*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dependence graphs of classic inner loops, hand-translated from the
+/// benchmark families the paper draws on (Livermore Fortran Kernels,
+/// linear-algebra/SPEC-style loops) plus the paper's own running example.
+/// These substitute for the Cydra 5 compiler output we cannot reproduce;
+/// each kernel documents the source computation in a comment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_WORKLOADS_KERNELLIBRARY_H
+#define MODSCHED_WORKLOADS_KERNELLIBRARY_H
+
+#include "graph/DependenceGraph.h"
+#include "machine/MachineModel.h"
+
+#include <vector>
+
+namespace modsched {
+
+/// The paper's Example 1: y[i] = x[i]^2 - x[i] - a (Figure 1). On the
+/// example3() machine its minimum II is 2 and its minimum register
+/// requirement at II=2 is exactly 7 (Figure 1e).
+DependenceGraph paperExample1(const MachineModel &M);
+
+/// Livermore Kernel 1 (hydro fragment):
+///   x[k] = q + y[k] * (r*z[k+10] + t*z[k+11])
+DependenceGraph livermore1(const MachineModel &M);
+
+/// Livermore Kernel 5 (tri-diagonal elimination, below diagonal):
+///   x[i] = z[i] * (y[i] - x[i-1])        (loop-carried, distance 1)
+DependenceGraph livermore5(const MachineModel &M);
+
+/// Livermore Kernel 11 (first sum):
+///   x[k] = x[k-1] + y[k]                 (loop-carried, distance 1)
+DependenceGraph livermore11(const MachineModel &M);
+
+/// Dot product reduction: s += x[i] * y[i].
+DependenceGraph dotProduct(const MachineModel &M);
+
+/// DAXPY: y[i] = y[i] + a * x[i].
+DependenceGraph daxpy(const MachineModel &M);
+
+/// Complex multiply: (cr,ci) = (ar,ai) * (br,bi), streamed.
+DependenceGraph complexMultiply(const MachineModel &M);
+
+/// 3-point stencil: b[i] = s * (a[i-1] + a[i] + a[i+1]).
+DependenceGraph stencil3(const MachineModel &M);
+
+/// Second-order recurrence: x[i] = a*x[i-1] + b*x[i-2] + c.
+DependenceGraph secondOrderRecurrence(const MachineModel &M);
+
+/// A loop with a store-to-load memory ordering edge (ambiguous aliasing):
+///   a[i+1] = a[i] * s  with the compiler unable to disambiguate.
+DependenceGraph ambiguousMemory(const MachineModel &M);
+
+/// Livermore Kernel 3 (inner product) with 2x unrolled accumulator:
+///   q0 += z[2i]*x[2i]; q1 += z[2i+1]*x[2i+1]   (two latency-1 recurrences)
+DependenceGraph livermore3Unrolled2(const MachineModel &M);
+
+/// Livermore Kernel 7 (equation-of-state fragment), a wide expression
+/// tree with shared subexpressions:
+///   x[k] = u[k] + r*(z[k] + r*y[k])
+///          + t*(u[k+3] + r*(u[k+2] + r*u[k+1])
+///          + t*(u[k+6] + q*(u[k+5] + q*u[k+4])))
+DependenceGraph livermore7(const MachineModel &M);
+
+/// Livermore Kernel 12 (first difference): x[k] = y[k+1] - y[k].
+DependenceGraph livermore12(const MachineModel &M);
+
+/// 4-tap FIR filter: y[i] = sum_j c[j] * x[i+j].
+DependenceGraph fir4(const MachineModel &M);
+
+/// Horner evaluation step with the running value carried around the
+/// loop: p = p * x + c[i].
+DependenceGraph horner(const MachineModel &M);
+
+/// Back substitution step (SPEC-style solver inner loop):
+///   s = s - l[i]*x[i]; followed by a divide on exit value each round:
+///   x[j] = s / d[j]  (div in the recurrence makes RecMII large).
+DependenceGraph backSubstitution(const MachineModel &M);
+
+/// A 20-operation 2-D hydrodynamics-style fragment exercising wide
+/// parallelism with two interleaved expression trees and two stores.
+DependenceGraph hydro2d(const MachineModel &M);
+
+/// Prefix average with distance-2 reuse: y[i] = (x[i] + y[i-2]) * h.
+DependenceGraph prefixAverage(const MachineModel &M);
+
+/// All kernels above, each validated; names are set on the graphs.
+std::vector<DependenceGraph> allKernels(const MachineModel &M);
+
+} // namespace modsched
+
+#endif // MODSCHED_WORKLOADS_KERNELLIBRARY_H

@@ -1,0 +1,127 @@
+//===- tests/CodegenTest.cpp - pipelined code emission tests ---------------===//
+
+#include "codegen/KernelEmitter.h"
+
+#include "heuristic/IterativeModuloScheduler.h"
+#include "sched/RegisterPressure.h"
+#include "support/Rng.h"
+#include "workloads/KernelLibrary.h"
+#include "workloads/SyntheticGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace modsched;
+
+namespace {
+
+ModuloSchedule figure1bSchedule() { return ModuloSchedule(2, {0, 1, 2, 5, 6}); }
+
+} // namespace
+
+TEST(Codegen, UnrollFactorFromLifetimes) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  // Longest lifetime is vr1: [1,5] = 5 cycles; ceil(5/2) = 3 copies.
+  EXPECT_EQ(mveUnrollFactor(G, figure1bSchedule()), 3);
+}
+
+TEST(Codegen, KernelHasUnrollTimesOps) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  PipelinedLoop L = emitPipelinedLoop(G, M, figure1bSchedule());
+  EXPECT_EQ(L.II, 2);
+  EXPECT_EQ(L.NumStages, 4); // Times 0..6 at II=2 span 4 stages.
+  EXPECT_EQ(L.UnrollFactor, 3);
+  EXPECT_EQ(L.Kernel.size(),
+            static_cast<size_t>(G.numOperations()) * L.UnrollFactor);
+  EXPECT_EQ(L.NumRegisterNames, G.numRegisters() * L.UnrollFactor);
+}
+
+TEST(Codegen, PrologueEpiloguePartition) {
+  // Every operation instance of a full iteration appears exactly once
+  // per section role: prologue(iter i) + kernel covers each op; epilogue
+  // mirrors the prologue: prologue ops + epilogue ops = (SC-1) * N.
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  PipelinedLoop L = emitPipelinedLoop(G, M, figure1bSchedule());
+  int N = G.numOperations();
+  EXPECT_EQ(L.Prologue.size() + L.Epilogue.size(),
+            static_cast<size_t>((L.NumStages - 1) * N));
+}
+
+TEST(Codegen, KernelCyclesWithinBounds) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  PipelinedLoop L = emitPipelinedLoop(G, M, figure1bSchedule());
+  long KernelLen = static_cast<long>(L.UnrollFactor) * L.II;
+  for (const EmittedOp &E : L.Kernel) {
+    EXPECT_GE(E.Cycle, 0);
+    EXPECT_LT(E.Cycle, KernelLen);
+  }
+  // Each (cycle mod II) row carries the same ops as the MRT.
+  std::map<long, int> OpsPerCycle;
+  for (const EmittedOp &E : L.Kernel)
+    ++OpsPerCycle[E.Cycle % L.II];
+  EXPECT_EQ(OpsPerCycle[0], 3 * L.UnrollFactor); // MRT row 0 has 3 ops...
+  EXPECT_EQ(OpsPerCycle[1], 2 * L.UnrollFactor); // ...row 1 has 2.
+}
+
+TEST(Codegen, TextRendersAllSections) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  PipelinedLoop L = emitPipelinedLoop(G, M, figure1bSchedule());
+  std::string Text = L.text(G);
+  EXPECT_NE(Text.find("prologue"), std::string::npos);
+  EXPECT_NE(Text.find("kernel"), std::string::npos);
+  EXPECT_NE(Text.find("epilogue"), std::string::npos);
+  EXPECT_NE(Text.find("mult"), std::string::npos);
+  EXPECT_NE(Text.find("v0."), std::string::npos); // MVE register names.
+}
+
+TEST(Codegen, RotatingNamesNeverClashWithinLifetime) {
+  // With U = max ceil(lifetime/II), two live instances of the same
+  // virtual register always map to different copies. Check on the paper
+  // example: vr1 lifetime 5, U=3, instances i and i+1 and i+2 alive
+  // simultaneously get copies i%3, (i+1)%3, (i+2)%3 - all distinct.
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  ModuloSchedule S = figure1bSchedule();
+  int U = mveUnrollFactor(G, S);
+  for (int Reg = 0; Reg < G.numRegisters(); ++Reg) {
+    int Def = S.time(G.registers()[Reg].Def);
+    int Kill = registerKillTime(G, S, Reg);
+    int Overlap = (Kill - Def) / S.ii() + 1; // Simultaneously live copies.
+    EXPECT_LE(Overlap, U) << "register " << Reg;
+  }
+}
+
+class CodegenPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodegenPropertyTest, EmissionInvariantsOnRandomLoops) {
+  MachineModel M = MachineModel::vliw2();
+  Rng R(GetParam() * 13 + 1);
+  SyntheticOptions Opts;
+  Opts.MinOps = 3;
+  Opts.MaxOps = 10;
+  DependenceGraph G = generateLoop(M, R, Opts);
+  IterativeModuloScheduler Ims(M);
+  ImsResult H = Ims.schedule(G);
+  if (!H.Found)
+    GTEST_SKIP();
+  PipelinedLoop L = emitPipelinedLoop(G, M, H.Schedule);
+  EXPECT_EQ(L.Kernel.size(),
+            static_cast<size_t>(G.numOperations()) * L.UnrollFactor);
+  EXPECT_EQ(L.Prologue.size() + L.Epilogue.size(),
+            static_cast<size_t>((L.NumStages - 1) * G.numOperations()));
+  // MVE bound: every register's overlap fits the unroll factor.
+  for (int Reg = 0; Reg < G.numRegisters(); ++Reg) {
+    int Def = H.Schedule.time(G.registers()[Reg].Def);
+    int Kill = registerKillTime(G, H.Schedule, Reg);
+    EXPECT_LE((Kill - Def) / H.Schedule.ii() + 1, L.UnrollFactor);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLoops, CodegenPropertyTest,
+                         ::testing::Range<uint64_t>(0, 25));

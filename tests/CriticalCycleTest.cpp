@@ -1,0 +1,112 @@
+//===- tests/CriticalCycleTest.cpp - critical recurrence tests -------------===//
+
+#include "sched/CriticalCycle.h"
+
+#include "sched/Mii.h"
+#include "support/Rng.h"
+#include "workloads/KernelLibrary.h"
+#include "workloads/SyntheticGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace modsched;
+
+TEST(CriticalCycle, AcyclicHasNone) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = livermore1(M);
+  EXPECT_FALSE(findCriticalCycle(G).has_value());
+}
+
+TEST(CriticalCycle, SelfLoop) {
+  DependenceGraph G;
+  int A = G.addOperation("acc", 0);
+  G.addFlowDependence(A, A, 4, 1);
+  auto Cycle = findCriticalCycle(G);
+  ASSERT_TRUE(Cycle.has_value());
+  EXPECT_EQ(Cycle->Edges.size(), 1u);
+  EXPECT_EQ(Cycle->TotalLatency, 4);
+  EXPECT_EQ(Cycle->TotalDistance, 1);
+  EXPECT_EQ(Cycle->iiBound(), 4);
+}
+
+TEST(CriticalCycle, PicksTheBindingOne) {
+  // Two cycles: a->a latency 2 distance 1 (bound 2), and
+  // b->c->b latency 7 distance 1 (bound 7): the latter binds.
+  DependenceGraph G;
+  int A = G.addOperation("a", 0);
+  int B = G.addOperation("b", 0);
+  int C = G.addOperation("c", 0);
+  G.addSchedEdge(A, A, 2, 1);
+  G.addSchedEdge(B, C, 3, 0);
+  G.addSchedEdge(C, B, 4, 1);
+  auto Cycle = findCriticalCycle(G);
+  ASSERT_TRUE(Cycle.has_value());
+  EXPECT_EQ(Cycle->iiBound(), 7);
+  EXPECT_EQ(Cycle->iiBound(), recMii(G));
+  EXPECT_EQ(Cycle->Edges.size(), 2u);
+}
+
+TEST(CriticalCycle, MultiDistanceRatio) {
+  // Cycle latency 7 over distance 2: RecMII = ceil(7/2) = 4.
+  DependenceGraph G;
+  int A = G.addOperation("a", 0);
+  int B = G.addOperation("b", 0);
+  G.addSchedEdge(A, B, 3, 0);
+  G.addSchedEdge(B, A, 4, 2);
+  auto Cycle = findCriticalCycle(G);
+  ASSERT_TRUE(Cycle.has_value());
+  EXPECT_EQ(Cycle->TotalLatency, 7);
+  EXPECT_EQ(Cycle->TotalDistance, 2);
+  EXPECT_EQ(Cycle->iiBound(), 4);
+}
+
+TEST(CriticalCycle, DescribeMentionsOpsAndBound) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = secondOrderRecurrence(M);
+  auto Cycle = findCriticalCycle(G);
+  ASSERT_TRUE(Cycle.has_value());
+  std::string Text = describeCycle(G, *Cycle);
+  EXPECT_NE(Text.find("II >= 6"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("->"), std::string::npos);
+}
+
+TEST(CriticalCycle, KernelsAgreeWithRecMii) {
+  MachineModel M = MachineModel::cydraLike();
+  for (const DependenceGraph &G : allKernels(M)) {
+    int Rec = recMii(G);
+    auto Cycle = findCriticalCycle(G);
+    if (Rec == 1) {
+      // A critical cycle may or may not exist at RecMII 1; if one is
+      // found its bound must still be 1.
+      if (Cycle) {
+        EXPECT_EQ(Cycle->iiBound(), 1) << G.name();
+      }
+      continue;
+    }
+    ASSERT_TRUE(Cycle.has_value()) << G.name();
+    EXPECT_EQ(Cycle->iiBound(), Rec) << G.name();
+  }
+}
+
+class CriticalCycleProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CriticalCycleProperty, ExtractedBoundMatchesBinarySearch) {
+  MachineModel M = MachineModel::example3();
+  Rng R(GetParam() * 37 + 13);
+  SyntheticOptions Opts;
+  Opts.MinOps = 4;
+  Opts.MaxOps = 16;
+  Opts.RecurrenceProb = 0.9; // Bias toward cyclic graphs.
+  DependenceGraph G = generateLoop(M, R, Opts);
+  int Rec = recMii(G);
+  auto Cycle = findCriticalCycle(G);
+  if (Rec > 1) {
+    ASSERT_TRUE(Cycle.has_value()) << G.toString();
+    EXPECT_EQ(Cycle->iiBound(), Rec) << G.toString();
+  } else if (Cycle) {
+    EXPECT_EQ(Cycle->iiBound(), 1) << G.toString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLoops, CriticalCycleProperty,
+                         ::testing::Range<uint64_t>(0, 40));

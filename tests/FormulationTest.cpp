@@ -1,0 +1,292 @@
+//===- tests/FormulationTest.cpp - ILP formulation tests -------------------===//
+
+#include "ilpsched/Formulation.h"
+
+#include "graph/GraphAlgorithms.h"
+#include "ilp/BranchAndBound.h"
+#include "sched/Mii.h"
+#include "sched/RegisterPressure.h"
+#include "sched/Verifier.h"
+#include "workloads/KernelLibrary.h"
+
+#include <gtest/gtest.h>
+
+using namespace modsched;
+using namespace modsched::ilp;
+
+namespace {
+
+FormulationOptions makeOpts(Objective Obj, DependenceStyle Dep,
+                            ObjectiveStyle ObjStyle = ObjectiveStyle::Structured) {
+  FormulationOptions Opts;
+  Opts.Obj = Obj;
+  Opts.DepStyle = Dep;
+  Opts.ObjStyle = ObjStyle;
+  return Opts;
+}
+
+/// Solves the formulation to optimality (no budget) and returns the
+/// result; asserts a solution exists.
+MipResult solveToOptimal(const Formulation &F) {
+  MipOptions Opts;
+  MipResult R = MipSolver(Opts).solve(F.model());
+  EXPECT_EQ(R.Status, MipStatus::Optimal);
+  EXPECT_TRUE(R.HasSolution);
+  return R;
+}
+
+} // namespace
+
+TEST(Formulation, InvalidBelowRecMii) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G;
+  int A = G.addOperation("a", *M.findOpClass(opclasses::Mul));
+  G.addFlowDependence(A, A, 4, 1);
+  Formulation F(G, M, 3, makeOpts(Objective::None, DependenceStyle::Structured));
+  EXPECT_FALSE(F.valid());
+  Formulation F4(G, M, 4, makeOpts(Objective::None, DependenceStyle::Structured));
+  EXPECT_TRUE(F4.valid());
+}
+
+TEST(Formulation, StructuredModelIsZeroOneStructured) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  for (Objective Obj :
+       {Objective::None, Objective::MinReg, Objective::MinBuff}) {
+    Formulation F(G, M, 2, makeOpts(Obj, DependenceStyle::Structured));
+    ASSERT_TRUE(F.valid());
+    EXPECT_TRUE(F.model().isZeroOneStructured()) << toString(Obj);
+  }
+  // MinLife structured: constraints are structured (objective is exempt).
+  Formulation FL(G, M, 2, makeOpts(Objective::MinLife,
+                                   DependenceStyle::Structured));
+  ASSERT_TRUE(FL.valid());
+  EXPECT_TRUE(FL.model().isZeroOneStructured());
+}
+
+TEST(Formulation, TraditionalModelIsNotZeroOneStructured) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  Formulation F(G, M, 2, makeOpts(Objective::None,
+                                  DependenceStyle::Traditional));
+  ASSERT_TRUE(F.valid());
+  EXPECT_FALSE(F.model().isZeroOneStructured());
+}
+
+TEST(Formulation, StructuredHasMoreConstraintsFewerSurprises) {
+  // One constraint per edge (traditional) vs II per edge (structured).
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  Formulation T(G, M, 2, makeOpts(Objective::None,
+                                  DependenceStyle::Traditional));
+  Formulation S(G, M, 2, makeOpts(Objective::None,
+                                  DependenceStyle::Structured));
+  ASSERT_TRUE(T.valid() && S.valid());
+  EXPECT_GT(S.model().numConstraints(), T.model().numConstraints());
+  EXPECT_EQ(S.model().numVariables(), T.model().numVariables());
+}
+
+TEST(Formulation, PaperExample1FeasibleAtIi2AllStyles) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  for (DependenceStyle Dep :
+       {DependenceStyle::Traditional, DependenceStyle::Structured,
+        DependenceStyle::StructuredLoose}) {
+    Formulation F(G, M, 2, makeOpts(Objective::None, Dep));
+    ASSERT_TRUE(F.valid());
+    MipResult R = solveToOptimal(F);
+    ModuloSchedule S = F.decode(R.Values);
+    EXPECT_FALSE(verifySchedule(G, M, S, F.maxTime()).has_value())
+        << toString(Dep);
+    EXPECT_EQ(S.ii(), 2);
+  }
+}
+
+TEST(Formulation, PaperExample1InfeasibleAtIi1) {
+  // 5 operations on 3 FUs cannot fit one MRT row.
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  for (DependenceStyle Dep :
+       {DependenceStyle::Traditional, DependenceStyle::Structured}) {
+    Formulation F(G, M, 1, makeOpts(Objective::None, Dep));
+    ASSERT_TRUE(F.valid());
+    MipResult R = MipSolver().solve(F.model());
+    EXPECT_EQ(R.Status, MipStatus::Infeasible) << toString(Dep);
+  }
+}
+
+TEST(Formulation, MinRegPaperExample1Is7) {
+  // The headline golden test: minimum register requirement among all
+  // II=2 schedules of Example 1 is 7 (paper Figure 1).
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  for (DependenceStyle Dep :
+       {DependenceStyle::Traditional, DependenceStyle::Structured}) {
+    Formulation F(G, M, 2, makeOpts(Objective::MinReg, Dep));
+    ASSERT_TRUE(F.valid());
+    MipResult R = solveToOptimal(F);
+    EXPECT_NEAR(R.Objective, 7.0, 1e-6) << toString(Dep);
+    ModuloSchedule S = F.decode(R.Values);
+    EXPECT_FALSE(verifySchedule(G, M, S, F.maxTime()).has_value());
+    RegisterPressure P = computeRegisterPressure(G, S);
+    EXPECT_EQ(P.MaxLive, 7) << toString(Dep);
+  }
+}
+
+TEST(Formulation, MinLifeObjectiveMatchesComputedLifetime) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  for (ObjectiveStyle Style :
+       {ObjectiveStyle::Structured, ObjectiveStyle::Traditional}) {
+    Formulation F(G, M, 2,
+                  makeOpts(Objective::MinLife, DependenceStyle::Structured,
+                           Style));
+    ASSERT_TRUE(F.valid());
+    MipResult R = solveToOptimal(F);
+    ModuloSchedule S = F.decode(R.Values);
+    RegisterPressure P = computeRegisterPressure(G, S);
+    EXPECT_NEAR(R.Objective, P.TotalLifetime, 1e-6);
+  }
+}
+
+TEST(Formulation, MinBuffObjectiveMatchesComputedBuffers) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  for (ObjectiveStyle Style :
+       {ObjectiveStyle::Structured, ObjectiveStyle::Traditional}) {
+    Formulation F(G, M, 2,
+                  makeOpts(Objective::MinBuff, DependenceStyle::Structured,
+                           Style));
+    ASSERT_TRUE(F.valid());
+    MipResult R = solveToOptimal(F);
+    ModuloSchedule S = F.decode(R.Values);
+    RegisterPressure P = computeRegisterPressure(G, S);
+    EXPECT_NEAR(R.Objective, P.Buffers, 1e-6);
+  }
+}
+
+TEST(Formulation, ObjectiveStylesAgreeOnOptimum) {
+  MachineModel M = MachineModel::example3();
+  for (DependenceGraph G : {livermore5(M), dotProduct(M), daxpy(M)}) {
+    int II = mii(G, M);
+    for (Objective Obj : {Objective::MinBuff, Objective::MinLife}) {
+      double Results[2];
+      int Index = 0;
+      for (ObjectiveStyle Style :
+           {ObjectiveStyle::Structured, ObjectiveStyle::Traditional}) {
+        Formulation F(G, M, II,
+                      makeOpts(Obj, DependenceStyle::Structured, Style));
+        ASSERT_TRUE(F.valid());
+        MipResult R = MipSolver().solve(F.model());
+        if (R.Status != MipStatus::Optimal) {
+          // II == MII may be infeasible; skip the loop then.
+          Results[Index++] = -1;
+          continue;
+        }
+        Results[Index++] = R.Objective;
+      }
+      EXPECT_NEAR(Results[0], Results[1], 1e-6)
+          << G.name() << " " << toString(Obj);
+    }
+  }
+}
+
+TEST(Formulation, DependenceStylesAgreeOnFeasibility) {
+  MachineModel M = MachineModel::cydraLike();
+  MipOptions Budget;
+  Budget.TimeLimitSeconds = 5.0; // The traditional style can be slow by
+                                 // design; skip when censored.
+  for (DependenceGraph G : allKernels(M)) {
+    if (G.numOperations() > 12)
+      continue; // Large kernels exceed the test budget traditionally.
+    int Mii = mii(G, M);
+    for (int II = Mii; II < Mii + 3; ++II) {
+      Formulation T(G, M, II, makeOpts(Objective::None,
+                                       DependenceStyle::Traditional));
+      Formulation S(G, M, II, makeOpts(Objective::None,
+                                       DependenceStyle::Structured));
+      ASSERT_EQ(T.valid(), S.valid());
+      if (!T.valid())
+        continue;
+      MipResult RT = MipSolver(Budget).solve(T.model());
+      MipResult RS = MipSolver(Budget).solve(S.model());
+      if (RT.Status == MipStatus::Limit || RS.Status == MipStatus::Limit)
+        break; // Censored: no conclusion possible for this kernel.
+      EXPECT_EQ(RT.HasSolution, RS.HasSolution)
+          << G.name() << " at II=" << II;
+      if (RT.HasSolution)
+        break; // Both feasible at this II: done with this kernel.
+    }
+  }
+}
+
+TEST(Formulation, DecodeRoundTrip) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  Formulation F(G, M, 2, makeOpts(Objective::None,
+                                  DependenceStyle::Structured));
+  ASSERT_TRUE(F.valid());
+  MipResult R = solveToOptimal(F);
+  ModuloSchedule S = F.decode(R.Values);
+  // Times must be consistent with the a/k variables they decode from.
+  for (int Op = 0; Op < G.numOperations(); ++Op) {
+    EXPECT_NEAR(R.Values[F.aVar(S.row(Op), Op)], 1.0, 1e-6);
+    EXPECT_NEAR(R.Values[F.kVar(Op)], S.stage(Op), 1e-6);
+  }
+}
+
+TEST(Formulation, MinSlFindsMinimumScheduleLength) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  for (DependenceStyle Dep :
+       {DependenceStyle::Structured, DependenceStyle::Traditional}) {
+    Formulation F(G, M, 2, makeOpts(Objective::MinSL, Dep));
+    ASSERT_TRUE(F.valid());
+    MipResult R = solveToOptimal(F);
+    ModuloSchedule S = F.decode(R.Values);
+    EXPECT_FALSE(verifySchedule(G, M, S, F.maxTime()).has_value());
+    // Objective is the schedule length (1 + latest start time).
+    EXPECT_NEAR(R.Objective, S.scheduleLength(), 1e-6);
+    // Example 1 critical path: load(1) + mult(4) + sub(1) + store = 7
+    // cycles, achievable at II=2 without resource interference.
+    EXPECT_NEAR(R.Objective, 7.0, 1e-6) << toString(Dep);
+  }
+}
+
+TEST(Formulation, MinSlNeverBelowCriticalPathBound) {
+  MachineModel M = MachineModel::cydraLike();
+  for (const DependenceGraph &G :
+       {livermore1(M), stencil3(M), complexMultiply(M)}) {
+    int II = mii(G, M);
+    Formulation F(G, M, II, makeOpts(Objective::MinSL,
+                                     DependenceStyle::Structured));
+    if (!F.valid())
+      continue;
+    MipOptions Budget;
+    Budget.TimeLimitSeconds = 10.0;
+    MipResult R = MipSolver(Budget).solve(F.model());
+    if (R.Status != MipStatus::Optimal)
+      continue; // MII may be infeasible, or the budget expired.
+    auto Bound = minScheduleLength(G, II);
+    ASSERT_TRUE(Bound.has_value());
+    EXPECT_GE(R.Objective, *Bound - 1e-6) << G.name();
+  }
+}
+
+TEST(Formulation, StageBoundTighteningPreservesOptimum) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = livermore1(M);
+  int II = mii(G, M);
+  double Objectives[2];
+  int Index = 0;
+  for (bool Tighten : {true, false}) {
+    FormulationOptions Opts =
+        makeOpts(Objective::MinReg, DependenceStyle::Structured);
+    Opts.TightenStageBounds = Tighten;
+    Formulation F(G, M, II, Opts);
+    ASSERT_TRUE(F.valid());
+    MipResult R = solveToOptimal(F);
+    Objectives[Index++] = R.Objective;
+  }
+  EXPECT_NEAR(Objectives[0], Objectives[1], 1e-6);
+}

@@ -1,0 +1,71 @@
+//===- tests/FuzzConsistencyTest.cpp - verifier/simulator agreement --------===//
+//
+// Mutation fuzzing: start from a valid schedule, randomly perturb start
+// times, and require the static verifier and the dynamic pipeline
+// simulator to AGREE on validity. The two checkers share no code (one
+// folds constraints onto the MRT, the other executes cycles), so
+// agreement on thousands of mutants is strong evidence both are right.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heuristic/IterativeModuloScheduler.h"
+#include "sched/PipelineSimulator.h"
+#include "sched/Verifier.h"
+#include "support/Rng.h"
+#include "workloads/SyntheticGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace modsched;
+
+namespace {
+
+/// Iterations needed so every steady-state overlap (and thus every MRT
+/// conflict) materializes dynamically.
+int enoughIterations(const ModuloSchedule &S) {
+  return S.numStages() + 24;
+}
+
+} // namespace
+
+class FuzzConsistencyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzConsistencyTest, VerifierAndSimulatorAgree) {
+  MachineModel M = MachineModel::cydraLike();
+  Rng R(GetParam() * 101 + 41);
+  SyntheticOptions Opts;
+  Opts.MinOps = 3;
+  Opts.MaxOps = 10;
+  DependenceGraph G = generateLoop(M, R, Opts);
+  IterativeModuloScheduler Ims(M);
+  ImsResult H = Ims.schedule(G);
+  if (!H.Found)
+    GTEST_SKIP();
+
+  // The pristine schedule passes both checkers.
+  ASSERT_FALSE(verifySchedule(G, M, H.Schedule).has_value());
+  ASSERT_FALSE(simulateSchedule(G, M, H.Schedule,
+                                enoughIterations(H.Schedule))
+                   .Violation.has_value());
+
+  int MaxTime = H.Schedule.scheduleLength() + 2 * H.Schedule.ii();
+  for (int Mutant = 0; Mutant < 40; ++Mutant) {
+    ModuloSchedule S = H.Schedule;
+    // Perturb 1-2 operations.
+    int NumMutations = 1 + (R.nextBool(0.4) ? 1 : 0);
+    for (int K = 0; K < NumMutations; ++K) {
+      int Op = static_cast<int>(R.nextBelow(G.numOperations()));
+      S.times()[Op] = static_cast<int>(R.nextInRange(0, MaxTime));
+    }
+    bool StaticOk = !verifySchedule(G, M, S).has_value();
+    SimulationReport Sim = simulateSchedule(G, M, S, enoughIterations(S));
+    bool DynamicOk = !Sim.Violation.has_value();
+    EXPECT_EQ(StaticOk, DynamicOk)
+        << "static=" << StaticOk << " dynamic="
+        << (Sim.Violation ? *Sim.Violation : std::string("ok")) << "\n"
+        << G.toString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzConsistencyTest,
+                         ::testing::Range<uint64_t>(0, 25));

@@ -1,0 +1,158 @@
+//===- tests/GoldenCountsTest.cpp - formulation size regression pins -------===//
+//
+// Pins the variable/constraint counts of every formulation variant to
+// first-principles formulas, so accidental changes to constraint
+// emission are caught immediately. Counts are "prior to any
+// simplifications", exactly what the paper's Tables 1-2 report.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ilpsched/Formulation.h"
+
+#include "sched/Mii.h"
+#include "workloads/KernelLibrary.h"
+
+#include <gtest/gtest.h>
+
+using namespace modsched;
+
+namespace {
+
+/// Resource types actually modeled: total usage exceeds multiplicity.
+int activeResourceTypes(const DependenceGraph &G, const MachineModel &M) {
+  std::vector<int> Uses(M.numResources(), 0);
+  for (const Operation &Op : G.operations())
+    for (const ResourceUsage &U : M.opClass(Op.OpClass).Usages)
+      ++Uses[U.Resource];
+  int Active = 0;
+  for (int R = 0; R < M.numResources(); ++R)
+    Active += Uses[R] > M.resource(R).Count;
+  return Active;
+}
+
+int totalUses(const DependenceGraph &G) {
+  int Uses = 0;
+  for (const VirtualRegister &R : G.registers())
+    Uses += static_cast<int>(R.Uses.size());
+  return Uses;
+}
+
+struct Sizes {
+  int Vars;
+  int Cons;
+};
+
+Sizes sizesOf(const DependenceGraph &G, const MachineModel &M, int II,
+              Objective Obj, DependenceStyle Dep,
+              ObjectiveStyle ObjStyle = ObjectiveStyle::Structured) {
+  FormulationOptions Opts;
+  Opts.Obj = Obj;
+  Opts.DepStyle = Dep;
+  Opts.ObjStyle = ObjStyle;
+  Formulation F(G, M, II, Opts);
+  EXPECT_TRUE(F.valid());
+  return {F.model().numVariables(), F.model().numConstraints()};
+}
+
+} // namespace
+
+class GoldenCounts : public ::testing::TestWithParam<int> {
+protected:
+  MachineModel M = MachineModel::cydraLike();
+  DependenceGraph G = allKernels(M)[GetParam()];
+  int N = G.numOperations();
+  int E = G.numSchedEdges();
+  int R = G.numRegisters();
+  int U = totalUses(G);
+  int Q = activeResourceTypes(G, M);
+  int II = mii(G, M);
+};
+
+TEST_P(GoldenCounts, NoObjStructured) {
+  Sizes S = sizesOf(G, M, II, Objective::None, DependenceStyle::Structured);
+  EXPECT_EQ(S.Vars, II * N + N);
+  EXPECT_EQ(S.Cons, N + E * II + Q * II);
+}
+
+TEST_P(GoldenCounts, NoObjTraditional) {
+  Sizes S =
+      sizesOf(G, M, II, Objective::None, DependenceStyle::Traditional);
+  EXPECT_EQ(S.Vars, II * N + N);
+  EXPECT_EQ(S.Cons, N + E + Q * II);
+}
+
+TEST_P(GoldenCounts, MinRegStructured) {
+  // Adds per register: II kill-row binaries + 1 kill stage + 1 kill
+  // assignment + (1 def-edge + uses) * II kill dependence rows; plus the
+  // MaxLive variable and II MaxLive rows.
+  Sizes Base =
+      sizesOf(G, M, II, Objective::None, DependenceStyle::Structured);
+  Sizes S = sizesOf(G, M, II, Objective::MinReg,
+                    DependenceStyle::Structured);
+  EXPECT_EQ(S.Vars, Base.Vars + R * (II + 1) + 1);
+  EXPECT_EQ(S.Cons, Base.Cons + R + (R + U) * II + II);
+}
+
+TEST_P(GoldenCounts, MinRegTraditional) {
+  // Same objective machinery, but kill dependences are single rows.
+  Sizes Base =
+      sizesOf(G, M, II, Objective::None, DependenceStyle::Traditional);
+  Sizes S = sizesOf(G, M, II, Objective::MinReg,
+                    DependenceStyle::Traditional);
+  EXPECT_EQ(S.Vars, Base.Vars + R * (II + 1) + 1);
+  EXPECT_EQ(S.Cons, Base.Cons + R + (R + U) + II);
+}
+
+TEST_P(GoldenCounts, MinBuffStructured) {
+  // One buffer variable per register; II rows per use; no kill ops.
+  Sizes Base =
+      sizesOf(G, M, II, Objective::None, DependenceStyle::Structured);
+  Sizes S = sizesOf(G, M, II, Objective::MinBuff,
+                    DependenceStyle::Structured);
+  EXPECT_EQ(S.Vars, Base.Vars + R);
+  EXPECT_EQ(S.Cons, Base.Cons + U * II);
+}
+
+TEST_P(GoldenCounts, MinBuffTraditional) {
+  Sizes Base =
+      sizesOf(G, M, II, Objective::None, DependenceStyle::Structured);
+  Sizes S =
+      sizesOf(G, M, II, Objective::MinBuff, DependenceStyle::Structured,
+              ObjectiveStyle::Traditional);
+  EXPECT_EQ(S.Vars, Base.Vars + R);
+  EXPECT_EQ(S.Cons, Base.Cons + U); // One row per use.
+}
+
+TEST_P(GoldenCounts, MinLifeStructured) {
+  // Kill machinery, no auxiliary variables (objective-only encoding).
+  Sizes Base =
+      sizesOf(G, M, II, Objective::None, DependenceStyle::Structured);
+  Sizes S = sizesOf(G, M, II, Objective::MinLife,
+                    DependenceStyle::Structured);
+  EXPECT_EQ(S.Vars, Base.Vars + R * (II + 1));
+  EXPECT_EQ(S.Cons, Base.Cons + R + (R + U) * II);
+}
+
+TEST_P(GoldenCounts, MinLifeTraditional) {
+  // Kill machinery + one lifetime variable and defining row per register.
+  Sizes Base =
+      sizesOf(G, M, II, Objective::None, DependenceStyle::Structured);
+  Sizes S =
+      sizesOf(G, M, II, Objective::MinLife, DependenceStyle::Structured,
+              ObjectiveStyle::Traditional);
+  EXPECT_EQ(S.Vars, Base.Vars + R * (II + 1) + R);
+  EXPECT_EQ(S.Cons, Base.Cons + R + (R + U) * II + R);
+}
+
+TEST_P(GoldenCounts, MinSl) {
+  // Sink: II row binaries + 1 stage + 1 assignment + N * II dependences.
+  Sizes Base =
+      sizesOf(G, M, II, Objective::None, DependenceStyle::Structured);
+  Sizes S = sizesOf(G, M, II, Objective::MinSL,
+                    DependenceStyle::Structured);
+  EXPECT_EQ(S.Vars, Base.Vars + II + 1);
+  EXPECT_EQ(S.Cons, Base.Cons + 1 + N * II);
+}
+
+// Kernels 0..9 cover the original library (small to medium sizes).
+INSTANTIATE_TEST_SUITE_P(Kernels, GoldenCounts, ::testing::Range(0, 10));

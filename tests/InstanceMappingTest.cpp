@@ -1,0 +1,164 @@
+//===- tests/InstanceMappingTest.cpp - Altman-style mapping tests ----------===//
+//
+// Tests of the instance-mapped resource formulation ([5]): every
+// operation must hold one specific instance of each resource type for
+// its whole usage pattern. On machines with multi-cycle patterns this is
+// strictly stronger than the counting constraints of Ineq. (5).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ilpsched/Formulation.h"
+
+#include "ilp/BranchAndBound.h"
+#include "sched/Mii.h"
+#include "sched/Verifier.h"
+#include "workloads/KernelLibrary.h"
+
+#include <gtest/gtest.h>
+
+using namespace modsched;
+using namespace modsched::ilp;
+
+namespace {
+
+/// Machine with one dual-cycle resource: class "pair" holds one of the
+/// two X instances for cycles 0 AND 1.
+MachineModel dualUseMachine() {
+  MachineModel M;
+  M.setName("dualuse");
+  int X = M.addResource("x", 2);
+  M.addOpClass("pair", 1, {{X, 0}, {X, 1}});
+  M.addOpClass("simple", 1, {{X, 0}});
+  return M;
+}
+
+/// Three independent dual-use operations.
+DependenceGraph threePairOps(const MachineModel &M) {
+  DependenceGraph G;
+  G.setName("three-pairs");
+  int Pair = *M.findOpClass("pair");
+  G.addOperation("p0", Pair);
+  G.addOperation("p1", Pair);
+  G.addOperation("p2", Pair);
+  return G;
+}
+
+FormulationOptions mappedOpts(bool Mapped) {
+  FormulationOptions Opts;
+  Opts.InstanceMapped = Mapped;
+  return Opts;
+}
+
+} // namespace
+
+TEST(InstanceMapping, CountingAcceptsIi3) {
+  // 6 reservations fit 2 instances x 3 rows exactly: counting says yes.
+  MachineModel M = dualUseMachine();
+  DependenceGraph G = threePairOps(M);
+  Formulation F(G, M, 3, mappedOpts(false));
+  ASSERT_TRUE(F.valid());
+  MipResult R = MipSolver().solve(F.model());
+  ASSERT_EQ(R.Status, MipStatus::Optimal);
+  ModuloSchedule S = F.decode(R.Values);
+  EXPECT_FALSE(verifySchedule(G, M, S).has_value());
+}
+
+TEST(InstanceMapping, MappingRejectsIi3OddCycle) {
+  // The three patterns pairwise overlap in some row (an odd conflict
+  // cycle): no assignment to 2 instances exists, so the mapped ILP must
+  // prove II=3 infeasible even though counting accepted it.
+  MachineModel M = dualUseMachine();
+  DependenceGraph G = threePairOps(M);
+  Formulation F(G, M, 3, mappedOpts(true));
+  ASSERT_TRUE(F.valid());
+  MipResult R = MipSolver().solve(F.model());
+  EXPECT_EQ(R.Status, MipStatus::Infeasible);
+}
+
+TEST(InstanceMapping, MappingAcceptsIi4) {
+  MachineModel M = dualUseMachine();
+  DependenceGraph G = threePairOps(M);
+  Formulation F(G, M, 4, mappedOpts(true));
+  ASSERT_TRUE(F.valid());
+  MipResult R = MipSolver().solve(F.model());
+  ASSERT_EQ(R.Status, MipStatus::Optimal);
+  ModuloSchedule S = F.decode(R.Values);
+  EXPECT_FALSE(verifySchedule(G, M, S).has_value());
+
+  // Decode a consistent instance assignment: no two ops sharing an
+  // instance may overlap in any row.
+  int X = 0;
+  int Inst[3];
+  for (int Op = 0; Op < 3; ++Op) {
+    Inst[Op] = F.decodeInstance(R.Values, Op, X);
+    ASSERT_GE(Inst[Op], 0);
+    ASSERT_LT(Inst[Op], 2);
+  }
+  auto RowsOf = [&S](int Op) {
+    return std::pair<int, int>{S.row(Op), (S.row(Op) + 1) % S.ii()};
+  };
+  for (int A = 0; A < 3; ++A)
+    for (int B = A + 1; B < 3; ++B) {
+      if (Inst[A] != Inst[B])
+        continue;
+      auto [A0, A1] = RowsOf(A);
+      auto [B0, B1] = RowsOf(B);
+      EXPECT_TRUE(A0 != B0 && A0 != B1 && A1 != B0 && A1 != B1)
+          << "ops " << A << " and " << B << " share instance and a row";
+    }
+}
+
+TEST(InstanceMapping, StructuredModelRemainsZeroOne) {
+  MachineModel M = dualUseMachine();
+  DependenceGraph G = threePairOps(M);
+  Formulation F(G, M, 4, mappedOpts(true));
+  ASSERT_TRUE(F.valid());
+  EXPECT_TRUE(F.model().isZeroOneStructured());
+}
+
+TEST(InstanceMapping, SingleInstanceTypesFallBackToCounting) {
+  // vliw2 has only count-1 resources: mapped and counting models must
+  // have identical variable counts.
+  MachineModel M = MachineModel::vliw2();
+  DependenceGraph G = daxpy(M);
+  Formulation A(G, M, mii(G, M), mappedOpts(false));
+  Formulation B(G, M, mii(G, M), mappedOpts(true));
+  ASSERT_TRUE(A.valid() && B.valid());
+  EXPECT_EQ(A.model().numVariables(), B.model().numVariables());
+  EXPECT_EQ(A.model().numConstraints(), B.model().numConstraints());
+}
+
+TEST(InstanceMapping, MappedIiNeverBelowCountingIi) {
+  MachineModel M = MachineModel::cydraLike();
+  for (const DependenceGraph &G :
+       {paperExample1(M), daxpy(M), stencil3(M), livermore12(M)}) {
+    int CountingII = -1, MappedII = -1;
+    for (int II = mii(G, M); II < mii(G, M) + 6; ++II) {
+      if (CountingII < 0) {
+        Formulation F(G, M, II, mappedOpts(false));
+        if (F.valid() && MipSolver().solve(F.model()).HasSolution)
+          CountingII = II;
+      }
+      if (MappedII < 0) {
+        Formulation F(G, M, II, mappedOpts(true));
+        if (F.valid() && MipSolver().solve(F.model()).HasSolution)
+          MappedII = II;
+      }
+      if (CountingII >= 0 && MappedII >= 0)
+        break;
+    }
+    ASSERT_GE(CountingII, 0) << G.name();
+    ASSERT_GE(MappedII, 0) << G.name();
+    EXPECT_GE(MappedII, CountingII) << G.name();
+  }
+}
+
+TEST(InstanceMapping, DecodeInstanceReturnsMinusOneWhenUnmapped) {
+  MachineModel M = dualUseMachine();
+  DependenceGraph G = threePairOps(M);
+  Formulation F(G, M, 4, mappedOpts(false));
+  ASSERT_TRUE(F.valid());
+  MipResult R = MipSolver().solve(F.model());
+  ASSERT_TRUE(R.HasSolution);
+  EXPECT_EQ(F.decodeInstance(R.Values, 0, 0), -1);
+}

@@ -1,0 +1,190 @@
+//===- tests/LoopDslTest.cpp - loop language frontend tests ----------------===//
+
+#include "frontend/LoopDsl.h"
+
+#include "graph/GraphAlgorithms.h"
+#include "ilpsched/OptimalScheduler.h"
+#include "sched/Mii.h"
+#include "sched/RegisterPressure.h"
+#include "sched/Verifier.h"
+#include "workloads/KernelLibrary.h"
+
+#include <gtest/gtest.h>
+
+using namespace modsched;
+
+namespace {
+
+DependenceGraph compileOk(const std::string &Source, const MachineModel &M) {
+  std::string Error;
+  auto G = compileLoopDsl(Source, M, &Error);
+  EXPECT_TRUE(G.has_value()) << Error;
+  return G.value_or(DependenceGraph());
+}
+
+} // namespace
+
+TEST(LoopDsl, DaxpyShape) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = compileOk("loop daxpy { y[i] = y[i] + a * x[i]; }", M);
+  EXPECT_EQ(G.name(), "daxpy");
+  // load y, load x, mul, add, store = 5 ops.
+  EXPECT_EQ(G.numOperations(), 5);
+  EXPECT_EQ(G.numRegisters(), 4); // Both loads, mul, add produce values.
+  EXPECT_FALSE(hasZeroDistanceCycle(G));
+  // The load of y[i] and the store to y[i] carry an anti dependence.
+  bool AntiEdge = false;
+  for (const SchedEdge &E : G.schedEdges())
+    AntiEdge |= G.operation(E.Src).Name == "ld_y_0" &&
+                G.operation(E.Dst).Name == "st_y_0" && E.Distance == 0;
+  EXPECT_TRUE(AntiEdge);
+}
+
+TEST(LoopDsl, PaperExample1Equivalent) {
+  // y[i] = x[i]*x[i] - x[i] - a: same shape as the hand-built kernel
+  // (x loaded once, reused three times).
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G =
+      compileOk("loop ex1 { y[i] = x[i]*x[i] - x[i] - a; }", M);
+  // ld x, mul, sub, sub, st = 5 ops (the paper folds "-x-a" into one
+  // sub; the DSL emits two, one of which consumes the invariant a).
+  EXPECT_EQ(G.numOperations(), 5);
+  EXPECT_EQ(mii(G, M), 2); // Still 5 ops on 3 FUs.
+
+  SchedulerOptions Opts;
+  Opts.Formulation.Obj = Objective::MinReg;
+  OptimalModuloScheduler Sched(M, Opts);
+  ScheduleResult R = Sched.schedule(G);
+  ASSERT_TRUE(R.Found);
+  EXPECT_EQ(R.II, 2);
+  EXPECT_FALSE(verifySchedule(G, M, R.Schedule).has_value());
+}
+
+TEST(LoopDsl, ScalarRecurrenceCarries) {
+  // s read before its assignment: previous-iteration value, distance 1.
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = compileOk("loop sum { s = s + y[i]; x[i] = s; }", M);
+  EXPECT_GT(recMii(G), 0);
+  bool Carried = false;
+  for (const SchedEdge &E : G.schedEdges())
+    Carried |= E.Distance == 1 && E.Src == E.Dst;
+  EXPECT_TRUE(Carried) << G.toString();
+}
+
+TEST(LoopDsl, ScalarReadAfterWriteSameIteration) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G =
+      compileOk("loop t { t = x[i] * 2; y[i] = t + t; }", M);
+  // t defined then read twice in-iteration: no recurrence.
+  EXPECT_EQ(recMii(G), 1);
+  EXPECT_FALSE(hasZeroDistanceCycle(G));
+}
+
+TEST(LoopDsl, StoreToLoadForwarding) {
+  // Reading y[i] after writing it must reuse the stored value, not
+  // reload.
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G =
+      compileOk("loop f { y[i] = x[i] + 1; z[i] = y[i] * 2; }", M);
+  for (const Operation &Op : G.operations())
+    EXPECT_NE(Op.Name, "ld_y_0") << "load should have been forwarded";
+}
+
+TEST(LoopDsl, CrossIterationLoadElimination) {
+  // a[i+1] = a[i] * s: the frontend performs load-back-substitution (an
+  // optimization the paper assumes pre-applied): a[i] is last
+  // iteration's multiply result, carried in a register — no reload.
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = compileOk("loop rec { a[i+1] = a[i] * s; }", M);
+  for (const Operation &Op : G.operations())
+    EXPECT_NE(Op.Name.rfind("ld_", 0), 0u)
+        << "load should have been eliminated: " << Op.Name;
+  bool CarriedFlow = false;
+  for (const SchedEdge &E : G.schedEdges())
+    CarriedFlow |= E.Src == E.Dst && E.Distance == 1; // mul -> mul.
+  EXPECT_TRUE(CarriedFlow) << G.toString();
+  EXPECT_EQ(recMii(G), 4); // mul latency 4 over distance 1.
+}
+
+TEST(LoopDsl, MultiStoreArrayKeepsLoads) {
+  // Two stores to the same array make value tracking ambiguous: the
+  // frontend must fall back to an explicit load + memory dependences.
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = compileOk(
+      "loop two { b[i] = a[i-1] + 1; a[i] = x[i]; a[i+1] = y[i]; }", M);
+  bool HasLoadA = false;
+  for (const Operation &Op : G.operations())
+    HasLoadA |= Op.Name == "ld_a_m1";
+  EXPECT_TRUE(HasLoadA) << G.toString();
+}
+
+TEST(LoopDsl, LoadDeduplication) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G =
+      compileOk("loop d { y[i] = x[i] * x[i] + x[i+1] * x[i+1]; }", M);
+  int Loads = 0;
+  for (const Operation &Op : G.operations())
+    Loads += Op.Name.rfind("ld_", 0) == 0;
+  EXPECT_EQ(Loads, 2); // x[i] and x[i+1], each once.
+}
+
+TEST(LoopDsl, InvariantScalarAssignmentGetsCopy) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = compileOk("loop c { t = q; y[i] = t; }", M);
+  bool HasCopy = false;
+  for (const Operation &Op : G.operations())
+    HasCopy |= Op.Name == "cp_t";
+  EXPECT_TRUE(HasCopy);
+}
+
+TEST(LoopDsl, LivermoreFirstSumMatchesHandKernel) {
+  // x[k] = x[k-1] + y[k]: with load-back-substitution the recurrence
+  // runs through the add alone, exactly like the hand-translated
+  // livermore11 kernel (RecMII 1, not a 3-cycle memory round trip).
+  MachineModel M = MachineModel::example3();
+  DependenceGraph Dsl =
+      compileOk("loop l11 { x[i] = x[i-1] + y[i]; }", M);
+  DependenceGraph Hand = livermore11(M);
+  EXPECT_EQ(recMii(Dsl), recMii(Hand));
+  EXPECT_EQ(recMii(Dsl), 1);
+}
+
+TEST(LoopDsl, DiagnosticsCarryPositions) {
+  MachineModel M = MachineModel::example3();
+  std::string Error;
+  EXPECT_FALSE(compileLoopDsl("loop x {\n  y[i] = ;\n}", M, &Error));
+  EXPECT_NE(Error.find("2:"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("expected expression"), std::string::npos);
+
+  EXPECT_FALSE(compileLoopDsl("loop x { y[j] = 1; }", M, &Error));
+  EXPECT_NE(Error.find("index must be 'i'"), std::string::npos);
+
+  EXPECT_FALSE(compileLoopDsl("noloop", M, &Error));
+  EXPECT_NE(Error.find("expected 'loop'"), std::string::npos);
+
+  EXPECT_FALSE(compileLoopDsl("loop x { y[i] = 1; ", M, &Error));
+  EXPECT_NE(Error.find("unexpected end"), std::string::npos);
+
+  EXPECT_FALSE(compileLoopDsl("loop empty { }", M, &Error));
+  EXPECT_NE(Error.find("no operations"), std::string::npos);
+}
+
+TEST(LoopDsl, EndToEndSchedulesAndVerifies) {
+  MachineModel M = MachineModel::cydraLike();
+  const char *Sources[] = {
+      "loop daxpy { y[i] = y[i] + a * x[i]; }",
+      "loop tridiag { x[i] = z[i] * (y[i] - x[i-1]); }",
+      "loop stencil { b[i] = s * (a[i-1] + a[i] + a[i+1]); }",
+      "loop horner { p = p * x0 + c[i]; y[i] = p; }",
+  };
+  for (const char *Src : Sources) {
+    DependenceGraph G = compileOk(Src, M);
+    SchedulerOptions Opts;
+    Opts.TimeLimitSeconds = 20.0;
+    OptimalModuloScheduler Sched(M, Opts);
+    ScheduleResult R = Sched.schedule(G);
+    ASSERT_TRUE(R.Found) << Src;
+    EXPECT_FALSE(verifySchedule(G, M, R.Schedule).has_value()) << Src;
+    EXPECT_GE(R.II, mii(G, M));
+  }
+}

@@ -1,0 +1,90 @@
+//===- tests/MachineFormatTest.cpp - machine text format tests -------------===//
+
+#include "textio/MachineFormat.h"
+
+#include <gtest/gtest.h>
+
+using namespace modsched;
+
+TEST(MachineFormat, ParsesMinimalMachine) {
+  std::string Text = R"(# tiny machine
+machine tiny
+resource alu x2
+class add latency=1 uses=alu@0
+class nopclass latency=1 uses=
+)";
+  std::string Error;
+  auto M = parseMachine(Text, &Error);
+  ASSERT_TRUE(M.has_value()) << Error;
+  EXPECT_EQ(M->name(), "tiny");
+  EXPECT_EQ(M->numResources(), 1);
+  EXPECT_EQ(M->resource(0).Count, 2);
+  ASSERT_TRUE(M->findOpClass("add").has_value());
+  EXPECT_EQ(M->opClass(*M->findOpClass("add")).Latency, 1);
+}
+
+TEST(MachineFormat, ParsesMultiCycleUsages) {
+  std::string Text = R"(machine m
+resource fmul x1
+resource bus x2
+class mul latency=4 uses=fmul@0,fmul@1,bus@4
+)";
+  auto M = parseMachine(Text);
+  ASSERT_TRUE(M.has_value());
+  const OpClass &C = M->opClass(*M->findOpClass("mul"));
+  ASSERT_EQ(C.Usages.size(), 3u);
+  EXPECT_EQ(C.Usages[1].Cycle, 1);
+  EXPECT_EQ(C.Usages[2].Resource, 1);
+  EXPECT_EQ(C.Usages[2].Cycle, 4);
+}
+
+TEST(MachineFormat, RejectsUnknownResource) {
+  std::string Error;
+  EXPECT_FALSE(parseMachine("machine m\nclass a latency=1 uses=ghost@0\n",
+                            &Error)
+                   .has_value());
+  EXPECT_NE(Error.find("unknown resource"), std::string::npos);
+}
+
+TEST(MachineFormat, RejectsBadCounts) {
+  std::string Error;
+  EXPECT_FALSE(parseMachine("resource r x0\nclass a latency=1 uses=\n",
+                            &Error)
+                   .has_value());
+  EXPECT_FALSE(parseMachine("resource r y3\nclass a latency=1 uses=\n",
+                            &Error)
+                   .has_value());
+}
+
+TEST(MachineFormat, RejectsDuplicates) {
+  std::string Error;
+  EXPECT_FALSE(parseMachine("resource r x1\nresource r x2\n"
+                            "class a latency=1 uses=\n",
+                            &Error)
+                   .has_value());
+  EXPECT_NE(Error.find("duplicate"), std::string::npos);
+  EXPECT_FALSE(parseMachine("resource r x1\nclass a latency=1 uses=\n"
+                            "class a latency=2 uses=\n",
+                            &Error)
+                   .has_value());
+}
+
+TEST(MachineFormat, RejectsEmptyMachine) {
+  std::string Error;
+  EXPECT_FALSE(parseMachine("machine m\nresource r x1\n", &Error)
+                   .has_value());
+  EXPECT_NE(Error.find("no operation classes"), std::string::npos);
+}
+
+TEST(MachineFormat, RoundTripsBuiltins) {
+  for (MachineModel M : {MachineModel::example3(), MachineModel::vliw2(),
+                         MachineModel::cydraLike()}) {
+    std::string Text = printMachine(M);
+    std::string Error;
+    auto Parsed = parseMachine(Text, &Error);
+    ASSERT_TRUE(Parsed.has_value()) << M.name() << ": " << Error;
+    EXPECT_EQ(Parsed->numResources(), M.numResources());
+    EXPECT_EQ(Parsed->numOpClasses(), M.numOpClasses());
+    EXPECT_EQ(printMachine(*Parsed), Text) << M.name();
+  }
+}

@@ -1,0 +1,60 @@
+//===- tests/MachineTest.cpp - machine model tests -------------------------===//
+
+#include "machine/MachineModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace modsched;
+
+TEST(MachineModel, Example3Shape) {
+  MachineModel M = MachineModel::example3();
+  EXPECT_EQ(M.numResources(), 1);
+  EXPECT_EQ(M.resource(0).Count, 3);
+  auto Mul = M.findOpClass(opclasses::Mul);
+  ASSERT_TRUE(Mul.has_value());
+  EXPECT_EQ(M.opClass(*Mul).Latency, 4);
+  auto Load = M.findOpClass(opclasses::Load);
+  ASSERT_TRUE(Load.has_value());
+  EXPECT_EQ(M.opClass(*Load).Latency, 1);
+}
+
+TEST(MachineModel, AllBuiltinsDefineCanonicalClasses) {
+  const char *Names[] = {opclasses::Load, opclasses::Store, opclasses::Add,
+                         opclasses::Sub,  opclasses::Mul,   opclasses::Div,
+                         opclasses::Copy, opclasses::Branch};
+  for (MachineModel M : {MachineModel::example3(), MachineModel::cydraLike(),
+                         MachineModel::vliw2()}) {
+    for (const char *Name : Names)
+      EXPECT_TRUE(M.findOpClass(Name).has_value())
+          << M.name() << " lacks " << Name;
+  }
+}
+
+TEST(MachineModel, CydraLikeHasComplexUsages) {
+  MachineModel M = MachineModel::cydraLike();
+  EXPECT_GE(M.numResources(), 5);
+  auto Div = M.findOpClass(opclasses::Div);
+  ASSERT_TRUE(Div.has_value());
+  // Blocking divide: multiple usage cycles of the same resource.
+  EXPECT_GE(M.opClass(*Div).Usages.size(), 4u);
+  auto Load = M.findOpClass(opclasses::Load);
+  ASSERT_TRUE(Load.has_value());
+  // Load claims a result bus at a late cycle.
+  bool LateUsage = false;
+  for (const ResourceUsage &U : M.opClass(*Load).Usages)
+    LateUsage |= U.Cycle > 1;
+  EXPECT_TRUE(LateUsage);
+}
+
+TEST(MachineModel, FindOpClassMissing) {
+  MachineModel M = MachineModel::example3();
+  EXPECT_FALSE(M.findOpClass("teleport").has_value());
+}
+
+TEST(MachineModel, ToStringListsEverything) {
+  MachineModel M = MachineModel::vliw2();
+  std::string S = M.toString();
+  EXPECT_NE(S.find("vliw2"), std::string::npos);
+  EXPECT_NE(S.find("mem"), std::string::npos);
+  EXPECT_NE(S.find("load"), std::string::npos);
+}

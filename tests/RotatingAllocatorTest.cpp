@@ -1,0 +1,124 @@
+//===- tests/RotatingAllocatorTest.cpp - rotating allocation tests ---------===//
+
+#include "codegen/RotatingAllocator.h"
+
+#include "heuristic/IterativeModuloScheduler.h"
+#include "ilpsched/OptimalScheduler.h"
+#include "sched/RegisterPressure.h"
+#include "support/Rng.h"
+#include "workloads/KernelLibrary.h"
+#include "workloads/SyntheticGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace modsched;
+
+namespace {
+
+ModuloSchedule figure1bSchedule() { return ModuloSchedule(2, {0, 1, 2, 5, 6}); }
+
+} // namespace
+
+TEST(RotatingAllocator, PaperExample1AllocatesNearMaxLive) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  auto A = allocateRotating(G, figure1bSchedule());
+  ASSERT_TRUE(A.has_value());
+  EXPECT_EQ(A->MaxLive, 7);
+  EXPECT_GE(A->FileSize, 7); // MaxLive is a hard lower bound.
+  EXPECT_LE(A->FileSize, 8); // First-fit is near-optimal here.
+  EXPECT_TRUE(verifyRotatingAllocation(G, figure1bSchedule(), *A));
+}
+
+TEST(RotatingAllocator, NoRegistersMeansEmptyFile) {
+  DependenceGraph G;
+  G.addOperation("a", 0);
+  ModuloSchedule S(1, {0});
+  auto A = allocateRotating(G, S);
+  ASSERT_TRUE(A.has_value());
+  EXPECT_EQ(A->FileSize, 0);
+  EXPECT_TRUE(verifyRotatingAllocation(G, S, *A));
+}
+
+TEST(RotatingAllocator, SingleLongLifetime) {
+  // One value live for 6 cycles at II=2 -> 3 simultaneous instances.
+  DependenceGraph G;
+  int A = G.addOperation("a", 0);
+  int B = G.addOperation("b", 0);
+  G.addFlowDependence(A, B, 1, 2);
+  ModuloSchedule S(2, {0, 1});
+  auto Alloc = allocateRotating(G, S);
+  ASSERT_TRUE(Alloc.has_value());
+  EXPECT_EQ(Alloc->MaxLive, 3);
+  EXPECT_GE(Alloc->FileSize, 3);
+  EXPECT_TRUE(verifyRotatingAllocation(G, S, *Alloc));
+}
+
+TEST(RotatingAllocator, VerifierRejectsBadBases) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  auto A = allocateRotating(G, figure1bSchedule());
+  ASSERT_TRUE(A.has_value());
+  RotatingAllocation Bad = *A;
+  // Map every register to the same base: instances of different
+  // registers produced in the same iteration collide.
+  for (int &B : Bad.BaseOffset)
+    B = 0;
+  EXPECT_FALSE(verifyRotatingAllocation(G, figure1bSchedule(), Bad));
+}
+
+TEST(RotatingAllocator, VerifierRejectsTooSmallFile) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  auto A = allocateRotating(G, figure1bSchedule());
+  ASSERT_TRUE(A.has_value());
+  RotatingAllocation Shrunk = *A;
+  Shrunk.FileSize = A->MaxLive - 1; // Below the lower bound.
+  EXPECT_FALSE(verifyRotatingAllocation(G, figure1bSchedule(), Shrunk));
+}
+
+TEST(RotatingAllocator, MinRegScheduleNeedsFewerRegisters) {
+  // The point of the MinReg scheduler: its schedules need a smaller (or
+  // equal) rotating file than heuristic ones for the same loop/II.
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = livermore1(M);
+  IterativeModuloScheduler Ims(M);
+  ImsResult H = Ims.schedule(G);
+  SchedulerOptions Opts;
+  Opts.Formulation.Obj = Objective::MinReg;
+  OptimalModuloScheduler Sched(M, Opts);
+  ScheduleResult O = Sched.schedule(G);
+  ASSERT_TRUE(H.Found && O.Found);
+  if (H.II != O.II)
+    GTEST_SKIP() << "different II";
+  auto HA = allocateRotating(G, H.Schedule);
+  auto OA = allocateRotating(G, O.Schedule);
+  ASSERT_TRUE(HA && OA);
+  EXPECT_LE(OA->MaxLive, HA->MaxLive);
+  EXPECT_LE(OA->FileSize, HA->FileSize + 1); // First-fit noise margin.
+}
+
+class RotatingPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RotatingPropertyTest, AllocationsAlwaysVerifyAndStayNearMaxLive) {
+  MachineModel M = MachineModel::cydraLike();
+  Rng R(GetParam() * 71 + 11);
+  SyntheticOptions Opts;
+  Opts.MinOps = 3;
+  Opts.MaxOps = 12;
+  DependenceGraph G = generateLoop(M, R, Opts);
+  IterativeModuloScheduler Ims(M);
+  ImsResult H = Ims.schedule(G);
+  if (!H.Found)
+    GTEST_SKIP();
+  auto A = allocateRotating(G, H.Schedule);
+  ASSERT_TRUE(A.has_value()) << G.toString();
+  EXPECT_TRUE(verifyRotatingAllocation(G, H.Schedule, *A)) << G.toString();
+  EXPECT_GE(A->FileSize, A->MaxLive);
+  // Rau et al. observe first-fit lands within a register or two of the
+  // MaxLive bound; allow slack but catch pathological blowups.
+  EXPECT_LE(A->FileSize, A->MaxLive + 3) << G.toString();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLoops, RotatingPropertyTest,
+                         ::testing::Range<uint64_t>(0, 30));

@@ -1,0 +1,160 @@
+//===- tests/SchedTest.cpp - schedule core tests ---------------------------===//
+
+#include "sched/Mii.h"
+#include "sched/ModuloSchedule.h"
+#include "sched/RegisterPressure.h"
+#include "sched/Verifier.h"
+#include "workloads/KernelLibrary.h"
+
+#include <gtest/gtest.h>
+
+using namespace modsched;
+
+namespace {
+
+/// The paper's Figure 1b schedule for Example 1 at II=2:
+/// load@0, mult@1, add@2, sub@5, store@6.
+ModuloSchedule figure1bSchedule() { return ModuloSchedule(2, {0, 1, 2, 5, 6}); }
+
+} // namespace
+
+TEST(ModuloSchedule, RowStageArithmetic) {
+  ModuloSchedule S(3, {0, 4, 7});
+  EXPECT_EQ(S.row(0), 0);
+  EXPECT_EQ(S.stage(0), 0);
+  EXPECT_EQ(S.row(1), 1);
+  EXPECT_EQ(S.stage(1), 1);
+  EXPECT_EQ(S.row(2), 1);
+  EXPECT_EQ(S.stage(2), 2);
+  EXPECT_EQ(S.scheduleLength(), 8);
+  EXPECT_EQ(S.numStages(), 3);
+}
+
+TEST(Mrt, PaperExample1Figure1c) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  ModuloSchedule S = figure1bSchedule();
+  Mrt Table(G, M, S);
+  // Row 0: load(t=0), add(t=2), store(t=6) -> 3 ops.
+  // Row 1: mult(t=1), sub(t=5) -> 2 ops.
+  EXPECT_EQ(Table.usage(0, 0), 3);
+  EXPECT_EQ(Table.usage(1, 0), 2);
+  EXPECT_TRUE(Table.fitsMachine(M));
+}
+
+TEST(Verifier, AcceptsFigure1b) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  EXPECT_FALSE(verifySchedule(G, M, figure1bSchedule()).has_value());
+}
+
+TEST(Verifier, RejectsDependenceViolation) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  // mult at t=0 violates load(latency 1) -> mult.
+  ModuloSchedule Bad(2, {0, 0, 2, 5, 6});
+  auto Err = verifySchedule(G, M, Bad);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("dependence"), std::string::npos);
+}
+
+TEST(Verifier, RejectsResourceOversubscription) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  // II=1: five ops in one row but only 3 FUs (also breaks deps; check
+  // resources by removing the dependence problem: use II=1 with legal
+  // chain impossible -> expect SOME violation).
+  ModuloSchedule Bad(1, {0, 1, 2, 5, 6});
+  // Dependences are satisfiable at II=1? load->mult needs 1 cycle: ok.
+  // Resource check: rows collapse to 1 row with 5 ops > 3.
+  auto Err = verifySchedule(G, M, Bad);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("resource"), std::string::npos);
+}
+
+TEST(Verifier, ChecksTimeWindow) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  EXPECT_TRUE(verifySchedule(G, M, figure1bSchedule(), 5).has_value());
+  EXPECT_FALSE(verifySchedule(G, M, figure1bSchedule(), 6).has_value());
+}
+
+TEST(RegisterPressure, PaperExample1Figure1e) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  RegisterPressure P = computeRegisterPressure(G, figure1bSchedule());
+  // Figure 1e: exactly 7 virtual registers live in both rows.
+  ASSERT_EQ(P.LivePerRow.size(), 2u);
+  EXPECT_EQ(P.LivePerRow[0], 7);
+  EXPECT_EQ(P.LivePerRow[1], 7);
+  EXPECT_EQ(P.MaxLive, 7);
+  // Lifetimes: vr0 [0,2]=3, vr1 [1,5]=5, vr2 [2,5]=4, vr3 [5,6]=2.
+  EXPECT_EQ(P.TotalLifetime, 3 + 5 + 4 + 2);
+  // Buffers: ceil(3/2)+ceil(5/2)+ceil(4/2)+ceil(2/2) = 2+3+2+1 = 8.
+  EXPECT_EQ(P.Buffers, 8);
+}
+
+TEST(RegisterPressure, DeadValueLivesOneCycle) {
+  DependenceGraph G;
+  int A = G.addOperation("a", 2); // add class on example3.
+  G.ensureRegister(A);
+  ModuloSchedule S(3, {4});
+  RegisterPressure P = computeRegisterPressure(G, S);
+  EXPECT_EQ(P.MaxLive, 1);
+  EXPECT_EQ(P.TotalLifetime, 1);
+  EXPECT_EQ(P.Buffers, 1);
+  EXPECT_EQ(P.LivePerRow[1], 1); // 4 mod 3 == 1.
+}
+
+TEST(RegisterPressure, CrossIterationUse) {
+  DependenceGraph G;
+  int A = G.addOperation("a", 2);
+  int B = G.addOperation("b", 2);
+  G.addFlowDependence(A, B, 1, 2); // Used two iterations later.
+  ModuloSchedule S(2, {0, 1});
+  // Kill time = 1 + 2*2 = 5; lifetime [0,5] = 6 cycles = 3 per row.
+  RegisterPressure P = computeRegisterPressure(G, S);
+  EXPECT_EQ(registerKillTime(G, S, 0), 5);
+  EXPECT_EQ(P.MaxLive, 3);
+  EXPECT_EQ(P.TotalLifetime, 6);
+  EXPECT_EQ(P.Buffers, 3);
+}
+
+TEST(Mii, ResMiiCountsCriticalResource) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  // 5 ops on 3 universal FUs: ceil(5/3) = 2.
+  EXPECT_EQ(resMii(G, M), 2);
+}
+
+TEST(Mii, RecMiiFromRecurrence) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G;
+  int A = G.addOperation("a", *M.findOpClass(opclasses::Mul));
+  G.addFlowDependence(A, A, 4, 1); // mul feeding itself next iteration.
+  EXPECT_EQ(recMii(G), 4);
+  EXPECT_EQ(mii(G, M), 4);
+}
+
+TEST(Mii, RecMiiMultiEdgeCycle) {
+  DependenceGraph G;
+  int A = G.addOperation("a", 0);
+  int B = G.addOperation("b", 0);
+  G.addSchedEdge(A, B, 3, 0);
+  G.addSchedEdge(B, A, 4, 2); // Cycle: latency 7, distance 2 -> ceil(7/2)=4.
+  EXPECT_EQ(recMii(G), 4);
+}
+
+TEST(Mii, AcyclicIsOne) {
+  DependenceGraph G;
+  int A = G.addOperation("a", 0);
+  int B = G.addOperation("b", 0);
+  G.addSchedEdge(A, B, 10, 0);
+  EXPECT_EQ(recMii(G), 1);
+}
+
+TEST(Mii, PaperExample1) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  EXPECT_EQ(mii(G, M), 2); // Resource bound; no recurrence.
+}

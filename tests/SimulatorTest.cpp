@@ -1,0 +1,101 @@
+//===- tests/SimulatorTest.cpp - pipeline simulator tests ------------------===//
+
+#include "sched/PipelineSimulator.h"
+
+#include "heuristic/IterativeModuloScheduler.h"
+#include "sched/RegisterPressure.h"
+#include "support/Rng.h"
+#include "workloads/KernelLibrary.h"
+#include "workloads/SyntheticGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace modsched;
+
+namespace {
+
+ModuloSchedule figure1bSchedule() { return ModuloSchedule(2, {0, 1, 2, 5, 6}); }
+
+} // namespace
+
+TEST(Simulator, CleanRunOnPaperExample) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  SimulationReport R = simulateSchedule(G, M, figure1bSchedule(), 20);
+  EXPECT_FALSE(R.Violation.has_value()) << *R.Violation;
+  EXPECT_EQ(R.Iterations, 20);
+  // 20 iterations, II=2, last op at offset 6: total = 19*2 + 7 = 45.
+  EXPECT_EQ(R.TotalCycles, 45);
+  EXPECT_NEAR(R.CyclesPerIteration, 2.25, 1e-9);
+}
+
+TEST(Simulator, SteadyStateLiveEqualsStaticMaxLive) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  SimulationReport R = simulateSchedule(G, M, figure1bSchedule(), 30);
+  EXPECT_EQ(R.SteadyStateLiveValues, 7); // Paper Figure 1e.
+  EXPECT_GE(R.PeakLiveValues, R.SteadyStateLiveValues);
+}
+
+TEST(Simulator, ThroughputApproachesIi) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  SimulationReport Small = simulateSchedule(G, M, figure1bSchedule(), 5);
+  SimulationReport Large = simulateSchedule(G, M, figure1bSchedule(), 500);
+  EXPECT_GT(Small.CyclesPerIteration, Large.CyclesPerIteration);
+  EXPECT_NEAR(Large.CyclesPerIteration, 2.0, 0.05);
+}
+
+TEST(Simulator, DetectsResourceViolation) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  // II=1 packs 5 ops onto 3 FUs once enough iterations overlap (7
+  // consecutive iterations are in flight in the steady state).
+  ModuloSchedule Bad(1, {0, 1, 2, 5, 6});
+  SimulationReport R = simulateSchedule(G, M, Bad, 10);
+  ASSERT_TRUE(R.Violation.has_value());
+  EXPECT_NE(R.Violation->find("oversubscribed"), std::string::npos);
+}
+
+TEST(Simulator, DetectsLatencyViolation) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  // mult at t=4 finishes at 8 > sub at t=5.
+  ModuloSchedule Bad(4, {0, 4, 2, 5, 9});
+  SimulationReport R = simulateSchedule(G, M, Bad, 3);
+  ASSERT_TRUE(R.Violation.has_value());
+  EXPECT_NE(R.Violation->find("latency"), std::string::npos);
+}
+
+TEST(Simulator, SingleIteration) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  SimulationReport R = simulateSchedule(G, M, figure1bSchedule(), 1);
+  EXPECT_FALSE(R.Violation.has_value());
+  EXPECT_EQ(R.TotalCycles, 7);
+}
+
+class SimulatorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimulatorPropertyTest, HeuristicSchedulesRunCleanAndMatchMaxLive) {
+  MachineModel M = MachineModel::cydraLike();
+  Rng R(GetParam() * 7 + 3);
+  SyntheticOptions Opts;
+  Opts.MinOps = 3;
+  Opts.MaxOps = 14;
+  DependenceGraph G = generateLoop(M, R, Opts);
+  IterativeModuloScheduler Ims(M);
+  ImsResult H = Ims.schedule(G);
+  if (!H.Found)
+    GTEST_SKIP() << "heuristic budget exhausted";
+  SimulationReport Report = simulateSchedule(G, M, H.Schedule, 64);
+  EXPECT_FALSE(Report.Violation.has_value())
+      << *Report.Violation << "\n"
+      << G.toString();
+  // Dynamic steady-state pressure equals the static fold (Section 2).
+  RegisterPressure P = computeRegisterPressure(G, H.Schedule);
+  EXPECT_EQ(Report.SteadyStateLiveValues, P.MaxLive) << G.toString();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLoops, SimulatorPropertyTest,
+                         ::testing::Range<uint64_t>(0, 30));

@@ -1,0 +1,93 @@
+//===- tests/SlackSchedulerTest.cpp - Huff slack scheduler tests -----------===//
+
+#include "heuristic/SlackScheduler.h"
+
+#include "heuristic/IterativeModuloScheduler.h"
+#include "sched/Mii.h"
+#include "sched/RegisterPressure.h"
+#include "sched/Verifier.h"
+#include "support/Rng.h"
+#include "workloads/KernelLibrary.h"
+#include "workloads/SyntheticGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace modsched;
+
+TEST(SlackScheduler, SchedulesPaperExample1AtMii) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  SlackScheduler Sched(M);
+  SlackResult R = Sched.schedule(G);
+  ASSERT_TRUE(R.Found);
+  EXPECT_EQ(R.Mii, 2);
+  EXPECT_EQ(R.II, 2);
+  EXPECT_FALSE(verifySchedule(G, M, R.Schedule).has_value());
+}
+
+TEST(SlackScheduler, AllKernelsAllMachines) {
+  for (MachineModel M : {MachineModel::example3(), MachineModel::vliw2(),
+                         MachineModel::cydraLike()}) {
+    for (const DependenceGraph &G : allKernels(M)) {
+      SlackScheduler Sched(M);
+      SlackResult R = Sched.schedule(G);
+      ASSERT_TRUE(R.Found) << M.name() << "/" << G.name();
+      EXPECT_GE(R.II, R.Mii);
+      EXPECT_FALSE(verifySchedule(G, M, R.Schedule).has_value())
+          << M.name() << "/" << G.name();
+    }
+  }
+}
+
+TEST(SlackScheduler, RespectsRecurrences) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = secondOrderRecurrence(M);
+  SlackScheduler Sched(M);
+  SlackResult R = Sched.schedule(G);
+  ASSERT_TRUE(R.Found);
+  EXPECT_GE(R.II, 6); // mul(4)+add(1)+add(1) over distance 1.
+  EXPECT_FALSE(verifySchedule(G, M, R.Schedule).has_value());
+}
+
+TEST(SlackScheduler, LifetimeSensitivityHelpsOnKernels) {
+  // On the kernel library, the lifetime-sensitive scheduler should
+  // accumulate no more total lifetime than plain IMS (allowing slack
+  // for individual losses).
+  MachineModel M = MachineModel::example3();
+  long SlackTotal = 0, ImsTotal = 0;
+  int Compared = 0;
+  for (const DependenceGraph &G : allKernels(M)) {
+    SlackScheduler SSched(M);
+    IterativeModuloScheduler ISched(M);
+    SlackResult SR = SSched.schedule(G);
+    ImsResult IR = ISched.schedule(G);
+    if (!SR.Found || !IR.Found || SR.II != IR.II)
+      continue;
+    ++Compared;
+    SlackTotal += computeRegisterPressure(G, SR.Schedule).TotalLifetime;
+    ImsTotal += computeRegisterPressure(G, IR.Schedule).TotalLifetime;
+  }
+  ASSERT_GT(Compared, 5);
+  EXPECT_LE(SlackTotal, ImsTotal * 11 / 10);
+}
+
+class SlackPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SlackPropertyTest, RandomLoopsScheduleValidly) {
+  MachineModel M = MachineModel::cydraLike();
+  Rng R(GetParam() * 53 + 29);
+  SyntheticOptions Opts;
+  Opts.MinOps = 3;
+  Opts.MaxOps = 14;
+  DependenceGraph G = generateLoop(M, R, Opts);
+  SlackScheduler Sched(M);
+  SlackResult Result = Sched.schedule(G);
+  if (!Result.Found)
+    GTEST_SKIP() << "budget exhausted";
+  EXPECT_GE(Result.II, Result.Mii);
+  EXPECT_FALSE(verifySchedule(G, M, Result.Schedule).has_value())
+      << G.toString();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLoops, SlackPropertyTest,
+                         ::testing::Range<uint64_t>(0, 30));

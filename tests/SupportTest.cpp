@@ -1,0 +1,139 @@
+//===- tests/SupportTest.cpp - support library tests ----------------------===//
+
+#include "support/Format.h"
+#include "support/Rng.h"
+#include "support/Statistics.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace modsched;
+
+TEST(SummaryStats, SingleValue) {
+  SummaryStats S;
+  S.add(42.0);
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_DOUBLE_EQ(S.min(), 42.0);
+  EXPECT_DOUBLE_EQ(S.max(), 42.0);
+  EXPECT_DOUBLE_EQ(S.median(), 42.0);
+  EXPECT_DOUBLE_EQ(S.average(), 42.0);
+  EXPECT_DOUBLE_EQ(S.freqOfMin(), 1.0);
+}
+
+TEST(SummaryStats, PaperStyleRow) {
+  // Mimics a Table 1 row: many zeros, a few large values.
+  SummaryStats S;
+  for (int I = 0; I < 74; ++I)
+    S.add(0.0);
+  for (int I = 0; I < 26; ++I)
+    S.add(100.0 + I);
+  EXPECT_DOUBLE_EQ(S.min(), 0.0);
+  EXPECT_NEAR(S.freqOfMin(), 0.74, 1e-12);
+  EXPECT_DOUBLE_EQ(S.median(), 0.0);
+  EXPECT_GT(S.average(), 0.0);
+  EXPECT_DOUBLE_EQ(S.max(), 125.0);
+}
+
+TEST(SummaryStats, MedianEvenOdd) {
+  SummaryStats S;
+  S.add(1);
+  S.add(3);
+  EXPECT_DOUBLE_EQ(S.median(), 2.0);
+  S.add(10);
+  EXPECT_DOUBLE_EQ(S.median(), 3.0);
+}
+
+TEST(SummaryStats, InterleavedAddAndQuery) {
+  SummaryStats S;
+  S.add(5);
+  EXPECT_DOUBLE_EQ(S.min(), 5.0);
+  S.add(1); // Must re-sort lazily.
+  EXPECT_DOUBLE_EQ(S.min(), 1.0);
+  S.add(9);
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+  EXPECT_DOUBLE_EQ(S.median(), 5.0);
+}
+
+TEST(MedianOf, Basic) {
+  EXPECT_DOUBLE_EQ(medianOf({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(medianOf({4, 1, 2, 3}), 2.5);
+}
+
+TEST(Rng, Deterministic) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(Rng, RangesRespected) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = R.nextInRange(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Rng, CoversRange) {
+  Rng R(99);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 500; ++I)
+    Seen.insert(R.nextInRange(0, 9));
+  EXPECT_EQ(Seen.size(), 10u);
+}
+
+TEST(TablePrinter, RendersAlignedColumns) {
+  TablePrinter T;
+  T.setHeader({"Measurements:", "min", "max"});
+  T.addSection("NoObj:");
+  T.addRow({"Variables", "4", "3880"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("Measurements:"), std::string::npos);
+  EXPECT_NE(Out.find("NoObj:"), std::string::npos);
+  EXPECT_NE(Out.find("3880"), std::string::npos);
+}
+
+TEST(Format, Helpers) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatPercent(0.739, 1), "73.9%");
+}
+
+TEST(SummaryStats, FormatRowContainsAllFive) {
+  SummaryStats S;
+  S.add(0.0);
+  S.add(10.0);
+  std::string Row = S.formatRow();
+  EXPECT_NE(Row.find("0.00"), std::string::npos);
+  EXPECT_NE(Row.find("50.0%"), std::string::npos); // freq of min.
+  EXPECT_NE(Row.find("5.00"), std::string::npos);  // median == average.
+  EXPECT_NE(Row.find("10.00"), std::string::npos);
+}
+
+TEST(SummaryStats, EmptyFormat) {
+  SummaryStats S;
+  EXPECT_EQ(S.formatRow(), "(empty)");
+  EXPECT_TRUE(S.empty());
+}
+
+TEST(Stopwatch, MeasuresForwardTime) {
+  Stopwatch W;
+  double A = W.seconds();
+  double B = W.seconds();
+  EXPECT_GE(A, 0.0);
+  EXPECT_GE(B, A);
+  W.reset();
+  EXPECT_GE(W.seconds(), 0.0);
+}

@@ -1,0 +1,167 @@
+//===- tests/TextioTest.cpp - .ddg parser/printer tests --------------------===//
+
+#include "textio/DdgFormat.h"
+#include "textio/LpWriter.h"
+
+#include "ilpsched/Formulation.h"
+#include "workloads/KernelLibrary.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+using namespace modsched;
+
+TEST(DdgFormat, ParsesMinimalLoop) {
+  MachineModel M = MachineModel::example3();
+  std::string Text = R"(# a comment
+loop tiny
+op ld load
+op st store
+flow ld st latency=1 omega=0
+)";
+  std::string Error;
+  auto G = parseDdg(Text, M, &Error);
+  ASSERT_TRUE(G.has_value()) << Error;
+  EXPECT_EQ(G->name(), "tiny");
+  EXPECT_EQ(G->numOperations(), 2);
+  EXPECT_EQ(G->numSchedEdges(), 1);
+  EXPECT_EQ(G->numRegisters(), 1);
+}
+
+TEST(DdgFormat, EdgeDoesNotCreateRegister) {
+  MachineModel M = MachineModel::example3();
+  std::string Text = "op a add\nop b add\nedge a b latency=1 omega=1\n";
+  auto G = parseDdg(Text, M);
+  ASSERT_TRUE(G.has_value());
+  EXPECT_EQ(G->numRegisters(), 0);
+}
+
+TEST(DdgFormat, ReportsUnknownClass) {
+  MachineModel M = MachineModel::example3();
+  std::string Error;
+  EXPECT_FALSE(parseDdg("op a warp\n", M, &Error).has_value());
+  EXPECT_NE(Error.find("unknown operation class"), std::string::npos);
+  EXPECT_NE(Error.find("line 1"), std::string::npos);
+}
+
+TEST(DdgFormat, ReportsUnknownOperation) {
+  MachineModel M = MachineModel::example3();
+  std::string Error;
+  EXPECT_FALSE(
+      parseDdg("op a add\nflow a ghost latency=1 omega=0\n", M, &Error)
+          .has_value());
+  EXPECT_NE(Error.find("line 2"), std::string::npos);
+}
+
+TEST(DdgFormat, ReportsMalformedNumbers) {
+  MachineModel M = MachineModel::example3();
+  std::string Error;
+  EXPECT_FALSE(
+      parseDdg("op a add\nop b add\nflow a b latency=x omega=0\n", M, &Error)
+          .has_value());
+  EXPECT_NE(Error.find("malformed"), std::string::npos);
+}
+
+TEST(DdgFormat, RejectsNegativeOmega) {
+  MachineModel M = MachineModel::example3();
+  std::string Error;
+  EXPECT_FALSE(
+      parseDdg("op a add\nop b add\nedge a b latency=1 omega=-1\n", M,
+               &Error)
+          .has_value());
+}
+
+TEST(DdgFormat, RejectsDuplicateOpNames) {
+  MachineModel M = MachineModel::example3();
+  std::string Error;
+  EXPECT_FALSE(parseDdg("op a add\nop a add\n", M, &Error).has_value());
+  EXPECT_NE(Error.find("duplicate"), std::string::npos);
+}
+
+TEST(DdgFormat, LoadsFromFile) {
+  MachineModel M = MachineModel::example3();
+  std::string Path = ::testing::TempDir() + "/tiny.ddg";
+  {
+    std::ofstream Out(Path);
+    Out << "loop filetest\nop a add\nop b add\n"
+           "flow a b latency=1 omega=0\n";
+  }
+  std::string Error;
+  auto G = loadDdgFile(Path, M, &Error);
+  ASSERT_TRUE(G.has_value()) << Error;
+  EXPECT_EQ(G->name(), "filetest");
+  EXPECT_EQ(G->numOperations(), 2);
+}
+
+TEST(DdgFormat, LoadMissingFileReportsError) {
+  MachineModel M = MachineModel::example3();
+  std::string Error;
+  EXPECT_FALSE(loadDdgFile("/nonexistent/nowhere.ddg", M, &Error)
+                   .has_value());
+  EXPECT_NE(Error.find("cannot open"), std::string::npos);
+}
+
+TEST(LpWriter, EmitsAllSections) {
+  lp::Model M;
+  int X = M.addVariable("x", 0, 4, 2.0, lp::VarKind::Integer);
+  int Y = M.addVariable("y", -lp::infinity(), lp::infinity(), -1.0);
+  M.addConstraint({{X, 1.0}, {Y, -2.0}}, lp::ConstraintSense::LE, 3.0);
+  M.addConstraint({{Y, 1.0}}, lp::ConstraintSense::EQ, 1.0);
+  std::string Text = writeLpFormat(M);
+  EXPECT_NE(Text.find("Minimize"), std::string::npos);
+  EXPECT_NE(Text.find("Subject To"), std::string::npos);
+  EXPECT_NE(Text.find("Bounds"), std::string::npos);
+  EXPECT_NE(Text.find("Generals"), std::string::npos);
+  EXPECT_NE(Text.find("End"), std::string::npos);
+  EXPECT_NE(Text.find("v0_x"), std::string::npos);
+  EXPECT_NE(Text.find("free"), std::string::npos);
+  EXPECT_NE(Text.find("<= 3"), std::string::npos);
+}
+
+TEST(LpWriter, NoGeneralsWithoutIntegers) {
+  lp::Model M;
+  M.addVariable("x", 0, 1, 1.0);
+  std::string Text = writeLpFormat(M);
+  EXPECT_EQ(Text.find("Generals"), std::string::npos);
+}
+
+TEST(LpWriter, SanitizesNames) {
+  lp::Model M;
+  int X = M.addVariable("a r0_weird-name!", 0, 1, 1.0);
+  M.addConstraint({{X, 1.0}}, lp::ConstraintSense::GE, 0.0);
+  std::string Text = writeLpFormat(M);
+  EXPECT_NE(Text.find("v0_a_r0_weird_name_"), std::string::npos);
+}
+
+TEST(LpWriter, FormulationExportsCleanly) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  FormulationOptions Opts;
+  Opts.Obj = Objective::MinReg;
+  Formulation F(G, M, 2, Opts);
+  ASSERT_TRUE(F.valid());
+  std::string Text = writeLpFormat(F.model());
+  // Every constraint appears once.
+  size_t Count = 0, Pos = 0;
+  while ((Pos = Text.find("\n c", Pos)) != std::string::npos) {
+    ++Count;
+    ++Pos;
+  }
+  EXPECT_EQ(Count, static_cast<size_t>(F.model().numConstraints()));
+}
+
+TEST(DdgFormat, RoundTripsAllKernels) {
+  MachineModel M = MachineModel::cydraLike();
+  for (const DependenceGraph &G : allKernels(M)) {
+    std::string Text = printDdg(G, M);
+    std::string Error;
+    auto Parsed = parseDdg(Text, M, &Error);
+    ASSERT_TRUE(Parsed.has_value()) << G.name() << ": " << Error;
+    EXPECT_EQ(Parsed->numOperations(), G.numOperations()) << G.name();
+    EXPECT_EQ(Parsed->numSchedEdges(), G.numSchedEdges()) << G.name();
+    EXPECT_EQ(Parsed->numRegisters(), G.numRegisters()) << G.name();
+    // Second round trip must be a fixpoint.
+    EXPECT_EQ(printDdg(*Parsed, M), Text) << G.name();
+  }
+}

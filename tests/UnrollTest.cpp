@@ -1,0 +1,129 @@
+//===- tests/UnrollTest.cpp - loop unrolling tests -------------------------===//
+
+#include "graph/Unroll.h"
+
+#include "graph/GraphAlgorithms.h"
+#include "ilpsched/OptimalScheduler.h"
+#include "sched/Mii.h"
+#include "sched/Verifier.h"
+#include "support/Rng.h"
+#include "workloads/KernelLibrary.h"
+#include "workloads/SyntheticGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace modsched;
+
+TEST(Unroll, FactorOneIsStructuralCopy) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  DependenceGraph U = unrollLoop(G, 1);
+  EXPECT_EQ(U.numOperations(), G.numOperations());
+  EXPECT_EQ(U.numSchedEdges(), G.numSchedEdges());
+  EXPECT_EQ(U.numRegisters(), G.numRegisters());
+  for (const SchedEdge &E : U.schedEdges()) {
+    bool Matched = false;
+    for (const SchedEdge &O : G.schedEdges())
+      Matched |= O.Latency == E.Latency && O.Distance == E.Distance;
+    EXPECT_TRUE(Matched);
+  }
+}
+
+TEST(Unroll, CountsScaleWithFactor) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = livermore5(M);
+  for (int Factor : {2, 3, 4}) {
+    DependenceGraph U = unrollLoop(G, Factor);
+    EXPECT_EQ(U.numOperations(), G.numOperations() * Factor);
+    EXPECT_EQ(U.numSchedEdges(), G.numSchedEdges() * Factor);
+    EXPECT_EQ(U.numRegisters(), G.numRegisters() * Factor);
+    EXPECT_FALSE(U.validate().has_value());
+    EXPECT_FALSE(hasZeroDistanceCycle(U));
+  }
+}
+
+TEST(Unroll, IntraIterationEdgesStayIntra) {
+  // Distance-0 edges must connect ops of the same copy.
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  DependenceGraph U = unrollLoop(G, 3);
+  int N = G.numOperations();
+  for (const SchedEdge &E : U.schedEdges()) {
+    if (E.Distance != 0)
+      continue;
+    EXPECT_EQ(E.Src / N, E.Dst / N); // Same copy block.
+  }
+}
+
+TEST(Unroll, RecurrenceDistanceFolds) {
+  // Self-recurrence with distance 1 unrolled by 3: copy0 -> copy1 and
+  // copy1 -> copy2 at distance 0, copy2 -> copy0 at distance 1.
+  DependenceGraph G;
+  int A = G.addOperation("acc", 0);
+  G.addFlowDependence(A, A, 1, 1);
+  DependenceGraph U = unrollLoop(G, 3);
+  int Dist0 = 0, Dist1 = 0;
+  for (const SchedEdge &E : U.schedEdges()) {
+    if (E.Distance == 0)
+      ++Dist0;
+    else if (E.Distance == 1)
+      ++Dist1;
+  }
+  EXPECT_EQ(Dist0, 2);
+  EXPECT_EQ(Dist1, 1);
+}
+
+TEST(Unroll, FractionalIiRecovered) {
+  // Recurrence latency 3 over distance 2: true rate 1.5 cycles/iter.
+  // Integer modulo scheduling is stuck at II=2; unrolled by 2 the loop
+  // schedules at II=3, i.e. 1.5 cycles per original iteration.
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G;
+  int Add1 = G.addOperation("a1", *M.findOpClass(opclasses::Add));
+  int Add2 = G.addOperation("a2", *M.findOpClass(opclasses::Add));
+  int Add3 = G.addOperation("a3", *M.findOpClass(opclasses::Add));
+  G.addFlowDependence(Add1, Add2, 1, 0);
+  G.addFlowDependence(Add2, Add3, 1, 0);
+  G.addFlowDependence(Add3, Add1, 1, 2);
+  EXPECT_EQ(recMii(G), 2); // ceil(3/2).
+
+  DependenceGraph U = unrollLoop(G, 2);
+  EXPECT_EQ(recMii(U), 3); // Cycle latency 6 over distance 2.
+
+  SchedulerOptions Opts;
+  OptimalModuloScheduler Sched(M, Opts);
+  ScheduleResult RG = Sched.schedule(G);
+  ScheduleResult RU = Sched.schedule(U);
+  ASSERT_TRUE(RG.Found && RU.Found);
+  EXPECT_EQ(RG.II, 2);
+  EXPECT_EQ(RU.II, 3);
+  // Cycles per ORIGINAL iteration: 2.0 vs 1.5.
+  EXPECT_LT(RU.II / 2.0, double(RG.II));
+}
+
+class UnrollPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UnrollPropertyTest, UnrolledIiNeverWorsePerIteration) {
+  // Scheduling the U-times unrolled loop at U * II(original) is always
+  // possible, so optimal II(unrolled) <= U * II(original).
+  MachineModel M = MachineModel::vliw2();
+  Rng R(GetParam() * 17 + 7);
+  SyntheticOptions Opts;
+  Opts.MinOps = 3;
+  Opts.MaxOps = 6;
+  DependenceGraph G = generateLoop(M, R, Opts);
+  DependenceGraph U2 = unrollLoop(G, 2);
+
+  SchedulerOptions SOpts;
+  SOpts.TimeLimitSeconds = 20.0;
+  OptimalModuloScheduler Sched(M, SOpts);
+  ScheduleResult RG = Sched.schedule(G);
+  ScheduleResult RU = Sched.schedule(U2);
+  if (!RG.Found || !RU.Found)
+    GTEST_SKIP() << "budget exhausted";
+  EXPECT_LE(RU.II, 2 * RG.II) << G.toString();
+  EXPECT_FALSE(verifySchedule(U2, M, RU.Schedule).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLoops, UnrollPropertyTest,
+                         ::testing::Range<uint64_t>(0, 15));
