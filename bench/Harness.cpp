@@ -2,13 +2,18 @@
 
 #include "Harness.h"
 
+#include "ilp/BranchAndBound.h"
 #include "sched/RegisterPressure.h"
 #include "support/Format.h"
+#include "support/Json.h"
 #include "support/Statistics.h"
 #include "workloads/SyntheticGenerator.h"
 
+#include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <filesystem>
 
 using namespace modsched;
 using namespace modsched::bench;
@@ -30,6 +35,31 @@ std::vector<DependenceGraph> bench::benchSuite(const MachineModel &M,
                        /*IncludeKernels=*/true, Config.LargeCap);
 }
 
+LoopRecord LoopRecord::fromResult(const DependenceGraph &G,
+                                  const ScheduleResult &R) {
+  LoopRecord Rec;
+  Rec.Name = G.name();
+  Rec.NumOps = G.numOperations();
+  Rec.Solved = R.Found;
+  Rec.TimedOut = R.TimedOut;
+  Rec.II = R.II;
+  Rec.Mii = R.Mii;
+  Rec.Nodes = R.Nodes;
+  Rec.SimplexIterations = R.SimplexIterations;
+  Rec.Variables = R.Variables;
+  Rec.Constraints = R.Constraints;
+  Rec.Seconds = R.Seconds;
+  Rec.Secondary = R.SecondaryObjective;
+  Rec.Attempts = R.Attempts;
+  if (R.Found) {
+    RegisterPressure P = computeRegisterPressure(G, R.Schedule);
+    Rec.MaxLive = P.MaxLive;
+    Rec.TotalLifetime = P.TotalLifetime;
+    Rec.Buffers = P.Buffers;
+  }
+  return Rec;
+}
+
 std::vector<LoopRecord>
 bench::runOptimal(const MachineModel &M,
                   const std::vector<DependenceGraph> &Suite, Objective Obj,
@@ -43,29 +73,8 @@ bench::runOptimal(const MachineModel &M,
 
   std::vector<LoopRecord> Records;
   Records.reserve(Suite.size());
-  for (const DependenceGraph &G : Suite) {
-    ScheduleResult R = Scheduler.schedule(G);
-    LoopRecord Rec;
-    Rec.Name = G.name();
-    Rec.NumOps = G.numOperations();
-    Rec.Solved = R.Found;
-    Rec.TimedOut = R.TimedOut;
-    Rec.II = R.II;
-    Rec.Mii = R.Mii;
-    Rec.Nodes = R.Nodes;
-    Rec.SimplexIterations = R.SimplexIterations;
-    Rec.Variables = R.Variables;
-    Rec.Constraints = R.Constraints;
-    Rec.Seconds = R.Seconds;
-    Rec.Secondary = R.SecondaryObjective;
-    if (R.Found) {
-      RegisterPressure P = computeRegisterPressure(G, R.Schedule);
-      Rec.MaxLive = P.MaxLive;
-      Rec.TotalLifetime = P.TotalLifetime;
-      Rec.Buffers = P.Buffers;
-    }
-    Records.push_back(std::move(Rec));
-  }
+  for (const DependenceGraph &G : Suite)
+    Records.push_back(LoopRecord::fromResult(G, Scheduler.schedule(G)));
   return Records;
 }
 
@@ -125,4 +134,119 @@ void bench::printPaperTableBlock(const std::string &SchedulerName,
   Row("II", Ii);
   Row("N", N);
   std::printf("%s\n", T.render().c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// BenchJson
+//===----------------------------------------------------------------------===//
+
+BenchJson::BenchJson(std::string Experiment)
+    : Experiment(std::move(Experiment)) {}
+
+void BenchJson::addMetric(std::string Key, double Value) {
+  Metrics.emplace_back(std::move(Key), Value);
+}
+
+void BenchJson::addRecordSet(std::string Label,
+                             std::vector<LoopRecord> Records) {
+  Sets.push_back({std::move(Label), std::move(Records)});
+}
+
+namespace {
+
+void emitRecord(json::JsonWriter &W, const LoopRecord &R) {
+  W.beginObject();
+  W.key("name").value(R.Name);
+  W.key("n").value(R.NumOps);
+  W.key("solved").value(R.Solved);
+  W.key("timed_out").value(R.TimedOut);
+  W.key("status").value(R.status());
+  W.key("ii").value(R.II);
+  W.key("mii").value(R.Mii);
+  W.key("nodes").value(R.Nodes);
+  W.key("iterations").value(R.SimplexIterations);
+  W.key("variables").value(R.Variables);
+  W.key("constraints").value(R.Constraints);
+  W.key("seconds").value(R.Seconds);
+  W.key("secondary").value(R.Secondary);
+  W.key("max_live").value(R.MaxLive);
+  W.key("total_lifetime").value(static_cast<int64_t>(R.TotalLifetime));
+  W.key("buffers").value(static_cast<int64_t>(R.Buffers));
+  W.key("attempts").beginArray();
+  for (const IiAttempt &A : R.Attempts) {
+    W.beginObject();
+    W.key("ii").value(A.II);
+    W.key("status").value(ilp::toString(A.Status));
+    W.key("window_infeasible").value(A.WindowInfeasible);
+    W.key("scheduled").value(A.Scheduled);
+    W.key("nodes").value(A.Nodes);
+    W.key("iterations").value(A.SimplexIterations);
+    W.key("variables").value(A.Variables);
+    W.key("constraints").value(A.Constraints);
+    W.key("seconds").value(A.Seconds);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+}
+
+} // namespace
+
+std::string BenchJson::write() const {
+  namespace fs = std::filesystem;
+  const char *DirEnv = std::getenv("MODSCHED_BENCH_RESULTS_DIR");
+  fs::path Dir = DirEnv && *DirEnv ? fs::path(DirEnv)
+                                   : fs::path("bench_results");
+  std::error_code Ec;
+  fs::create_directories(Dir, Ec);
+  if (Ec) {
+    std::fprintf(stderr, "warning: cannot create %s: %s\n",
+                 Dir.string().c_str(), Ec.message().c_str());
+    return std::string();
+  }
+  fs::path Path = Dir / ("BENCH_" + Experiment + ".json");
+
+  std::string Out;
+  json::JsonWriter W(Out);
+  W.beginObject();
+  W.key("schema_version").value(1);
+  W.key("experiment").value(Experiment);
+  W.key("generated_unix")
+      .value(static_cast<int64_t>(std::time(nullptr)));
+  W.key("config").beginObject();
+  W.key("synthetic_loops").value(Cfg.SyntheticLoops);
+  W.key("seed").value(static_cast<uint64_t>(Cfg.Seed));
+  W.key("time_limit_seconds").value(Cfg.TimeLimitSeconds);
+  W.key("node_limit").value(Cfg.NodeLimit);
+  W.key("large_cap").value(Cfg.LargeCap);
+  W.endObject();
+  W.key("metrics").beginObject();
+  for (const auto &[Key, Value] : Metrics)
+    W.key(Key).value(Value);
+  W.endObject();
+  W.key("record_sets").beginArray();
+  for (const RecordSet &Set : Sets) {
+    W.beginObject();
+    W.key("label").value(Set.Label);
+    W.key("records").beginArray();
+    for (const LoopRecord &R : Set.Records)
+      emitRecord(W, R);
+    W.endArray();
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  assert(W.done() && "unbalanced JSON emission");
+  Out.push_back('\n');
+
+  std::FILE *F = std::fopen(Path.string().c_str(), "wb");
+  if (!F) {
+    std::fprintf(stderr, "warning: cannot write %s\n",
+                 Path.string().c_str());
+    return std::string();
+  }
+  std::fwrite(Out.data(), 1, Out.size(), F);
+  std::fclose(F);
+  std::fprintf(stderr, "bench results: %s\n", Path.string().c_str());
+  return Path.string();
 }

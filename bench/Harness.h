@@ -17,6 +17,15 @@
 ///   MODSCHED_BENCH_TIMELIMIT  per-loop seconds (default 2.0)
 ///   MODSCHED_BENCH_SEED       suite seed (default 20260705)
 ///
+/// Every experiment binary also writes its per-loop records and resolved
+/// configuration to bench_results/BENCH_<experiment>.json (see BenchJson
+/// below); the directory is overridden with
+///   MODSCHED_BENCH_RESULTS_DIR  output directory (default bench_results)
+/// and the solver-level observability switches (docs/OBSERVABILITY.md)
+/// compose freely with any bench run:
+///   MODSCHED_TRACE=<file>     Chrome trace_event (.json) / JSONL trace
+///   MODSCHED_STATS=1          counter/timer report on stderr at exit
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MODSCHED_BENCH_HARNESS_H
@@ -62,6 +71,20 @@ struct LoopRecord {
   int MaxLive = 0;
   long TotalLifetime = 0;
   long Buffers = 0;
+  /// Per-tentative-II telemetry copied from ScheduleResult.
+  std::vector<IiAttempt> Attempts;
+
+  /// Builds the record from one scheduling run — the single place where
+  /// ScheduleResult fields are copied into the bench layer, so adding a
+  /// field cannot silently drift between experiment binaries. Computes
+  /// the concrete register pressure when a schedule was found.
+  static LoopRecord fromResult(const DependenceGraph &G,
+                               const ScheduleResult &R);
+
+  /// "solved", "timeout", or "unsolved" (proved infeasible / gave up).
+  const char *status() const {
+    return Solved ? "solved" : (TimedOut ? "timeout" : "unsolved");
+  }
 };
 
 /// The benchmark suite: hand kernels followed by synthetic loops.
@@ -86,6 +109,46 @@ int countSolved(const std::vector<LoopRecord> &Records);
 /// Indices of loops solved in every record set.
 std::vector<int>
 commonlySolved(const std::vector<std::vector<LoopRecord>> &RecordSets);
+
+/// Machine-readable result artifact for one experiment binary.
+///
+/// Usage: construct with the experiment name, register the resolved
+/// BenchConfig, add headline metrics and every record set as they are
+/// produced, and call write() before exiting. The artifact is
+///   <dir>/BENCH_<experiment>.json
+/// with <dir> = $MODSCHED_BENCH_RESULTS_DIR or "bench_results" (created
+/// if missing). The schema (schema_version 1) is validated by
+/// scripts/check_bench_json.py and documented in docs/OBSERVABILITY.md.
+class BenchJson {
+public:
+  explicit BenchJson(std::string Experiment);
+
+  /// Records the resolved configuration (after env overrides).
+  void setConfig(const BenchConfig &Config) { Cfg = Config; }
+
+  /// Adds one experiment-specific headline number (coverage, ratios,
+  /// ...). Keys should be snake_case.
+  void addMetric(std::string Key, double Value);
+
+  /// Adds one labelled set of per-loop records (one per scheduler
+  /// configuration, typically).
+  void addRecordSet(std::string Label, std::vector<LoopRecord> Records);
+
+  /// Serializes and writes the artifact. Returns the path written, or
+  /// an empty string on I/O failure (a warning is printed to stderr;
+  /// experiments report their tables regardless).
+  std::string write() const;
+
+private:
+  std::string Experiment;
+  BenchConfig Cfg;
+  std::vector<std::pair<std::string, double>> Metrics;
+  struct RecordSet {
+    std::string Label;
+    std::vector<LoopRecord> Records;
+  };
+  std::vector<RecordSet> Sets;
+};
 
 } // namespace bench
 } // namespace modsched

@@ -39,6 +39,9 @@ int main() {
               "largest loop\n(suite: %zu loops, %.1fs/loop budget)\n\n",
               Suite.size(), Config.TimeLimitSeconds);
 
+  BenchJson Json("exp3_time_coverage");
+  Json.setConfig(Config);
+
   const Objective Objs[] = {Objective::None, Objective::MinReg};
   const char *Names[] = {"NoObj", "MinReg"};
 
@@ -72,8 +75,21 @@ int main() {
                 StructTime > 0 ? TradTime / StructTime : 0.0);
     std::printf("    total nodes: traditional %ld / structured %ld\n\n",
                 TradNodes, StructNodes);
+    Json.addMetric(std::string("coverage_traditional_") + Names[O],
+                   countSolved(Trad));
+    Json.addMetric(std::string("coverage_structured_") + Names[O],
+                   countSolved(Struct));
+    Json.addMetric(std::string("common_time_traditional_") + Names[O],
+                   TradTime);
+    Json.addMetric(std::string("common_time_structured_") + Names[O],
+                   StructTime);
+    Json.addRecordSet(std::string(Names[O]) + "/traditional",
+                      std::move(Trad));
+    Json.addRecordSet(std::string(Names[O]) + "/structured",
+                      std::move(Struct));
   }
   std::printf("(paper: MinReg total time 870.2s -> 101.0s = 8.6x; "
               "coverage 782 -> 917 (MinReg), 1084 -> 1179 (NoObj))\n");
+  Json.write();
   return 0;
 }

@@ -26,10 +26,14 @@ int main() {
               "(suite: %zu loops)\n\n",
               Suite.size());
 
+  BenchJson Json("exp4_ims_vs_optimal");
+  Json.setConfig(Config);
+
   IterativeModuloScheduler Ims(M);
   int ImsAtMii = 0, ImsSolved = 0;
   std::vector<int> ImsII(Suite.size(), -1);
   std::vector<int> MiiOf(Suite.size(), 0);
+  std::vector<LoopRecord> ImsRecords;
   for (size_t I = 0; I < Suite.size(); ++I) {
     ImsResult R = Ims.schedule(Suite[I]);
     MiiOf[I] = R.Mii;
@@ -39,7 +43,15 @@ int main() {
       if (R.II == R.Mii)
         ++ImsAtMii;
     }
+    LoopRecord Rec;
+    Rec.Name = Suite[I].name();
+    Rec.NumOps = Suite[I].numOperations();
+    Rec.Solved = R.Found;
+    Rec.II = R.Found ? R.II : 0;
+    Rec.Mii = R.Mii;
+    ImsRecords.push_back(std::move(Rec));
   }
+  Json.addRecordSet("IMS", std::move(ImsRecords));
   std::printf("IMS: solved %d/%zu loops; II == MII on %d (%.1f%%)\n",
               ImsSolved, Suite.size(), ImsAtMii,
               100.0 * ImsAtMii / static_cast<double>(Suite.size()));
@@ -54,10 +66,12 @@ int main() {
   Opts.TimeLimitSeconds = Config.TimeLimitSeconds;
   OptimalModuloScheduler Optimal(M, Opts);
 
+  std::vector<LoopRecord> OptRecords;
   for (size_t I = 0; I < Suite.size(); ++I) {
     if (ImsII[I] < 0 || ImsII[I] == MiiOf[I])
       continue; // Not interesting: unsolved or already provably optimal.
     ScheduleResult R = Optimal.schedule(Suite[I]);
+    OptRecords.push_back(LoopRecord::fromResult(Suite[I], R));
     if (!R.Found) {
       ++Unresolved;
       continue;
@@ -69,6 +83,7 @@ int main() {
     else
       ++Improved;
   }
+  Json.addRecordSet("NoObj-on-interesting", std::move(OptRecords));
 
   int Interesting = 0;
   for (size_t I = 0; I < Suite.size(); ++I)
@@ -87,5 +102,13 @@ int main() {
               "(paper: 96.0%% at MII, 97.7%% after optimal analysis)\n",
               TotalOptimal, Suite.size(),
               100.0 * TotalOptimal / static_cast<double>(Suite.size()));
+  Json.addMetric("ims_solved", ImsSolved);
+  Json.addMetric("ims_at_mii", ImsAtMii);
+  Json.addMetric("interesting", Interesting);
+  Json.addMetric("shown_optimal", ShownOptimal);
+  Json.addMetric("improved", Improved);
+  Json.addMetric("unresolved", Unresolved);
+  Json.addMetric("total_optimal", TotalOptimal);
+  Json.write();
   return 0;
 }

@@ -45,6 +45,9 @@ int main() {
     HeurMaxLive[I] = computeRegisterPressure(Suite[I], S).MaxLive;
   }
 
+  BenchJson Json("exp5_stage_sched_regs");
+  Json.setConfig(Config);
+
   const Objective Objs[] = {Objective::MinReg, Objective::MinLife,
                             Objective::MinBuff};
   const char *Names[] = {"MinReg", "MinLife", "MinBuff"};
@@ -71,8 +74,14 @@ int main() {
                 100.0 * OptBetter / std::max(1, Compared),
                 100.0 * HeurBetter / std::max(1, Compared),
                 100.0 * Equal / std::max(1, Compared));
+    Json.addMetric(std::string("compared_") + Names[O], Compared);
+    Json.addMetric(std::string("opt_better_") + Names[O], OptBetter);
+    Json.addMetric(std::string("heur_better_") + Names[O], HeurBetter);
+    Json.addMetric(std::string("equal_") + Names[O], Equal);
+    Json.addRecordSet(Names[O], std::move(Records));
   }
   std::printf("\n(paper: optimal better for 23.6%% / 18.5%% / 4.5%% of "
               "loops; heuristic better for 0%% / 3.2%% / 12.3%%)\n");
+  Json.write();
   return 0;
 }

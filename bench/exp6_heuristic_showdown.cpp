@@ -42,10 +42,14 @@ int main() {
               "(suite: %zu loops)\n\n",
               Suite.size());
 
+  BenchJson Json("exp6_heuristic_showdown");
+  Json.setConfig(Config);
+
   // Optimal references.
   std::fprintf(stderr, "running optimal MinReg reference...\n");
   std::vector<LoopRecord> Optimal = runOptimal(
       M, Suite, Objective::MinReg, DependenceStyle::Structured, Config);
+  Json.addRecordSet("MinReg-optimal", Optimal);
 
   IterativeModuloScheduler Ims(M);
   SlackScheduler Slack(M);
@@ -79,8 +83,16 @@ int main() {
     std::fprintf(stderr, "running %s...\n", Names[Which]);
     int Solved = 0, AtOptII = 0, Comparable = 0, AtOptReg = 0;
     long RegOverhead = 0;
+    std::vector<LoopRecord> HeurRecords;
     for (size_t I = 0; I < Suite.size(); ++I) {
       HeuristicOutcome H = RunHeuristic(Which, Suite[I]);
+      LoopRecord Rec;
+      Rec.Name = Suite[I].name();
+      Rec.NumOps = Suite[I].numOperations();
+      Rec.Solved = H.Found;
+      Rec.II = H.II;
+      Rec.MaxLive = H.MaxLive;
+      HeurRecords.push_back(std::move(Rec));
       if (!H.Found)
         continue;
       ++Solved;
@@ -99,8 +111,13 @@ int main() {
                 100.0 * AtOptII / std::max(1, countSolved(Optimal)),
                 RegOverhead / std::max(1.0, double(Comparable)),
                 100.0 * AtOptReg / std::max(1, Comparable));
+    Json.addMetric(std::string("solved_") + Names[Which], Solved);
+    Json.addMetric(std::string("at_opt_ii_") + Names[Which], AtOptII);
+    Json.addMetric(std::string("at_opt_reg_") + Names[Which], AtOptReg);
+    Json.addRecordSet(Names[Which], std::move(HeurRecords));
   }
   std::printf("\n(opt-II rate over loops the optimal scheduler solved; "
               "register columns over equal-II loops)\n");
+  Json.write();
   return 0;
 }

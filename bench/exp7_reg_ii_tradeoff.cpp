@@ -19,11 +19,20 @@
 #include <cstdio>
 
 using namespace modsched;
+using namespace modsched::bench;
 using namespace modsched::ilp;
 
 int main() {
   MachineModel M = MachineModel::cydraLike();
   const int Sweep = 5;
+  // Kernel-only sweep with a fixed per-cell solve budget; record the
+  // effective configuration rather than the env-derived defaults.
+  BenchConfig Config;
+  Config.SyntheticLoops = 0;
+  Config.TimeLimitSeconds = 10.0;
+  BenchJson Json("exp7_reg_ii_tradeoff");
+  Json.setConfig(Config);
+  std::vector<LoopRecord> Cells;
   std::printf("Experiment 7 (extension): minimum MaxLive as II relaxes\n"
               "(per kernel: MII, then optimal registers at MII+0..+%d; "
               "'-' = infeasible, '?' = budget)\n\n",
@@ -39,26 +48,44 @@ int main() {
     int Mii = mii(G, M);
     std::printf("%-26s %4d |", G.name().c_str(), Mii);
     for (int D = 0; D < Sweep; ++D) {
+      LoopRecord Cell;
+      Cell.Name = G.name() + "+" + std::to_string(D);
+      Cell.NumOps = G.numOperations();
+      Cell.Mii = Mii;
+      Cell.II = Mii + D;
       FormulationOptions FOpts;
       FOpts.Obj = Objective::MinReg;
       Formulation F(G, M, Mii + D, FOpts);
       if (!F.valid()) {
         std::printf("  - ");
+        Cells.push_back(std::move(Cell));
         continue;
       }
       MipOptions MOpts;
-      MOpts.TimeLimitSeconds = 10.0;
+      MOpts.TimeLimitSeconds = Config.TimeLimitSeconds;
       MipResult R = MipSolver(MOpts).solve(F.model());
-      if (R.Status == MipStatus::Optimal)
-        std::printf("%3d ", static_cast<int>(R.Objective + 0.5));
-      else if (R.Status == MipStatus::Infeasible)
+      Cell.Nodes = R.Nodes;
+      Cell.SimplexIterations = R.SimplexIterations;
+      Cell.Variables = F.model().numVariables();
+      Cell.Constraints = F.model().numConstraints();
+      Cell.Seconds = R.Seconds;
+      Cell.Solved = R.Status == MipStatus::Optimal;
+      Cell.TimedOut = R.Status == MipStatus::Limit;
+      if (R.Status == MipStatus::Optimal) {
+        Cell.Secondary = R.Objective;
+        Cell.MaxLive = static_cast<int>(R.Objective + 0.5);
+        std::printf("%3d ", Cell.MaxLive);
+      } else if (R.Status == MipStatus::Infeasible)
         std::printf("  - ");
       else
         std::printf("  ? ");
+      Cells.push_back(std::move(Cell));
     }
     std::printf("\n");
   }
   std::printf("\n(reading a row left to right shows how many registers a "
               "cycle of II buys back)\n");
+  Json.addRecordSet("minreg_ii_sweep", std::move(Cells));
+  Json.write();
   return 0;
 }

@@ -15,6 +15,8 @@
 #include "workloads/KernelLibrary.h"
 
 #include <cstdio>
+#include <iterator>
+#include <string>
 
 using namespace modsched;
 using namespace modsched::bench;
@@ -22,6 +24,14 @@ using namespace modsched::bench;
 int main() {
   MachineModel M = MachineModel::cydraLike();
   const int Budgets[] = {16, 12, 10, 8, 6, 4};
+  // Kernel-only sweep with a fixed per-cell budget; record the effective
+  // configuration rather than the env-derived defaults.
+  BenchConfig Config;
+  Config.SyntheticLoops = 0;
+  Config.TimeLimitSeconds = 8.0;
+  BenchJson Json("exp8_register_budget");
+  Json.setConfig(Config);
+  std::vector<std::vector<LoopRecord>> PerBudget(std::size(Budgets));
   std::printf("Experiment 8 (extension): minimum II under register "
               "budgets\n(per kernel: MII, then min II with <= K "
               "registers; '-' = unschedulable, '?' = budget)\n\n");
@@ -34,13 +44,15 @@ int main() {
     if (G.numOperations() > 14)
       continue; // Keep the sweep quick.
     std::printf("%-26s %4d |", G.name().c_str(), mii(G, M));
-    for (int K : Budgets) {
+    for (size_t B = 0; B < std::size(Budgets); ++B) {
+      int K = Budgets[B];
       SchedulerOptions Opts;
       Opts.Formulation.RegisterLimit = K;
-      Opts.TimeLimitSeconds = 8.0;
+      Opts.TimeLimitSeconds = Config.TimeLimitSeconds;
       Opts.MaxIiIncrease = 12;
       OptimalModuloScheduler Sched(M, Opts);
       ScheduleResult R = Sched.schedule(G);
+      PerBudget[B].push_back(LoopRecord::fromResult(G, R));
       if (R.Found)
         std::printf(" %4d ", R.II);
       else if (R.TimedOut)
@@ -52,5 +64,9 @@ int main() {
   }
   std::printf("\n(reading a row right to left shows the II cost of "
               "shrinking the rotating register file)\n");
+  for (size_t B = 0; B < std::size(Budgets); ++B)
+    Json.addRecordSet("K=" + std::to_string(Budgets[B]),
+                      std::move(PerBudget[B]));
+  Json.write();
   return 0;
 }

@@ -32,6 +32,9 @@ int main() {
   const DependenceStyle Styles[] = {DependenceStyle::Traditional,
                                     DependenceStyle::Structured};
 
+  BenchJson Json("fig2_bb_nodes");
+  Json.setConfig(Config);
+
   // Run all eight configurations.
   std::vector<std::vector<LoopRecord>> All;
   for (Objective Obj : Objs)
@@ -39,6 +42,8 @@ int main() {
       std::fprintf(stderr, "running %s/%s...\n", toString(Obj),
                    toString(Dep));
       All.push_back(runOptimal(M, Suite, Obj, Dep, Config));
+      Json.addRecordSet(std::string(toString(Obj)) + "/" + toString(Dep),
+                        All.back());
     }
 
   // Figure 2 averages over the loops solved by EVERY configuration
@@ -46,6 +51,7 @@ int main() {
   std::vector<int> Common = commonlySolved(All);
   std::printf("loops solved by all 8 configurations: %zu\n\n",
               Common.size());
+  Json.addMetric("commonly_solved", Common.size());
 
   std::printf("%-10s %22s %22s %8s\n", "scheduler", "traditional nodes",
               "structured nodes", "ratio");
@@ -60,8 +66,10 @@ int main() {
                        : (Trad.average() > 0 ? 1e9 : 1.0);
     std::printf("%-10s %22.2f %22.2f %7.1fx\n", toString(Objs[O]),
                 Trad.average(), Struct.average(), Ratio);
+    Json.addMetric(std::string("node_ratio_") + toString(Objs[O]), Ratio);
   }
   std::printf("\n(paper: MinReg 124.5x, MinLife 167.4x node reduction; "
               "absolute values differ with the solver/suite)\n");
+  Json.write();
   return 0;
 }

@@ -23,6 +23,38 @@ using namespace modsched::ilp;
 
 namespace {
 
+/// Representative solve outcomes collected as the benchmarks run, then
+/// written to bench_results/BENCH_micro_solver.json by main(). Each
+/// benchmark records its LAST solve (google-benchmark re-enters the
+/// function while calibrating, so records are deduplicated by name).
+std::vector<bench::LoopRecord> &solveRecords() {
+  static std::vector<bench::LoopRecord> Records;
+  return Records;
+}
+
+void upsertRecord(bench::LoopRecord Rec) {
+  for (bench::LoopRecord &E : solveRecords())
+    if (E.Name == Rec.Name) {
+      E = std::move(Rec);
+      return;
+    }
+  solveRecords().push_back(std::move(Rec));
+}
+
+void recordSolve(std::string Name, const DependenceGraph &G,
+                 const MipResult &R) {
+  bench::LoopRecord Rec;
+  Rec.Name = std::move(Name);
+  Rec.NumOps = G.numOperations();
+  Rec.Solved = R.HasSolution;
+  Rec.TimedOut = R.Status == MipStatus::Limit;
+  Rec.Nodes = R.Nodes;
+  Rec.SimplexIterations = R.SimplexIterations;
+  Rec.Seconds = R.Seconds;
+  Rec.Secondary = R.Objective;
+  upsertRecord(std::move(Rec));
+}
+
 /// A medium-size fixed loop for the ablations (deterministic seed).
 DependenceGraph benchLoop(const MachineModel &M) {
   Rng R(424242);
@@ -64,24 +96,31 @@ void BM_LpSimplexExample1(benchmark::State &State) {
   Opts.Obj = Objective::MinReg;
   Formulation F(G, M, 2, Opts);
   lp::SimplexSolver Solver;
+  lp::LpResult Last;
   for (auto _ : State) {
-    lp::LpResult R = Solver.solve(F.model());
-    benchmark::DoNotOptimize(R.Objective);
+    Last = Solver.solve(F.model());
+    benchmark::DoNotOptimize(Last.Objective);
   }
+  bench::LoopRecord Rec;
+  Rec.Name = "BM_LpSimplexExample1";
+  Rec.NumOps = G.numOperations();
+  Rec.Solved = Last.Status == lp::LpStatus::Optimal;
+  Rec.SimplexIterations = Last.Iterations;
+  Rec.Secondary = Last.Objective;
+  upsertRecord(std::move(Rec));
 }
 BENCHMARK(BM_LpSimplexExample1);
 
 void BM_MipStructured(benchmark::State &State) {
   MachineModel M = MachineModel::cydraLike();
   DependenceGraph G = benchLoop(M);
-  int64_t Nodes = 0;
+  MipResult Last;
   for (auto _ : State) {
-    MipResult R =
-        solveLoop(M, G, Objective::MinReg, DependenceStyle::Structured);
-    Nodes = R.Nodes;
-    benchmark::DoNotOptimize(R.Objective);
+    Last = solveLoop(M, G, Objective::MinReg, DependenceStyle::Structured);
+    benchmark::DoNotOptimize(Last.Objective);
   }
-  State.counters["bb_nodes"] = static_cast<double>(Nodes);
+  State.counters["bb_nodes"] = static_cast<double>(Last.Nodes);
+  recordSolve("BM_MipStructured", G, Last);
 }
 BENCHMARK(BM_MipStructured)->Unit(benchmark::kMillisecond);
 
@@ -89,28 +128,27 @@ void BM_MipStructuredLoose(benchmark::State &State) {
   // Ablation: Ineq. (19) without the Chaudhuri tightening.
   MachineModel M = MachineModel::cydraLike();
   DependenceGraph G = benchLoop(M);
-  int64_t Nodes = 0;
+  MipResult Last;
   for (auto _ : State) {
-    MipResult R = solveLoop(M, G, Objective::MinReg,
-                            DependenceStyle::StructuredLoose);
-    Nodes = R.Nodes;
-    benchmark::DoNotOptimize(R.Objective);
+    Last = solveLoop(M, G, Objective::MinReg,
+                     DependenceStyle::StructuredLoose);
+    benchmark::DoNotOptimize(Last.Objective);
   }
-  State.counters["bb_nodes"] = static_cast<double>(Nodes);
+  State.counters["bb_nodes"] = static_cast<double>(Last.Nodes);
+  recordSolve("BM_MipStructuredLoose", G, Last);
 }
 BENCHMARK(BM_MipStructuredLoose)->Unit(benchmark::kMillisecond);
 
 void BM_MipTraditional(benchmark::State &State) {
   MachineModel M = MachineModel::cydraLike();
   DependenceGraph G = benchLoop(M);
-  int64_t Nodes = 0;
+  MipResult Last;
   for (auto _ : State) {
-    MipResult R =
-        solveLoop(M, G, Objective::MinReg, DependenceStyle::Traditional);
-    Nodes = R.Nodes;
-    benchmark::DoNotOptimize(R.Objective);
+    Last = solveLoop(M, G, Objective::MinReg, DependenceStyle::Traditional);
+    benchmark::DoNotOptimize(Last.Objective);
   }
-  State.counters["bb_nodes"] = static_cast<double>(Nodes);
+  State.counters["bb_nodes"] = static_cast<double>(Last.Nodes);
+  recordSolve("BM_MipTraditional", G, Last);
 }
 BENCHMARK(BM_MipTraditional)->Unit(benchmark::kMillisecond);
 
@@ -119,14 +157,14 @@ void BM_BranchRule(benchmark::State &State) {
   DependenceGraph G = benchLoop(M);
   MipOptions Opts;
   Opts.Branching = static_cast<BranchRule>(State.range(0));
-  int64_t Nodes = 0;
+  MipResult Last;
   for (auto _ : State) {
-    MipResult R = solveLoop(M, G, Objective::MinReg,
-                            DependenceStyle::Structured, Opts);
-    Nodes = R.Nodes;
-    benchmark::DoNotOptimize(R.Objective);
+    Last = solveLoop(M, G, Objective::MinReg, DependenceStyle::Structured,
+                     Opts);
+    benchmark::DoNotOptimize(Last.Objective);
   }
-  State.counters["bb_nodes"] = static_cast<double>(Nodes);
+  State.counters["bb_nodes"] = static_cast<double>(Last.Nodes);
+  recordSolve("BM_BranchRule/" + std::to_string(State.range(0)), G, Last);
 }
 BENCHMARK(BM_BranchRule)
     ->Arg(0) // MostFractional
@@ -139,11 +177,15 @@ void BM_IntegralObjectiveRounding(benchmark::State &State) {
   DependenceGraph G = benchLoop(M);
   MipOptions Opts;
   Opts.IntegralObjective = State.range(0) != 0;
+  MipResult Last;
   for (auto _ : State) {
-    MipResult R = solveLoop(M, G, Objective::MinReg,
-                            DependenceStyle::Structured, Opts);
-    benchmark::DoNotOptimize(R.Objective);
+    Last = solveLoop(M, G, Objective::MinReg, DependenceStyle::Structured,
+                     Opts);
+    benchmark::DoNotOptimize(Last.Objective);
   }
+  recordSolve("BM_IntegralObjectiveRounding/" +
+                  std::to_string(State.range(0)),
+              G, Last);
 }
 BENCHMARK(BM_IntegralObjectiveRounding)
     ->Arg(0)
@@ -153,12 +195,14 @@ BENCHMARK(BM_IntegralObjectiveRounding)
 void BM_StageBoundTightening(benchmark::State &State) {
   MachineModel M = MachineModel::cydraLike();
   DependenceGraph G = benchLoop(M);
+  MipResult Last;
   for (auto _ : State) {
-    MipResult R = solveLoop(M, G, Objective::MinReg,
-                            DependenceStyle::Structured, {},
-                            /*Tighten=*/State.range(0) != 0);
-    benchmark::DoNotOptimize(R.Objective);
+    Last = solveLoop(M, G, Objective::MinReg, DependenceStyle::Structured,
+                     {}, /*Tighten=*/State.range(0) != 0);
+    benchmark::DoNotOptimize(Last.Objective);
   }
+  recordSolve("BM_StageBoundTightening/" + std::to_string(State.range(0)),
+              G, Last);
 }
 BENCHMARK(BM_StageBoundTightening)
     ->Arg(0)
@@ -171,14 +215,14 @@ void BM_NodePresolve(benchmark::State &State) {
   DependenceGraph G = benchLoop(M);
   MipOptions Opts;
   Opts.NodePresolve = State.range(0) != 0;
-  int64_t Nodes = 0;
+  MipResult Last;
   for (auto _ : State) {
-    MipResult R = solveLoop(M, G, Objective::MinReg,
-                            DependenceStyle::Structured, Opts);
-    Nodes = R.Nodes;
-    benchmark::DoNotOptimize(R.Objective);
+    Last = solveLoop(M, G, Objective::MinReg, DependenceStyle::Structured,
+                     Opts);
+    benchmark::DoNotOptimize(Last.Objective);
   }
-  State.counters["bb_nodes"] = static_cast<double>(Nodes);
+  State.counters["bb_nodes"] = static_cast<double>(Last.Nodes);
+  recordSolve("BM_NodePresolve/" + std::to_string(State.range(0)), G, Last);
 }
 BENCHMARK(BM_NodePresolve)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
@@ -190,6 +234,8 @@ void BM_InstanceMapping(benchmark::State &State) {
   FOpts.Obj = Objective::None;
   FOpts.InstanceMapped = State.range(0) != 0;
   int II = mii(G, M);
+  MipResult Last;
+  int AchievedIi = 0;
   for (auto _ : State) {
     for (int Try = II;; ++Try) {
       Formulation F(G, M, Try, FOpts);
@@ -201,13 +247,44 @@ void BM_InstanceMapping(benchmark::State &State) {
       if (R.HasSolution) {
         benchmark::DoNotOptimize(R.Objective);
         State.counters["achieved_ii"] = Try;
+        Last = std::move(R);
+        AchievedIi = Try;
         break;
       }
     }
   }
+  bench::LoopRecord Rec;
+  Rec.Name = "BM_InstanceMapping/" + std::to_string(State.range(0));
+  Rec.NumOps = G.numOperations();
+  Rec.Solved = Last.HasSolution;
+  Rec.Nodes = Last.Nodes;
+  Rec.SimplexIterations = Last.SimplexIterations;
+  Rec.Seconds = Last.Seconds;
+  Rec.II = AchievedIi;
+  Rec.Mii = II;
+  upsertRecord(std::move(Rec));
 }
 BENCHMARK(BM_InstanceMapping)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the collected solve
+// records land in bench_results/ like every other experiment binary.
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Microbenchmarks use a fixed 12-op loop and a 20 s solve cap (see
+  // solveLoop); record that effective configuration.
+  bench::BenchConfig Config;
+  Config.SyntheticLoops = 1;
+  Config.TimeLimitSeconds = 20.0;
+  bench::BenchJson Json("micro_solver");
+  Json.setConfig(Config);
+  Json.addRecordSet("last_solves", solveRecords());
+  Json.write();
+  return 0;
+}

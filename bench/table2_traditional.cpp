@@ -22,6 +22,9 @@ int main() {
               "constraints (suite: %zu loops, %.1fs/loop)\n\n",
               Suite.size(), Config.TimeLimitSeconds);
 
+  BenchJson Json("table2_traditional");
+  Json.setConfig(Config);
+
   const Objective Objs[] = {Objective::None, Objective::MinBuff,
                             Objective::MinLife, Objective::MinReg};
   const char *Names[] = {"NoObj Modulo-Sched", "MinBuff Modulo-Sched",
@@ -31,6 +34,10 @@ int main() {
     std::vector<LoopRecord> Records =
         runOptimal(M, Suite, Objs[O], DependenceStyle::Traditional, Config);
     printPaperTableBlock(Names[O], Records);
+    Json.addMetric(std::string("solved_") + toString(Objs[O]),
+                   countSolved(Records));
+    Json.addRecordSet(Names[O], std::move(Records));
   }
+  Json.write();
   return 0;
 }

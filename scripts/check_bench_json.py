@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Validate bench_results/BENCH_*.json artifacts (schema_version 1).
+
+Stdlib-only. Usage:
+
+    python3 scripts/check_bench_json.py bench_results/*.json
+
+Exits 0 iff every file conforms to the schema documented in
+docs/OBSERVABILITY.md, printing one line per file. Intended for CI and
+for catching drift between bench/Harness.cpp's emitter and consumers.
+"""
+
+import json
+import numbers
+import sys
+
+CONFIG_KEYS = {
+    "synthetic_loops": numbers.Integral,
+    "seed": numbers.Integral,
+    "time_limit_seconds": numbers.Real,
+    "node_limit": numbers.Integral,
+    "large_cap": numbers.Integral,
+}
+
+RECORD_KEYS = {
+    "name": str,
+    "n": numbers.Integral,
+    "solved": bool,
+    "timed_out": bool,
+    "status": str,
+    "ii": numbers.Integral,
+    "mii": numbers.Integral,
+    "nodes": numbers.Integral,
+    "iterations": numbers.Integral,
+    "variables": numbers.Integral,
+    "constraints": numbers.Integral,
+    "seconds": numbers.Real,
+    "secondary": numbers.Real,
+    "max_live": numbers.Integral,
+    "total_lifetime": numbers.Integral,
+    "buffers": numbers.Integral,
+    "attempts": list,
+}
+
+ATTEMPT_KEYS = {
+    "ii": numbers.Integral,
+    "status": str,
+    "window_infeasible": bool,
+    "scheduled": bool,
+    "nodes": numbers.Integral,
+    "iterations": numbers.Integral,
+    "variables": numbers.Integral,
+    "constraints": numbers.Integral,
+    "seconds": numbers.Real,
+}
+
+STATUSES = {"solved", "timeout", "unsolved"}
+
+
+class SchemaError(Exception):
+    pass
+
+
+def check_keys(obj, spec, where):
+    if not isinstance(obj, dict):
+        raise SchemaError(f"{where}: expected object, got {type(obj).__name__}")
+    missing = set(spec) - set(obj)
+    if missing:
+        raise SchemaError(f"{where}: missing keys {sorted(missing)}")
+    for key, expected in spec.items():
+        value = obj[key]
+        # bool is a subclass of int in Python; reject it where we expect
+        # genuine numbers so "solved": 1 and "n": true both fail.
+        if expected is not bool and isinstance(value, bool):
+            raise SchemaError(f"{where}.{key}: expected {expected.__name__}, "
+                              f"got bool")
+        if not isinstance(value, expected):
+            raise SchemaError(f"{where}.{key}: expected {expected.__name__}, "
+                              f"got {type(value).__name__}")
+
+
+def check_record(record, where):
+    check_keys(record, RECORD_KEYS, where)
+    if record["status"] not in STATUSES:
+        raise SchemaError(f"{where}.status: {record['status']!r} not in "
+                          f"{sorted(STATUSES)}")
+    if record["solved"] and record["status"] != "solved":
+        raise SchemaError(f"{where}: solved=true but status="
+                          f"{record['status']!r}")
+    for i, attempt in enumerate(record["attempts"]):
+        check_keys(attempt, ATTEMPT_KEYS, f"{where}.attempts[{i}]")
+
+
+def check_file(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    check_keys(doc, {
+        "schema_version": numbers.Integral,
+        "experiment": str,
+        "generated_unix": numbers.Integral,
+        "config": dict,
+        "metrics": dict,
+        "record_sets": list,
+    }, "$")
+    if doc["schema_version"] != 1:
+        raise SchemaError(f"$.schema_version: expected 1, got "
+                          f"{doc['schema_version']}")
+    if not doc["experiment"]:
+        raise SchemaError("$.experiment: empty string")
+    check_keys(doc["config"], CONFIG_KEYS, "$.config")
+    for key, value in doc["metrics"].items():
+        if isinstance(value, bool) or not isinstance(value, numbers.Real):
+            raise SchemaError(f"$.metrics[{key!r}]: expected number, got "
+                              f"{type(value).__name__}")
+    n_records = 0
+    for s, record_set in enumerate(doc["record_sets"]):
+        where = f"$.record_sets[{s}]"
+        check_keys(record_set, {"label": str, "records": list}, where)
+        for r, record in enumerate(record_set["records"]):
+            check_record(record, f"{where}.records[{r}]")
+            n_records += 1
+    return len(doc["record_sets"]), n_records
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(f"usage: {argv[0]} BENCH_*.json...", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        try:
+            n_sets, n_records = check_file(path)
+        except (OSError, json.JSONDecodeError, SchemaError) as err:
+            print(f"FAIL {path}: {err}")
+            failures += 1
+        else:
+            print(f"ok   {path}: {n_sets} record set(s), "
+                  f"{n_records} record(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,6 +3,7 @@
 #include "ilp/BranchAndBound.h"
 
 #include "ilp/Presolve.h"
+#include "support/Telemetry.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -26,6 +27,26 @@ const char *ilp::toString(MipStatus Status) {
   return "unknown";
 }
 
+const char *ilp::toString(BbEvent Event) {
+  switch (Event) {
+  case BbEvent::RootLpSolved:
+    return "root-lp-solved";
+  case BbEvent::NodeVisited:
+    return "node-visited";
+  case BbEvent::NodeInfeasible:
+    return "node-infeasible";
+  case BbEvent::BoundPruned:
+    return "bound-pruned";
+  case BbEvent::IncumbentFound:
+    return "incumbent-found";
+  case BbEvent::Branched:
+    return "branched";
+  case BbEvent::PresolveFixed:
+    return "presolve-fixed";
+  }
+  return "unknown";
+}
+
 void ilp::roundIntegralValues(std::vector<double> &X, double Tol) {
   for (double &V : X) {
     double R = std::round(V);
@@ -36,10 +57,61 @@ void ilp::roundIntegralValues(std::vector<double> &X, double Tol) {
 
 namespace {
 
+telemetry::Counter StatSolves("ilp", "bb.solves", "MIP solves performed");
+telemetry::Counter StatNodes("ilp", "bb.nodes",
+                             "branch-and-bound nodes visited");
+telemetry::Counter StatIncumbents("ilp", "bb.incumbents",
+                                  "incumbent improvements");
+telemetry::Counter StatPruned("ilp", "bb.bound_pruned",
+                              "nodes pruned by the incumbent bound");
+telemetry::Counter StatInfeasibleNodes("ilp", "bb.infeasible_nodes",
+                                       "nodes proved infeasible");
+telemetry::PhaseTimer TimeSolve("ilp", "bb.solve",
+                                "wall time in MIP solves");
+
 /// One open subproblem: the variable-bound vectors it was created with.
 struct Node {
   std::vector<double> Lower;
   std::vector<double> Upper;
+  /// Branching depth (root = 0).
+  int Depth = 0;
+};
+
+/// Fans search events out to the user observer and, when tracing is on,
+/// to the telemetry sink (instants for events, counter tracks for the
+/// depth / open-list gauges). All calls are no-ops when neither consumer
+/// is active — `if (Monitor.active())` guards every emission site.
+class SearchMonitor {
+public:
+  explicit SearchMonitor(const BbObserver &Observer)
+      : Observer(Observer),
+        Active(static_cast<bool>(Observer) || telemetry::tracingEnabled()) {
+  }
+
+  bool active() const { return Active; }
+
+  void notify(const BbEventInfo &Info) const {
+    if (Observer)
+      Observer(Info);
+    if (!telemetry::tracingEnabled())
+      return;
+    telemetry::instant(
+        "ilp", toString(Info.Kind),
+        {{"node", Info.Node},
+         {"depth", Info.Depth},
+         {"open", static_cast<int64_t>(Info.OpenNodes)},
+         {"lp_objective", Info.LpObjective},
+         {"incumbent", Info.Incumbent >= 1e300 ? 0.0 : Info.Incumbent},
+         {"branch_var", Info.BranchVariable},
+         {"fixed", Info.FixedVariables}});
+    telemetry::gauge("ilp", "bb.depth", Info.Depth);
+    telemetry::gauge("ilp", "bb.open_nodes",
+                     static_cast<double>(Info.OpenNodes));
+  }
+
+private:
+  const BbObserver &Observer;
+  bool Active;
 };
 
 /// Returns the index of the integer variable to branch on, or -1 if \p X
@@ -88,8 +160,13 @@ int pickBranchVariable(const Model &M, const std::vector<double> &X,
 } // namespace
 
 MipResult MipSolver::solve(const Model &M) const {
+  telemetry::TimerScope Time(
+      TimeSolve, {{"variables", int64_t(M.numVariables())},
+                  {"constraints", int64_t(M.numConstraints())}});
+  ++StatSolves;
   Stopwatch Watch;
   MipResult Result;
+  SearchMonitor Monitor(Opts.Observer);
 
   double Incumbent = 1e300;
   bool Aborted = false;
@@ -126,13 +203,41 @@ MipResult MipSolver::solve(const Model &M) const {
     Stack.pop_back();
     if (!IsRoot)
       ++Result.Nodes;
+    Result.MaxDepth = std::max(Result.MaxDepth, N.Depth);
 
-    if (Opts.NodePresolve &&
-        propagateBounds(M, N.Lower, N.Upper) ==
-            PropagationResult::Infeasible) {
-      if (IsRoot)
-        break; // Root proved infeasible without an LP.
-      continue;
+    // Builds the common part of a search-event payload for this node.
+    auto MakeInfo = [&](BbEvent Kind) {
+      BbEventInfo Info;
+      Info.Kind = Kind;
+      Info.Node = Result.Nodes;
+      Info.Depth = N.Depth;
+      Info.OpenNodes = Stack.size();
+      Info.Incumbent = Incumbent;
+      return Info;
+    };
+
+    if (!IsRoot && Monitor.active())
+      Monitor.notify(MakeInfo(BbEvent::NodeVisited));
+
+    if (Opts.NodePresolve) {
+      PropagationStats PStats;
+      PropagationResult PR =
+          propagateBounds(M, N.Lower, N.Upper, /*MaxRounds=*/8, &PStats);
+      Result.PresolveFixedVariables += PStats.FixedVariables;
+      if (Monitor.active() && PStats.FixedVariables > 0) {
+        BbEventInfo Info = MakeInfo(BbEvent::PresolveFixed);
+        Info.FixedVariables = PStats.FixedVariables;
+        Monitor.notify(Info);
+      }
+      if (PR == PropagationResult::Infeasible) {
+        ++Result.InfeasibleNodes;
+        ++StatInfeasibleNodes;
+        if (Monitor.active())
+          Monitor.notify(MakeInfo(BbEvent::NodeInfeasible));
+        if (IsRoot)
+          break; // Root proved infeasible without an LP.
+        continue;
+      }
     }
 
     // Forward the remaining wall-clock budget into the LP so a single
@@ -154,6 +259,10 @@ MipResult MipSolver::solve(const Model &M) const {
       break;
     }
     if (Relax.Status == LpStatus::Infeasible) {
+      ++Result.InfeasibleNodes;
+      ++StatInfeasibleNodes;
+      if (Monitor.active())
+        Monitor.notify(MakeInfo(BbEvent::NodeInfeasible));
       if (IsRoot) {
         IsRoot = false;
         // Infeasible root proves MIP infeasibility immediately.
@@ -163,11 +272,24 @@ MipResult MipSolver::solve(const Model &M) const {
     }
     assert(Relax.Status != LpStatus::Unbounded &&
            "scheduling MIPs are bounded; model is missing variable bounds");
+    if (IsRoot && Monitor.active()) {
+      BbEventInfo Info = MakeInfo(BbEvent::RootLpSolved);
+      Info.LpObjective = Relax.Objective;
+      Monitor.notify(Info);
+    }
     IsRoot = false;
 
     double Bound = TightenBound(Relax.Objective);
-    if (Result.HasSolution && Bound >= Incumbent - 1e-9)
+    if (Result.HasSolution && Bound >= Incumbent - 1e-9) {
+      ++Result.PrunedNodes;
+      ++StatPruned;
+      if (Monitor.active()) {
+        BbEventInfo Info = MakeInfo(BbEvent::BoundPruned);
+        Info.LpObjective = Relax.Objective;
+        Monitor.notify(Info);
+      }
       continue; // Cannot improve on the incumbent.
+    }
 
     int BranchVar =
         pickBranchVariable(M, Relax.Values, Opts.IntTol, Opts.Branching);
@@ -180,6 +302,14 @@ MipResult MipSolver::solve(const Model &M) const {
         Result.Objective = Obj;
         Result.Values = Relax.Values;
         roundIntegralValues(Result.Values, Opts.IntTol);
+        ++Result.Incumbents;
+        ++StatIncumbents;
+        if (Monitor.active()) {
+          BbEventInfo Info = MakeInfo(BbEvent::IncumbentFound);
+          Info.LpObjective = Obj;
+          Info.Incumbent = Incumbent;
+          Monitor.notify(Info);
+        }
       }
       if (Opts.StopAtFirstSolution)
         break;
@@ -191,10 +321,19 @@ MipResult MipSolver::solve(const Model &M) const {
     double X = Relax.Values[BranchVar];
     double Floor = std::floor(X);
 
+    if (Monitor.active()) {
+      BbEventInfo Info = MakeInfo(BbEvent::Branched);
+      Info.LpObjective = Relax.Objective;
+      Info.BranchVariable = BranchVar;
+      Monitor.notify(Info);
+    }
+
     Node Down = N; // x <= floor
     Down.Upper[BranchVar] = std::min(Down.Upper[BranchVar], Floor);
+    Down.Depth = N.Depth + 1;
     Node Up = std::move(N); // x >= floor + 1
     Up.Lower[BranchVar] = std::max(Up.Lower[BranchVar], Floor + 1.0);
+    Up.Depth = Down.Depth;
 
     bool PreferDown = (X - Floor) < 0.5;
     if (PreferDown) {
@@ -207,6 +346,7 @@ MipResult MipSolver::solve(const Model &M) const {
   }
 
   Result.Seconds = Watch.seconds();
+  StatNodes += Result.Nodes;
   if (Result.HasSolution)
     Result.Status = Aborted || !Stack.empty() ? MipStatus::Limit
                                               : MipStatus::Optimal;

@@ -24,6 +24,7 @@
 #include "lp/Simplex.h"
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace modsched {
@@ -47,6 +48,48 @@ enum class BranchRule {
   LastFractional,  ///< Largest variable index.
 };
 
+/// Kinds of search events reported to a BbObserver (and, when tracing
+/// is enabled, to the telemetry sink; see docs/OBSERVABILITY.md).
+enum class BbEvent {
+  RootLpSolved,   ///< Root relaxation solved (bound in LpObjective).
+  NodeVisited,    ///< A branched subproblem was popped from the open list.
+  NodeInfeasible, ///< The node's LP (or presolve) proved it infeasible.
+  BoundPruned,    ///< Node discarded: LP bound cannot beat the incumbent.
+  IncumbentFound, ///< A new best integral solution was accepted.
+  Branched,       ///< Two children were pushed (variable in BranchVariable).
+  PresolveFixed,  ///< Node presolve fixed >= 1 variable before the LP.
+};
+
+/// Returns a printable name for \p Event.
+const char *toString(BbEvent Event);
+
+/// Payload of one search event. Fields not meaningful for a given kind
+/// hold their listed defaults.
+struct BbEventInfo {
+  BbEvent Kind = BbEvent::NodeVisited;
+  /// Nodes visited so far (CPLEX convention: root excluded, so this is 0
+  /// for all root events).
+  int64_t Node = 0;
+  /// Branching depth of the current node (root = 0).
+  int Depth = 0;
+  /// Open-list size gauge (subproblems stacked, excluding the current).
+  size_t OpenNodes = 0;
+  /// LP relaxation objective (RootLpSolved/NodeVisited/BoundPruned/
+  /// IncumbentFound); 0 otherwise.
+  double LpObjective = 0.0;
+  /// Current incumbent objective, or +1e300 before the first solution.
+  double Incumbent = 1e300;
+  /// Branch variable index (Branched), else -1.
+  int BranchVariable = -1;
+  /// Variables fixed by node presolve (PresolveFixed), else 0.
+  int64_t FixedVariables = 0;
+};
+
+/// Observer callback fired synchronously from MipSolver::solve().
+/// Observers must not mutate the solver; they exist for tests, tracing,
+/// and search visualization.
+using BbObserver = std::function<void(const BbEventInfo &)>;
+
 /// Budgets and tolerances for the branch-and-bound search.
 struct MipOptions {
   /// Wall-clock budget in seconds (the paper used 15 minutes per loop).
@@ -65,6 +108,9 @@ struct MipOptions {
   bool NodePresolve = true;
   BranchRule Branching = BranchRule::MostFractional;
   lp::SimplexOptions Lp;
+  /// Optional search observer (tests / tracing / visualization). Null by
+  /// default; the per-node cost when unset is a single bool test.
+  BbObserver Observer;
 };
 
 /// Result of a MIP solve, including the search statistics reported in the
@@ -81,6 +127,18 @@ struct MipResult {
   int64_t SimplexIterations = 0;
   /// Wall-clock seconds spent in solve().
   double Seconds = 0.0;
+
+  // --- Search telemetry (see docs/OBSERVABILITY.md) ---
+  /// Deepest branching depth reached (root = 0).
+  int MaxDepth = 0;
+  /// Nodes discarded because their LP bound could not beat the incumbent.
+  int64_t PrunedNodes = 0;
+  /// Nodes proved infeasible (by presolve or by the LP).
+  int64_t InfeasibleNodes = 0;
+  /// Incumbent improvements (integral solutions accepted).
+  int64_t Incumbents = 0;
+  /// Variables fixed by node presolve, summed over all nodes.
+  int64_t PresolveFixedVariables = 0;
 };
 
 /// Depth-first branch-and-bound with best-bound pruning.

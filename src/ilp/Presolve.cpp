@@ -2,6 +2,8 @@
 
 #include "ilp/Presolve.h"
 
+#include "support/Telemetry.h"
+
 #include <cassert>
 #include <cmath>
 
@@ -21,17 +23,59 @@ double maxContribution(double Coeff, double Lo, double Up) {
   return Coeff >= 0 ? Coeff * Up : Coeff * Lo;
 }
 
+telemetry::Counter StatCalls("ilp", "presolve.calls",
+                             "bound-propagation passes");
+telemetry::Counter StatRounds("ilp", "presolve.rounds",
+                              "fixpoint rounds executed");
+telemetry::Counter StatTightened("ilp", "presolve.tightened_bounds",
+                                 "variable bounds tightened");
+telemetry::Counter StatFixed("ilp", "presolve.fixed_variables",
+                             "variables fixed by propagation");
+telemetry::Counter StatInfeasible("ilp", "presolve.infeasible",
+                                  "nodes proved infeasible without an LP");
+
+/// Publishes per-call tallies into the optional out-param and the global
+/// counters on every exit path.
+struct StatsPublisher {
+  PropagationStats Local;
+  PropagationStats *Out;
+  bool Infeasible = false;
+
+  explicit StatsPublisher(PropagationStats *Out) : Out(Out) {}
+  ~StatsPublisher() {
+    if (Out)
+      *Out = Local;
+    ++StatCalls;
+    StatRounds += Local.Rounds;
+    StatTightened += Local.TightenedBounds;
+    StatFixed += Local.FixedVariables;
+    if (Infeasible)
+      ++StatInfeasible;
+  }
+};
+
 } // namespace
 
 PropagationResult ilp::propagateBounds(const Model &M,
                                        std::vector<double> &Lower,
                                        std::vector<double> &Upper,
-                                       int MaxRounds) {
+                                       int MaxRounds,
+                                       PropagationStats *Stats) {
   assert(Lower.size() == static_cast<size_t>(M.numVariables()) &&
          Upper.size() == Lower.size() && "bound vectors sized to model");
   const double Tol = 1e-9;
+  StatsPublisher Publish(Stats);
+
+  // Notes one bound tightening of \p Var whose interval was
+  // [\p OldLo, \p OldUp] before the update.
+  auto NoteTightened = [&](int Var, double OldLo, double OldUp) {
+    ++Publish.Local.TightenedBounds;
+    if (Upper[Var] - Lower[Var] <= Tol && OldUp - OldLo > Tol)
+      ++Publish.Local.FixedVariables;
+  };
 
   for (int Round = 0; Round < MaxRounds; ++Round) {
+    ++Publish.Local.Rounds;
     bool Changed = false;
     for (const Constraint &C : M.constraints()) {
       // A constraint `expr <= b` bounds each variable from the side of
@@ -46,10 +90,14 @@ PropagationResult ilp::propagateBounds(const Model &M,
         MinAct += minContribution(T.second, Lower[T.first], Upper[T.first]);
         MaxAct += maxContribution(T.second, Lower[T.first], Upper[T.first]);
       }
-      if (UseUpperSide && MinAct > C.Rhs + 1e-7)
+      if (UseUpperSide && MinAct > C.Rhs + 1e-7) {
+        Publish.Infeasible = true;
         return PropagationResult::Infeasible;
-      if (UseLowerSide && MaxAct < C.Rhs - 1e-7)
+      }
+      if (UseLowerSide && MaxAct < C.Rhs - 1e-7) {
+        Publish.Infeasible = true;
         return PropagationResult::Infeasible;
+      }
 
       for (const Term &T : C.Terms) {
         int Var = T.first;
@@ -68,6 +116,7 @@ PropagationResult ilp::propagateBounds(const Model &M,
             if (NewUp < Upper[Var] - Tol) {
               Upper[Var] = NewUp;
               Changed = true;
+              NoteTightened(Var, Lo, Up);
             }
           } else if (A < 0) {
             double NewLo = Budget / A;
@@ -76,6 +125,7 @@ PropagationResult ilp::propagateBounds(const Model &M,
             if (NewLo > Lower[Var] + Tol) {
               Lower[Var] = NewLo;
               Changed = true;
+              NoteTightened(Var, Lo, Up);
             }
           }
         }
@@ -90,6 +140,7 @@ PropagationResult ilp::propagateBounds(const Model &M,
             if (NewLo > Lower[Var] + Tol) {
               Lower[Var] = NewLo;
               Changed = true;
+              NoteTightened(Var, Lo, Up);
             }
           } else if (A < 0) {
             double NewUp = Budget / A;
@@ -98,11 +149,14 @@ PropagationResult ilp::propagateBounds(const Model &M,
             if (NewUp < Upper[Var] - Tol) {
               Upper[Var] = NewUp;
               Changed = true;
+              NoteTightened(Var, Lo, Up);
             }
           }
         }
-        if (Lower[Var] > Upper[Var] + 1e-7)
+        if (Lower[Var] > Upper[Var] + 1e-7) {
+          Publish.Infeasible = true;
           return PropagationResult::Infeasible;
+        }
       }
     }
     if (!Changed)

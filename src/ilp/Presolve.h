@@ -31,12 +31,25 @@ enum class PropagationResult {
   Infeasible, ///< Some variable's bounds crossed: the node is dead.
 };
 
+/// Telemetry detail of one propagateBounds() call (all zero when the
+/// pass changed nothing). See docs/OBSERVABILITY.md.
+struct PropagationStats {
+  /// Fixpoint rounds executed (bounded by MaxRounds).
+  int Rounds = 0;
+  /// Individual bound tightenings applied.
+  int64_t TightenedBounds = 0;
+  /// Variables whose interval collapsed to a point (fixed) this call.
+  int64_t FixedVariables = 0;
+};
+
 /// Propagates \p M's constraints over the bounds [\p Lower, \p Upper]
-/// in place. \p MaxRounds caps the fixpoint iteration.
+/// in place. \p MaxRounds caps the fixpoint iteration. When \p Stats is
+/// non-null it receives the per-call propagation telemetry.
 PropagationResult propagateBounds(const lp::Model &M,
                                   std::vector<double> &Lower,
                                   std::vector<double> &Upper,
-                                  int MaxRounds = 8);
+                                  int MaxRounds = 8,
+                                  PropagationStats *Stats = nullptr);
 
 } // namespace ilp
 } // namespace modsched

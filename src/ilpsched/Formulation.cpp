@@ -3,9 +3,13 @@
 #include "ilpsched/Formulation.h"
 
 #include "graph/GraphAlgorithms.h"
+#include "support/Telemetry.h"
+#include "support/Timer.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string_view>
 
 using namespace modsched;
 using namespace modsched::lp;
@@ -55,12 +59,31 @@ int modPos(int A, int B) {
   return R < 0 ? R + B : R;
 }
 
+telemetry::Counter StatBuilt("ilpsched", "formulation.built",
+                             "ILP formulations constructed");
+telemetry::Counter StatRows("ilpsched", "formulation.rows",
+                            "constraint rows emitted");
+telemetry::Counter StatCols("ilpsched", "formulation.cols",
+                            "variables emitted");
+telemetry::Counter StatNonzeros("ilpsched", "formulation.nonzeros",
+                                "constraint-matrix nonzeros emitted");
+telemetry::PhaseTimer TimeBuild("ilpsched", "formulation.build",
+                                "wall time building formulations");
+
 } // namespace
 
 Formulation::Formulation(const DependenceGraph &DG, const MachineModel &MM,
                          int TheII, const FormulationOptions &Options)
     : G(DG), M(MM), II(TheII), Opts(Options) {
   assert(II >= 1 && "initiation interval must be positive");
+
+  // Build telemetry runs on every exit path, including the early
+  // infeasible-window returns.
+  struct StatsOnExit {
+    Formulation &F;
+    Stopwatch Watch;
+    ~StatsOnExit() { F.finalizeBuildStats(Watch.seconds()); }
+  } FinalizeStats{*this, {}};
 
   // Schedule-length budget: the paper limits start times to 20 cycles
   // beyond the minimum schedule length. The budget is rounded up to stage
@@ -114,6 +137,48 @@ Formulation::Formulation(const DependenceGraph &DG, const MachineModel &MM,
     buildDependence(E);
   buildResource();
   buildObjective();
+}
+
+void Formulation::finalizeBuildStats(double BuildSeconds) {
+  BuildStats.BuildSeconds = BuildSeconds;
+  BuildStats.Columns = Ilp.numVariables();
+  BuildStats.IntegerColumns = Ilp.numIntegerVariables();
+  BuildStats.Rows = Ilp.numConstraints();
+  BuildStats.Nonzeros = 0;
+  BuildStats.Families.clear();
+
+  // Classify rows by name prefix up to the first '_'.
+  auto FamilyOf = [this](std::string_view Name) -> FormulationStats::Family & {
+    std::string_view Prefix = Name.substr(0, Name.find('_'));
+    for (FormulationStats::Family &F : BuildStats.Families)
+      if (F.Name == Prefix)
+        return F;
+    BuildStats.Families.push_back({std::string(Prefix), 0, 0});
+    return BuildStats.Families.back();
+  };
+  for (const Constraint &C : Ilp.constraints()) {
+    FormulationStats::Family &F = FamilyOf(C.Name);
+    ++F.Rows;
+    F.Nonzeros += static_cast<int64_t>(C.Terms.size());
+    BuildStats.Nonzeros += static_cast<int64_t>(C.Terms.size());
+  }
+  std::sort(BuildStats.Families.begin(), BuildStats.Families.end(),
+            [](const FormulationStats::Family &A,
+               const FormulationStats::Family &B) { return A.Name < B.Name; });
+
+  ++StatBuilt;
+  StatRows += BuildStats.Rows;
+  StatCols += BuildStats.Columns;
+  StatNonzeros += BuildStats.Nonzeros;
+  TimeBuild.addSample(BuildSeconds);
+  if (telemetry::tracingEnabled())
+    telemetry::instant("ilpsched", "formulation.build",
+                       {{"ii", II},
+                        {"valid", Valid ? 1 : 0},
+                        {"rows", BuildStats.Rows},
+                        {"cols", BuildStats.Columns},
+                        {"nonzeros", BuildStats.Nonzeros},
+                        {"seconds", BuildSeconds}});
 }
 
 void Formulation::buildAssignment() {

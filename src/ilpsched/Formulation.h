@@ -108,6 +108,30 @@ struct FormulationOptions {
   int RegisterLimit = -1;
 };
 
+/// Build telemetry for one formulation (see docs/OBSERVABILITY.md):
+/// wall time and model shape, overall and per constraint family. A
+/// family is a constraint-name prefix up to the first '_' ("assign",
+/// "dep", "res", "inst", ...), so the paper's structured-vs-traditional
+/// density argument can be checked per constraint class.
+struct FormulationStats {
+  /// Wall-clock seconds spent building the model (always measured; two
+  /// clock reads are noise next to model construction).
+  double BuildSeconds = 0.0;
+  int Columns = 0;
+  int IntegerColumns = 0;
+  int Rows = 0;
+  /// Total structural nonzeros over all constraints.
+  int64_t Nonzeros = 0;
+
+  struct Family {
+    std::string Name;
+    int Rows = 0;
+    int64_t Nonzeros = 0;
+  };
+  /// Per-family row/nonzero counts, sorted by family name.
+  std::vector<Family> Families;
+};
+
 /// The ILP for one (graph, machine, II) triple, with decoding metadata.
 class Formulation {
 public:
@@ -125,6 +149,10 @@ public:
   /// Latest allowed start time (schedule-length budget).
   int maxTime() const { return MaxTime; }
 
+  /// Build-time telemetry (valid even when valid() is false: an
+  /// infeasible-window build reports zero rows/columns).
+  const FormulationStats &stats() const { return BuildStats; }
+
   /// Variable index of a[r][i].
   int aVar(int Row, int Op) const { return ABase + Op * II + Row; }
   /// Variable index of k[i].
@@ -140,6 +168,10 @@ public:
                      int Resource) const;
 
 private:
+  /// Computes BuildStats from the finished model (called on every
+  /// constructor exit path) and publishes it to the telemetry layer.
+  void finalizeBuildStats(double BuildSeconds);
+
   void buildAssignment();
   void buildDependence(const SchedEdge &E);
   void buildResource();
@@ -177,6 +209,7 @@ private:
   FormulationOptions Opts;
   bool Valid = false;
   int MaxTime = 0;
+  FormulationStats BuildStats;
 
   lp::Model Ilp;
   int ABase = 0;

@@ -4,6 +4,7 @@
 
 #include "sched/Mii.h"
 #include "sched/Verifier.h"
+#include "support/Telemetry.h"
 #include "support/Timer.h"
 
 #include <cassert>
@@ -13,13 +14,61 @@
 using namespace modsched;
 using namespace modsched::ilp;
 
+namespace {
+
+telemetry::Counter StatLoops("ilpsched", "scheduler.loops",
+                             "Loops submitted to the optimal scheduler");
+telemetry::Counter StatAttempts("ilpsched", "scheduler.attempts",
+                                "Tentative IIs attempted (incl. window-"
+                                "infeasible)");
+telemetry::Counter StatScheduled("ilpsched", "scheduler.scheduled",
+                                 "Loops scheduled successfully");
+telemetry::Counter StatTimeouts("ilpsched", "scheduler.timeouts",
+                                "Loops abandoned on budget expiry");
+telemetry::PhaseTimer TimeSchedule("ilpsched", "scheduler.schedule",
+                                   "End-to-end min-II search");
+
+} // namespace
+
 std::optional<ModuloSchedule>
 OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
                                      ScheduleResult &Stats,
                                      double TimeBudget) const {
+  ++StatAttempts;
+  Stopwatch AttemptWatch;
+  telemetry::SpanScope Span("ilpsched", "scheduler.attempt", {{"ii", II}});
+
+  IiAttempt Attempt;
+  Attempt.II = II;
+  // Publishes the attempt record on every exit path; scheduleAtIi has
+  // four returns and each must leave a truthful telemetry row behind.
+  struct PublishOnExit {
+    ScheduleResult &Stats;
+    IiAttempt &Attempt;
+    Stopwatch &Watch;
+    ~PublishOnExit() {
+      Attempt.Seconds = Watch.seconds();
+      Stats.Attempts.push_back(Attempt);
+      if (telemetry::tracingEnabled())
+        telemetry::instant(
+            "ilpsched", "scheduler.attempt_done",
+            {{"ii", Attempt.II},
+             {"status", ilp::toString(Attempt.Status)},
+             {"scheduled", int64_t(Attempt.Scheduled ? 1 : 0)},
+             {"window_infeasible",
+              int64_t(Attempt.WindowInfeasible ? 1 : 0)},
+             {"nodes", Attempt.Nodes},
+             {"seconds", Attempt.Seconds}});
+    }
+  } Publish{Stats, Attempt, AttemptWatch};
+
   Formulation F(G, M, II, Opts.Formulation);
-  if (!F.valid())
+  Attempt.Variables = F.model().numVariables();
+  Attempt.Constraints = F.model().numConstraints();
+  if (!F.valid()) {
+    Attempt.WindowInfeasible = true;
     return std::nullopt; // II infeasible within the window budget.
+  }
 
   MipOptions MipOpts;
   MipOpts.TimeLimitSeconds = TimeBudget;
@@ -31,6 +80,9 @@ OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
   MipResult R = Solver.solve(F.model());
   Stats.Nodes += R.Nodes;
   Stats.SimplexIterations += R.SimplexIterations;
+  Attempt.Status = R.Status;
+  Attempt.Nodes = R.Nodes;
+  Attempt.SimplexIterations = R.SimplexIterations;
 
   if (R.Status == MipStatus::Limit) {
     // Budget expired. A feasible-but-unproven incumbent is not reported
@@ -52,10 +104,14 @@ OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
                  Err->c_str());
     std::abort();
   }
+  Attempt.Scheduled = true;
   return S;
 }
 
 ScheduleResult OptimalModuloScheduler::schedule(const DependenceGraph &G) const {
+  ++StatLoops;
+  telemetry::TimerScope Time(TimeSchedule,
+                             {{"ops", int64_t(G.numOperations())}});
   Stopwatch Watch;
   ScheduleResult Result;
   Result.Mii = mii(G, M);
@@ -78,5 +134,17 @@ ScheduleResult OptimalModuloScheduler::schedule(const DependenceGraph &G) const 
     }
   }
   Result.Seconds = Watch.seconds();
+  if (Result.Found)
+    ++StatScheduled;
+  if (Result.TimedOut)
+    ++StatTimeouts;
+  if (telemetry::tracingEnabled())
+    telemetry::instant("ilpsched", "scheduler.done",
+                       {{"mii", Result.Mii},
+                        {"ii", Result.II},
+                        {"found", int64_t(Result.Found ? 1 : 0)},
+                        {"timed_out", int64_t(Result.TimedOut ? 1 : 0)},
+                        {"nodes", Result.Nodes},
+                        {"seconds", Result.Seconds}});
   return Result;
 }

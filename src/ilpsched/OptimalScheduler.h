@@ -22,6 +22,7 @@
 #include "sched/ModuloSchedule.h"
 
 #include <optional>
+#include <vector>
 
 namespace modsched {
 
@@ -38,6 +39,30 @@ struct SchedulerOptions {
   int MaxIiIncrease = 64;
   /// Branch rule forwarded to the MIP solver.
   ilp::BranchRule Branching = ilp::BranchRule::MostFractional;
+};
+
+/// Telemetry record of one tentative-II solve attempt (see
+/// docs/OBSERVABILITY.md). The attempts vector in ScheduleResult tells
+/// the full story of a loop's min-II search: which IIs were tried, what
+/// each cost, and why the search stopped.
+struct IiAttempt {
+  /// The tentative initiation interval.
+  int II = 0;
+  /// Solver outcome at this II. Window-infeasible attempts (the
+  /// formulation proved II impossible without a solve) report
+  /// MipStatus::Infeasible with zero nodes and WindowInfeasible set.
+  ilp::MipStatus Status = ilp::MipStatus::Infeasible;
+  /// True when the scheduling window proved II infeasible before any
+  /// model was solved.
+  bool WindowInfeasible = false;
+  /// True when this attempt produced (and verified) a schedule.
+  bool Scheduled = false;
+  int64_t Nodes = 0;
+  int64_t SimplexIterations = 0;
+  int Variables = 0;
+  int Constraints = 0;
+  /// Wall-clock seconds spent on this attempt (build + solve).
+  double Seconds = 0.0;
 };
 
 /// Result of scheduling one loop.
@@ -66,6 +91,9 @@ struct ScheduleResult {
   int Constraints = 0;
   /// Total wall-clock time.
   double Seconds = 0.0;
+  /// One record per tentative II tried, in search order (telemetry; see
+  /// docs/OBSERVABILITY.md).
+  std::vector<IiAttempt> Attempts;
 };
 
 /// The optimal scheduler driver.

@@ -8,11 +8,35 @@
 
 #include "lp/Simplex.h"
 
+#include "support/Telemetry.h"
 #include "support/Timer.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+
+namespace {
+
+// Telemetry: aggregate solver-stack counters (MODSCHED_STATS=1) and the
+// simplex phase timer (clock only read when telemetry is enabled).
+modsched::telemetry::Counter StatSolves("lp", "simplex.solves",
+                                        "LP solves performed");
+modsched::telemetry::Counter StatIterations("lp", "simplex.iterations",
+                                            "total simplex pivots");
+modsched::telemetry::Counter
+    StatDegenerate("lp", "simplex.degenerate_pivots",
+                   "pivots with ~zero step length");
+modsched::telemetry::Counter StatFlips("lp", "simplex.bound_flips",
+                                       "entering-variable bound flips");
+modsched::telemetry::Counter
+    StatRefactor("lp", "simplex.refactorizations",
+                 "periodic basic-value refreshes");
+modsched::telemetry::Counter StatInfeasible("lp", "simplex.infeasible",
+                                            "LP solves proved infeasible");
+modsched::telemetry::PhaseTimer TimeSolve("lp", "simplex.solve",
+                                          "wall time in LP solves");
+
+} // namespace
 
 using namespace modsched;
 using namespace modsched::lp;
@@ -50,6 +74,10 @@ public:
   std::vector<double> structuralValues() const;
 
   int64_t iterations() const { return Iters; }
+  int64_t degeneratePivots() const { return Degenerate; }
+  int64_t boundFlips() const { return Flips; }
+  int64_t refactorizations() const { return Refactors; }
+  int64_t phase1Iterations() const { return Phase1Iters; }
 
 private:
   /// Runs the simplex loop with the current cost row until optimality,
@@ -103,6 +131,10 @@ private:
   std::vector<int> Basis;         ///< Basis[row] = column index.
   std::vector<double> BasicValue; ///< Current value of Basis[row].
   int64_t Iters = 0;
+  int64_t Degenerate = 0;  ///< Pivots with ~zero step length.
+  int64_t Flips = 0;       ///< Pure bound-flip pivots.
+  int64_t Refactors = 0;   ///< refreshBasicValues() calls.
+  int64_t Phase1Iters = 0; ///< Pivots spent in phase 1.
   Stopwatch Clock;
 };
 
@@ -225,6 +257,7 @@ void Tableau::rebuildCostRow() {
 }
 
 void Tableau::refreshBasicValues() {
+  ++Refactors;
   for (int Row = 0; Row < NumRows; ++Row) {
     double V = Rhs[Row];
     const double *RowPtr = &Tab[size_t(Row) * NumCols];
@@ -345,6 +378,7 @@ LpStatus Tableau::iterate(bool PhaseOne) {
 
     ++Iters;
     if (BestT <= Opts.FeasTol) {
+      ++Degenerate;
       if (++DegenerateRun > Opts.DegenerateLimit)
         Bland = true;
     } else {
@@ -363,6 +397,7 @@ LpStatus Tableau::iterate(bool PhaseOne) {
 
     if (LeaveRow < 0) {
       // Pure bound flip: the entering variable moves to its other bound.
+      ++Flips;
       assert(std::isfinite(BestT) && "flip distance must be finite");
       Status[Enter] = Status[Enter] == ColStatus::AtLower
                           ? ColStatus::AtUpper
@@ -420,6 +455,7 @@ LpStatus Tableau::run() {
     for (int Col = FirstArtificial; Col < NumCols; ++Col)
       Cost[Col] = 1.0;
     LpStatus S = iterate(/*PhaseOne=*/true);
+    Phase1Iters = Iters;
     if (S == LpStatus::IterationLimit)
       return S;
     assert(S == LpStatus::Optimal && "phase 1 cannot be unbounded");
@@ -480,17 +516,33 @@ LpResult SimplexSolver::solve(const Model &M,
   assert(static_cast<int>(Lower.size()) == M.numVariables() &&
          static_cast<int>(Upper.size()) == M.numVariables() &&
          "bounds arrays must cover every variable");
+  telemetry::TimerScope Time(TimeSolve);
+  ++StatSolves;
   LpResult Result;
 
   // An empty bound interval anywhere makes the node trivially infeasible.
   for (int Col = 0; Col < M.numVariables(); ++Col)
-    if (Lower[Col] > Upper[Col])
+    if (Lower[Col] > Upper[Col]) {
+      ++StatInfeasible;
       return Result; // Status defaults to Infeasible.
+    }
 
   Tableau T(M, Lower, Upper, Opts);
   LpStatus S = T.run();
   Result.Iterations = T.iterations();
+  Result.DegeneratePivots = T.degeneratePivots();
+  Result.BoundFlips = T.boundFlips();
+  Result.Refactorizations = T.refactorizations();
+  Result.Phase1Iterations = T.phase1Iterations();
   Result.Status = S;
+
+  StatIterations += Result.Iterations;
+  StatDegenerate += Result.DegeneratePivots;
+  StatFlips += Result.BoundFlips;
+  StatRefactor += Result.Refactorizations;
+  if (S == LpStatus::Infeasible)
+    ++StatInfeasible;
+
   if (S != LpStatus::Optimal)
     return Result;
   Result.Values = T.structuralValues();

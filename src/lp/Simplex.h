@@ -76,6 +76,18 @@ struct LpResult {
   /// Number of simplex pivots performed (the paper's "simplex
   /// iterations" metric).
   int64_t Iterations = 0;
+
+  // --- Telemetry detail (see docs/OBSERVABILITY.md) ---
+  /// Pivots whose step length was ~0 (degeneracy; a long run of these
+  /// triggers the switch to Bland's rule).
+  int64_t DegeneratePivots = 0;
+  /// Entering-variable bound flips (pivots that changed no basis entry).
+  int64_t BoundFlips = 0;
+  /// Periodic refreshes of the basic values from the tableau (the dense
+  /// analogue of a basis refactorization).
+  int64_t Refactorizations = 0;
+  /// Pivots spent in phase 1 (driving artificials out of the basis).
+  int64_t Phase1Iterations = 0;
 };
 
 /// Dense two-phase bounded-variable primal simplex.

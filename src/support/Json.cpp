@@ -1,0 +1,165 @@
+//===- support/Json.cpp - Minimal JSON emission helpers -------------------===//
+
+#include "support/Json.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+using namespace modsched;
+using namespace modsched::json;
+
+std::string json::escape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::preValue() {
+  if (Stack.empty()) {
+    assert(!WroteTopLevel && "only one top-level JSON value per writer");
+    WroteTopLevel = true;
+    return;
+  }
+  Level &L = Stack.back();
+  if (L.In == Scope::Object) {
+    assert(L.PendingKey && "object values require a preceding key()");
+    L.PendingKey = false;
+    return; // key() already wrote the separator.
+  }
+  if (L.HasElements)
+    Out += ',';
+  L.HasElements = true;
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  preValue();
+  Out += '{';
+  Stack.push_back({Scope::Object, false, false});
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  assert(!Stack.empty() && Stack.back().In == Scope::Object &&
+         "endObject without matching beginObject");
+  assert(!Stack.back().PendingKey && "dangling key() before endObject");
+  Stack.pop_back();
+  Out += '}';
+  if (Stack.empty())
+    WroteTopLevel = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  preValue();
+  Out += '[';
+  Stack.push_back({Scope::Array, false, false});
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  assert(!Stack.empty() && Stack.back().In == Scope::Array &&
+         "endArray without matching beginArray");
+  Stack.pop_back();
+  Out += ']';
+  if (Stack.empty())
+    WroteTopLevel = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::key(std::string_view K) {
+  assert(!Stack.empty() && Stack.back().In == Scope::Object &&
+         "key() outside of an object");
+  Level &L = Stack.back();
+  assert(!L.PendingKey && "two key() calls in a row");
+  if (L.HasElements)
+    Out += ',';
+  L.HasElements = true;
+  L.PendingKey = true;
+  Out += '"';
+  Out += escape(K);
+  Out += "\":";
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(std::string_view V) {
+  preValue();
+  Out += '"';
+  Out += escape(V);
+  Out += '"';
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(bool V) {
+  preValue();
+  Out += V ? "true" : "false";
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(int64_t V) {
+  preValue();
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRId64, V);
+  Out += Buf;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(uint64_t V) {
+  preValue();
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, V);
+  Out += Buf;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(double V) {
+  if (!std::isfinite(V))
+    return null();
+  preValue();
+  char Buf[64];
+  // %.17g round-trips doubles; trim to something readable but lossless
+  // enough for timings/statistics.
+  std::snprintf(Buf, sizeof(Buf), "%.12g", V);
+  Out += Buf;
+  return *this;
+}
+
+JsonWriter &JsonWriter::null() {
+  preValue();
+  Out += "null";
+  return *this;
+}

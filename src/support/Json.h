@@ -1,0 +1,91 @@
+//===- support/Json.h - Minimal JSON emission helpers -----------*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny streaming JSON writer used by the telemetry trace sinks
+/// (Chrome trace_event / JSONL, see support/Telemetry.h) and by the
+/// benchmark result emitter (bench/Harness.h). It appends into a caller-
+/// owned std::string, tracks nesting in a small state stack, and inserts
+/// commas automatically. There is deliberately no parser here: the repo
+/// only ever PRODUCES machine-readable artifacts; consumers are external
+/// tools (Perfetto, scripts/check_bench_json.py).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_SUPPORT_JSON_H
+#define MODSCHED_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace modsched {
+namespace json {
+
+/// Escapes \p S for inclusion inside a JSON string literal (quotes are
+/// NOT added). Handles quotes, backslash, and control characters.
+std::string escape(std::string_view S);
+
+/// Streaming JSON writer with automatic comma placement.
+///
+/// Usage:
+/// \code
+///   std::string Out;
+///   JsonWriter W(Out);
+///   W.beginObject();
+///   W.key("name").value("table1");
+///   W.key("records").beginArray();
+///   W.value(1).value(2.5).value(true);
+///   W.endArray();
+///   W.endObject();
+/// \endcode
+class JsonWriter {
+public:
+  explicit JsonWriter(std::string &Out) : Out(Out) {}
+
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+
+  /// Emits an object key; the next value()/begin*() call is its value.
+  JsonWriter &key(std::string_view K);
+
+  JsonWriter &value(std::string_view V);
+  JsonWriter &value(const char *V) { return value(std::string_view(V)); }
+  JsonWriter &value(bool V);
+  JsonWriter &value(int V) { return value(static_cast<int64_t>(V)); }
+  JsonWriter &value(unsigned V) { return value(static_cast<uint64_t>(V)); }
+  JsonWriter &value(int64_t V);
+  JsonWriter &value(uint64_t V);
+  /// Non-finite doubles are emitted as null (JSON has no inf/nan).
+  JsonWriter &value(double V);
+  JsonWriter &null();
+
+  /// True once every container opened has been closed.
+  bool done() const { return Stack.empty() && WroteTopLevel; }
+
+private:
+  /// Writes the separating comma (if needed) before a new element.
+  void preValue();
+
+  enum class Scope : uint8_t { Object, Array };
+  struct Level {
+    Scope In;
+    bool HasElements = false;
+    bool PendingKey = false;
+  };
+
+  std::string &Out;
+  std::vector<Level> Stack;
+  bool WroteTopLevel = false;
+};
+
+} // namespace json
+} // namespace modsched
+
+#endif // MODSCHED_SUPPORT_JSON_H

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
 #include <numeric>
 
@@ -60,12 +61,38 @@ double SummaryStats::sum() const {
   return std::accumulate(Values.begin(), Values.end(), 0.0);
 }
 
+double SummaryStats::stddev() const {
+  if (Values.size() < 2)
+    return 0.0;
+  double Mean = average();
+  double SumSq = 0.0;
+  for (double V : Values)
+    SumSq += (V - Mean) * (V - Mean);
+  return std::sqrt(SumSq / static_cast<double>(Values.size() - 1));
+}
+
+double SummaryStats::percentile(double P) const {
+  assert(!Values.empty() && "percentile() of empty sample");
+  assert(P >= 0.0 && P <= 100.0 && "percentile in [0, 100]");
+  ensureSorted();
+  if (Values.size() == 1)
+    return Values.front();
+  double Rank = (P / 100.0) * static_cast<double>(Values.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  if (Lo + 1 >= Values.size())
+    return Values.back();
+  double Frac = Rank - static_cast<double>(Lo);
+  return Values[Lo] + Frac * (Values[Lo + 1] - Values[Lo]);
+}
+
 std::string SummaryStats::formatRow() const {
   if (Values.empty())
     return "(empty)";
-  char Buf[128];
-  std::snprintf(Buf, sizeof(Buf), "%10.2f %6.1f%% %10.2f %10.2f %10.2f",
-                min(), freqOfMin() * 100.0, median(), average(), max());
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "%10.2f %6.1f%% %10.2f %10.2f %10.2f (n=%zu)", min(),
+                freqOfMin() * 100.0, median(), average(), max(),
+                Values.size());
   return Buf;
 }
 

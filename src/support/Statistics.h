@@ -53,8 +53,18 @@ public:
   /// Sum of all measurements.
   double sum() const;
 
-  /// Renders "min freq% median average max" with fixed precision, matching
-  /// the layout of the paper's tables.
+  /// Sample standard deviation (N-1 denominator); 0 for samples with
+  /// fewer than two elements. Used by the telemetry summaries.
+  double stddev() const;
+
+  /// The \p P-th percentile, P in [0, 100], with linear interpolation
+  /// between closest ranks (percentile(50) == median()). Requires a
+  /// non-empty sample.
+  double percentile(double P) const;
+
+  /// Renders "min freq% median average max (n=count)" with fixed
+  /// precision, matching the layout of the paper's tables plus the
+  /// sample count.
   std::string formatRow() const;
 
 private:

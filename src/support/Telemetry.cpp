@@ -1,0 +1,296 @@
+//===- support/Telemetry.cpp - Solver telemetry layer ---------------------===//
+
+#include "support/Telemetry.h"
+
+#include "support/Json.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace modsched;
+using namespace modsched::telemetry;
+
+//===----------------------------------------------------------------------===//
+// Global state
+//===----------------------------------------------------------------------===//
+
+TraceSink *telemetry::detail::ActiveSink = nullptr;
+bool telemetry::detail::StatsActive = false;
+
+namespace {
+
+/// Owns the installed sink (detail::ActiveSink is the borrowed fast-path
+/// pointer). File-scope so process exit flushes and closes the file.
+std::unique_ptr<TraceSink> OwnedSink;
+
+/// Trace epoch: timestamps are microseconds since this point.
+std::chrono::steady_clock::time_point traceEpoch() {
+  static const std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
+  return Epoch;
+}
+
+/// Registries use function-local statics so counters constructed during
+/// static initialization of other translation units register safely.
+std::vector<Counter *> &counterRegistry() {
+  static std::vector<Counter *> Registry;
+  return Registry;
+}
+
+std::vector<PhaseTimer *> &timerRegistry() {
+  static std::vector<PhaseTimer *> Registry;
+  return Registry;
+}
+
+} // namespace
+
+double telemetry::detail::nowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - traceEpoch())
+      .count();
+}
+
+void telemetry::installSink(std::unique_ptr<TraceSink> Sink) {
+  if (OwnedSink)
+    OwnedSink->flush();
+  OwnedSink = std::move(Sink);
+  detail::ActiveSink = OwnedSink.get();
+}
+
+void telemetry::uninstallSink() { installSink(nullptr); }
+
+void telemetry::setStatsEnabled(bool Enabled) {
+  detail::StatsActive = Enabled;
+}
+
+void telemetry::detail::emitSlow(EventPhase Phase, const char *Cat,
+                                 const char *Name, double Value,
+                                 const Arg *Args, size_t NumArgs) {
+  TraceSink *Sink = ActiveSink;
+  if (!Sink)
+    return;
+  TraceEvent E;
+  E.Phase = Phase;
+  E.Category = Cat;
+  E.Name = Name;
+  E.TimestampUs = nowUs();
+  E.Value = Value;
+  E.Args = Args;
+  E.NumArgs = NumArgs;
+  Sink->event(E);
+}
+
+//===----------------------------------------------------------------------===//
+// Counters / timers
+//===----------------------------------------------------------------------===//
+
+telemetry::Counter::Counter(const char *Category, const char *Name,
+                            const char *Description)
+    : Cat(Category), Nm(Name), Desc(Description) {
+  counterRegistry().push_back(this);
+}
+
+telemetry::PhaseTimer::PhaseTimer(const char *Category, const char *Name,
+                                  const char *Description)
+    : Cat(Category), Nm(Name), Desc(Description) {
+  timerRegistry().push_back(this);
+}
+
+const std::vector<Counter *> &telemetry::allCounters() {
+  return counterRegistry();
+}
+
+const std::vector<PhaseTimer *> &telemetry::allPhaseTimers() {
+  return timerRegistry();
+}
+
+Counter *telemetry::findCounter(const std::string &CategorySlashName) {
+  for (Counter *C : counterRegistry())
+    if (CategorySlashName ==
+        std::string(C->category()) + "/" + C->name())
+      return C;
+  return nullptr;
+}
+
+PhaseTimer *telemetry::findPhaseTimer(const std::string &CategorySlashName) {
+  for (PhaseTimer *T : timerRegistry())
+    if (CategorySlashName ==
+        std::string(T->category()) + "/" + T->name())
+      return T;
+  return nullptr;
+}
+
+void telemetry::reportStats(std::FILE *Out) {
+  std::fprintf(Out, "=== modsched telemetry ===\n");
+  for (const Counter *C : counterRegistry()) {
+    if (C->value() == 0)
+      continue;
+    std::fprintf(Out, "%12lld  %s/%-32s %s\n",
+                 static_cast<long long>(C->value()), C->category(),
+                 C->name(), C->description());
+  }
+  for (const PhaseTimer *T : timerRegistry()) {
+    if (T->invocations() == 0)
+      continue;
+    std::fprintf(Out, "%11.3fs  %s/%-32s %s (%llu calls)\n", T->seconds(),
+                 T->category(), T->name(), T->description(),
+                 static_cast<unsigned long long>(T->invocations()));
+  }
+}
+
+void telemetry::resetAllStats() {
+  for (Counter *C : counterRegistry())
+    C->reset();
+  for (PhaseTimer *T : timerRegistry())
+    T->reset();
+}
+
+//===----------------------------------------------------------------------===//
+// JSON file sink
+//===----------------------------------------------------------------------===//
+
+namespace {
+constexpr size_t FlushThresholdBytes = 1 << 16;
+} // namespace
+
+std::unique_ptr<JsonTraceSink>
+JsonTraceSink::open(const std::string &Path, TraceFormat Format) {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File) {
+    std::fprintf(stderr,
+                 "modsched: warning: cannot open trace file '%s'; "
+                 "tracing disabled\n",
+                 Path.c_str());
+    return nullptr;
+  }
+  return std::unique_ptr<JsonTraceSink>(new JsonTraceSink(File, Format));
+}
+
+JsonTraceSink::JsonTraceSink(std::FILE *File, TraceFormat Format)
+    : File(File), Format(Format) {
+  Buffer.reserve(FlushThresholdBytes + 1024);
+  if (Format == TraceFormat::ChromeJson)
+    Buffer += "[\n";
+}
+
+JsonTraceSink::~JsonTraceSink() {
+  if (Format == TraceFormat::ChromeJson)
+    Buffer += "\n]\n";
+  flush();
+  std::fclose(File);
+}
+
+void JsonTraceSink::event(const TraceEvent &E) {
+  if (Format == TraceFormat::ChromeJson && WroteAnyEvent)
+    Buffer += ",\n";
+  WroteAnyEvent = true;
+
+  json::JsonWriter W(Buffer);
+  W.beginObject();
+  char Phase[2] = {static_cast<char>(E.Phase), '\0'};
+  W.key("ph").value(Phase);
+  W.key("cat").value(E.Category);
+  W.key("name").value(E.Name);
+  W.key("ts").value(E.TimestampUs);
+  W.key("pid").value(1);
+  W.key("tid").value(1);
+  if (E.Phase == EventPhase::Instant)
+    W.key("s").value("t"); // Instant scope: thread.
+  if (E.Phase == EventPhase::Counter) {
+    W.key("args").beginObject();
+    W.key("value").value(E.Value);
+    W.endObject();
+  } else if (E.NumArgs > 0) {
+    W.key("args").beginObject();
+    for (size_t I = 0; I < E.NumArgs; ++I) {
+      const Arg &A = E.Args[I];
+      W.key(A.Key);
+      switch (A.K) {
+      case Arg::Kind::Int:
+        W.value(A.Int);
+        break;
+      case Arg::Kind::Float:
+        W.value(A.Float);
+        break;
+      case Arg::Kind::CStr:
+        W.value(A.CStr ? A.CStr : "");
+        break;
+      }
+    }
+    W.endObject();
+  }
+  W.endObject();
+  if (Format == TraceFormat::Jsonl)
+    Buffer += '\n';
+
+  if (Buffer.size() >= FlushThresholdBytes)
+    flush();
+}
+
+void JsonTraceSink::flush() {
+  if (!Buffer.empty()) {
+    std::fwrite(Buffer.data(), 1, Buffer.size(), File);
+    Buffer.clear();
+  }
+  std::fflush(File);
+}
+
+//===----------------------------------------------------------------------===//
+// Environment hook
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void reportStatsAtExit() { reportStats(stderr); }
+
+/// atexit-ordering safety: uninstall the sink before static destructors
+/// of OTHER translation units could run (OwnedSink's own destructor also
+/// closes the file if the handler never ran, e.g. on std::abort paths
+/// where atexit handlers are skipped entirely).
+void closeTraceAtExit() { uninstallSink(); }
+
+bool envFlagSet(const char *Name) {
+  const char *V = std::getenv(Name);
+  return V && V[0] != '\0' && std::strcmp(V, "0") != 0;
+}
+
+} // namespace
+
+void telemetry::initFromEnvironment() {
+  static bool StatsHookRegistered = false;
+  if (envFlagSet("MODSCHED_STATS")) {
+    setStatsEnabled(true);
+    if (!StatsHookRegistered) {
+      std::atexit(reportStatsAtExit);
+      StatsHookRegistered = true;
+    }
+  }
+
+  static bool TraceHookRegistered = false;
+  if (const char *Path = std::getenv("MODSCHED_TRACE")) {
+    if (Path[0] != '\0' && !tracingEnabled()) {
+      std::string P(Path);
+      TraceFormat Format = TraceFormat::ChromeJson;
+      if (P.size() >= 6 && P.compare(P.size() - 6, 6, ".jsonl") == 0)
+        Format = TraceFormat::Jsonl;
+      if (auto Sink = JsonTraceSink::open(P, Format)) {
+        installSink(std::move(Sink));
+        if (!TraceHookRegistered) {
+          std::atexit(closeTraceAtExit);
+          TraceHookRegistered = true;
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Static initializer: every binary linking modsched_support honors
+/// MODSCHED_TRACE / MODSCHED_STATS with no code changes.
+struct EnvInitializer {
+  EnvInitializer() { initFromEnvironment(); }
+};
+EnvInitializer InitTelemetryFromEnv;
+
+} // namespace

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 using namespace modsched;
@@ -126,6 +127,58 @@ TEST(SummaryStats, EmptyFormat) {
   SummaryStats S;
   EXPECT_EQ(S.formatRow(), "(empty)");
   EXPECT_TRUE(S.empty());
+}
+
+TEST(SummaryStats, FormatRowRendersSampleCount) {
+  SummaryStats S;
+  S.add(1.0);
+  S.add(2.0);
+  S.add(3.0);
+  EXPECT_NE(S.formatRow().find("(n=3)"), std::string::npos);
+}
+
+TEST(SummaryStats, StddevEmptyAndSingleAreZero) {
+  SummaryStats Empty;
+  EXPECT_DOUBLE_EQ(Empty.stddev(), 0.0);
+  SummaryStats Single;
+  Single.add(7.0);
+  EXPECT_DOUBLE_EQ(Single.stddev(), 0.0);
+}
+
+TEST(SummaryStats, StddevEvenSample) {
+  // Sample {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, sample variance 32/7.
+  SummaryStats S;
+  for (double V : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(V);
+  EXPECT_NEAR(S.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(SummaryStats, PercentileSingleValue) {
+  SummaryStats S;
+  S.add(42.0);
+  EXPECT_DOUBLE_EQ(S.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(S.percentile(50.0), 42.0);
+  EXPECT_DOUBLE_EQ(S.percentile(100.0), 42.0);
+}
+
+TEST(SummaryStats, PercentileEvenSampleInterpolates) {
+  SummaryStats S;
+  for (double V : {10.0, 20.0, 30.0, 40.0})
+    S.add(V);
+  EXPECT_DOUBLE_EQ(S.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(S.percentile(100.0), 40.0);
+  // Median of an even sample: interpolated between the middle pair.
+  EXPECT_DOUBLE_EQ(S.percentile(50.0), S.median());
+  // 25th percentile: rank 0.75 between 10 and 20.
+  EXPECT_NEAR(S.percentile(25.0), 17.5, 1e-12);
+}
+
+TEST(SummaryStats, PercentileUnsortedInsertOrder) {
+  SummaryStats S;
+  for (double V : {9.0, 1.0, 5.0, 3.0, 7.0})
+    S.add(V);
+  EXPECT_DOUBLE_EQ(S.percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(S.percentile(75.0), 7.0);
 }
 
 TEST(Stopwatch, MeasuresForwardTime) {

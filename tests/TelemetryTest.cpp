@@ -1,0 +1,387 @@
+//===- tests/TelemetryTest.cpp - telemetry layer tests --------------------===//
+//
+// Covers the three observability contracts of docs/OBSERVABILITY.md:
+//  (a) counters / timers / events round-trip through the JSONL sink,
+//  (b) the disabled path performs ZERO heap allocations,
+//  (c) the branch-and-bound observer fires events in search order on a
+//      tiny MIP with a known search tree.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include "ilp/BranchAndBound.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <vector>
+
+using namespace modsched;
+using namespace modsched::ilp;
+using namespace modsched::lp;
+
+//===----------------------------------------------------------------------===//
+// Global allocation counter for the zero-allocation test. Counting is
+// toggled around the code under test so gtest's own allocations are not
+// charged to the telemetry layer.
+//===----------------------------------------------------------------------===//
+
+namespace {
+bool CountAllocations = false;
+size_t AllocationCount = 0;
+} // namespace
+
+void *operator new(std::size_t Size) {
+  if (CountAllocations)
+    ++AllocationCount;
+  if (void *P = std::malloc(Size ? Size : 1))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new[](std::size_t Size) { return ::operator new(Size); }
+
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+
+namespace {
+
+/// In-memory sink capturing a serializable copy of every event.
+struct CapturedEvent {
+  telemetry::EventPhase Phase;
+  std::string Category, Name;
+  double Value;
+  std::vector<std::pair<std::string, std::string>> Args;
+};
+
+class MemorySink : public telemetry::TraceSink {
+public:
+  explicit MemorySink(std::vector<CapturedEvent> &Out) : Out(Out) {}
+  void event(const telemetry::TraceEvent &E) override {
+    CapturedEvent C;
+    C.Phase = E.Phase;
+    C.Category = E.Category;
+    C.Name = E.Name;
+    C.Value = E.Value;
+    for (size_t I = 0; I < E.NumArgs; ++I) {
+      const telemetry::Arg &A = E.Args[I];
+      std::string V;
+      switch (A.K) {
+      case telemetry::Arg::Kind::Int:
+        V = std::to_string(A.Int);
+        break;
+      case telemetry::Arg::Kind::Float:
+        V = std::to_string(A.Float);
+        break;
+      case telemetry::Arg::Kind::CStr:
+        V = A.CStr;
+        break;
+      }
+      C.Args.emplace_back(A.Key, std::move(V));
+    }
+    Out.push_back(std::move(C));
+  }
+
+private:
+  std::vector<CapturedEvent> &Out;
+};
+
+std::string tempPath(const char *Stem) {
+  const char *Dir = std::getenv("TMPDIR");
+  std::string Path = Dir && *Dir ? Dir : "/tmp";
+  Path += "/modsched_telemetry_test_";
+  Path += Stem;
+  return Path;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream Ss;
+  Ss << In.rdbuf();
+  return Ss.str();
+}
+
+/// RAII guard restoring a pristine telemetry state (tests may run after
+/// the MODSCHED_* env hook or a prior test installed a sink).
+struct TelemetryQuiesce {
+  TelemetryQuiesce() {
+    telemetry::uninstallSink();
+    telemetry::setStatsEnabled(false);
+    telemetry::resetAllStats();
+  }
+  ~TelemetryQuiesce() {
+    telemetry::uninstallSink();
+    telemetry::setStatsEnabled(false);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// (a) Round-trip through the sinks
+//===----------------------------------------------------------------------===//
+
+TEST(Telemetry, CounterAndTimerRegistryRoundTrip) {
+  TelemetryQuiesce Quiet;
+  static telemetry::Counter TestCounter("test", "roundtrip.counter",
+                                        "test counter");
+  static telemetry::PhaseTimer TestTimer("test", "roundtrip.timer",
+                                         "test timer");
+  TestCounter.reset();
+  TestTimer.reset();
+
+  telemetry::Counter *FoundC =
+      telemetry::findCounter("test/roundtrip.counter");
+  ASSERT_NE(FoundC, nullptr);
+  EXPECT_EQ(FoundC, &TestCounter);
+  EXPECT_EQ(FoundC->value(), 0);
+
+  TestCounter += 41;
+  ++TestCounter;
+  EXPECT_EQ(FoundC->value(), 42);
+
+  telemetry::PhaseTimer *FoundT =
+      telemetry::findPhaseTimer("test/roundtrip.timer");
+  ASSERT_NE(FoundT, nullptr);
+  telemetry::setStatsEnabled(true); // Arm the clock.
+  { telemetry::TimerScope Scope(TestTimer); }
+  telemetry::setStatsEnabled(false);
+  EXPECT_EQ(FoundT->invocations(), 1u);
+  EXPECT_GE(FoundT->seconds(), 0.0);
+
+  // reportStats renders both with category/name visible.
+  std::string ReportPath = tempPath("report.txt");
+  std::FILE *F = std::fopen(ReportPath.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  telemetry::reportStats(F);
+  std::fclose(F);
+  std::string Report = slurp(ReportPath);
+  EXPECT_NE(Report.find("test/roundtrip.counter"), std::string::npos);
+  EXPECT_NE(Report.find("42"), std::string::npos);
+  EXPECT_NE(Report.find("test/roundtrip.timer"), std::string::npos);
+  std::remove(ReportPath.c_str());
+}
+
+TEST(Telemetry, EventsRoundTripThroughJsonlSink) {
+  TelemetryQuiesce Quiet;
+  std::string Path = tempPath("trace.jsonl");
+  auto Sink = telemetry::JsonTraceSink::open(Path,
+                                             telemetry::TraceFormat::Jsonl);
+  ASSERT_NE(Sink, nullptr);
+  telemetry::installSink(std::move(Sink));
+  ASSERT_TRUE(telemetry::tracingEnabled());
+
+  telemetry::instant("test", "jsonl.instant",
+                     {{"ii", 7}, {"ratio", 2.5}, {"kind", "smoke"}});
+  telemetry::gauge("test", "jsonl.gauge", 3.0);
+  {
+    telemetry::SpanScope Span("test", "jsonl.span", {{"depth", 1}});
+  }
+  telemetry::uninstallSink(); // Flushes and closes the file.
+  EXPECT_FALSE(telemetry::tracingEnabled());
+
+  std::string Content = slurp(Path);
+  // One JSON object per line: instant, counter, begin, end.
+  int Lines = 0;
+  for (char C : Content)
+    Lines += C == '\n';
+  EXPECT_EQ(Lines, 4);
+  EXPECT_NE(Content.find("\"name\":\"jsonl.instant\""), std::string::npos);
+  EXPECT_NE(Content.find("\"cat\":\"test\""), std::string::npos);
+  EXPECT_NE(Content.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(Content.find("\"ii\":7"), std::string::npos);
+  EXPECT_NE(Content.find("\"ratio\":2.5"), std::string::npos);
+  EXPECT_NE(Content.find("\"kind\":\"smoke\""), std::string::npos);
+  EXPECT_NE(Content.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(Content.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(Content.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(Content.find("\"ts\":"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(Telemetry, ChromeJsonSinkProducesOneArray) {
+  TelemetryQuiesce Quiet;
+  std::string Path = tempPath("trace.json");
+  auto Sink = telemetry::JsonTraceSink::open(
+      Path, telemetry::TraceFormat::ChromeJson);
+  ASSERT_NE(Sink, nullptr);
+  telemetry::installSink(std::move(Sink));
+  telemetry::instant("test", "chrome.instant");
+  telemetry::instant("test", "chrome.instant2");
+  telemetry::uninstallSink();
+
+  std::string Content = slurp(Path);
+  ASSERT_FALSE(Content.empty());
+  EXPECT_EQ(Content.front(), '[');
+  EXPECT_NE(Content.find(']'), std::string::npos);
+  EXPECT_NE(Content.find("chrome.instant2"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(Json, WriterEscapesAndNests) {
+  std::string Out;
+  json::JsonWriter W(Out);
+  W.beginObject();
+  W.key("s").value("a\"b\\c\n");
+  W.key("arr").beginArray().value(1).value(2.5).value(true).null();
+  W.endArray();
+  W.endObject();
+  EXPECT_TRUE(W.done());
+  EXPECT_EQ(Out, "{\"s\":\"a\\\"b\\\\c\\n\","
+                 "\"arr\":[1,2.5,true,null]}");
+}
+
+//===----------------------------------------------------------------------===//
+// (b) Zero allocations on the disabled path
+//===----------------------------------------------------------------------===//
+
+TEST(Telemetry, DisabledPathDoesNotAllocate) {
+  TelemetryQuiesce Quiet;
+  ASSERT_FALSE(telemetry::enabled());
+  static telemetry::Counter NoAllocCounter("test", "noalloc.counter",
+                                           "zero-alloc test counter");
+  static telemetry::PhaseTimer NoAllocTimer("test", "noalloc.timer",
+                                            "zero-alloc test timer");
+
+  AllocationCount = 0;
+  CountAllocations = true;
+  for (int I = 0; I < 1000; ++I) {
+    NoAllocCounter += 3;
+    ++NoAllocCounter;
+    telemetry::instant("test", "noalloc.instant",
+                       {{"i", I}, {"x", 1.5}, {"s", "str"}});
+    telemetry::gauge("test", "noalloc.gauge", double(I));
+    telemetry::spanBegin("test", "noalloc.span");
+    telemetry::spanEnd("test", "noalloc.span");
+    {
+      telemetry::SpanScope Span("test", "noalloc.scope", {{"i", I}});
+    }
+    {
+      telemetry::TimerScope Scope(NoAllocTimer, {{"i", I}});
+    }
+  }
+  CountAllocations = false;
+  EXPECT_EQ(AllocationCount, 0u)
+      << "disabled telemetry fast path allocated";
+  EXPECT_EQ(NoAllocCounter.value(), 4000);
+  EXPECT_EQ(NoAllocTimer.invocations(), 0u)
+      << "disabled TimerScope must not sample the clock";
+}
+
+//===----------------------------------------------------------------------===//
+// (c) Branch-and-bound observer event order
+//===----------------------------------------------------------------------===//
+
+TEST(Telemetry, BbObserverFiresInSearchOrder) {
+  TelemetryQuiesce Quiet;
+  // min -x - y  s.t.  2x + 2y <= 3, x and y binary.
+  // LP relaxation: x = y = 0.75, bound -1.5 -> fractional, must branch.
+  // Integer optimum: exactly one of x/y set, objective -1.
+  Model M;
+  int X = M.addBinaryVariable("x", -1.0);
+  int Y = M.addBinaryVariable("y", -1.0);
+  M.addConstraint({{X, 2.0}, {Y, 2.0}}, ConstraintSense::LE, 3.0);
+
+  std::vector<BbEventInfo> Events;
+  MipOptions Opts;
+  Opts.Observer = [&Events](const BbEventInfo &Info) {
+    Events.push_back(Info);
+  };
+  MipResult R = MipSolver(Opts).solve(M);
+
+  ASSERT_EQ(R.Status, MipStatus::Optimal);
+  EXPECT_NEAR(R.Objective, -1.0, 1e-6);
+
+  ASSERT_FALSE(Events.empty());
+  // The first event is always the root LP relaxation.
+  EXPECT_EQ(Events.front().Kind, BbEvent::RootLpSolved);
+  EXPECT_NEAR(Events.front().LpObjective, -1.5, 1e-6);
+  EXPECT_EQ(Events.front().Node, 0);
+  EXPECT_EQ(Events.front().Depth, 0);
+
+  size_t FirstBranch = Events.size(), FirstIncumbent = Events.size();
+  int64_t Branches = 0, Incumbents = 0, Pruned = 0, Visited = 0;
+  for (size_t I = 0; I < Events.size(); ++I) {
+    switch (Events[I].Kind) {
+    case BbEvent::Branched:
+      ++Branches;
+      FirstBranch = std::min(FirstBranch, I);
+      EXPECT_GE(Events[I].BranchVariable, 0);
+      break;
+    case BbEvent::IncumbentFound:
+      ++Incumbents;
+      FirstIncumbent = std::min(FirstIncumbent, I);
+      break;
+    case BbEvent::BoundPruned:
+      ++Pruned;
+      // Pruning requires an incumbent to prune against.
+      EXPECT_LT(Events[I].Incumbent, 1e300);
+      EXPECT_GT(I, FirstIncumbent);
+      break;
+    case BbEvent::NodeVisited:
+      ++Visited;
+      break;
+    default:
+      break;
+    }
+  }
+  // Fractional root: the search must branch, then find the incumbent in
+  // a child node, then dispose of the remaining subproblems.
+  EXPECT_GE(Branches, 1);
+  EXPECT_EQ(Incumbents, 1) << "optimum -1 is found once and never beaten";
+  EXPECT_GE(Visited, 1);
+  EXPECT_GT(FirstIncumbent, FirstBranch);
+  EXPECT_GE(Pruned + Visited, R.Nodes) << "every visited node is observed";
+
+  // The observer sees the same search the result reports.
+  EXPECT_EQ(R.Incumbents, Incumbents);
+  EXPECT_EQ(R.PrunedNodes, Pruned);
+  EXPECT_GE(R.MaxDepth, 1);
+}
+
+TEST(Telemetry, BbObserverComposesWithTraceSink) {
+  TelemetryQuiesce Quiet;
+  std::vector<CapturedEvent> Captured;
+  telemetry::installSink(std::make_unique<MemorySink>(Captured));
+
+  Model M;
+  int X = M.addBinaryVariable("x", -1.0);
+  int Y = M.addBinaryVariable("y", -1.0);
+  M.addConstraint({{X, 2.0}, {Y, 2.0}}, ConstraintSense::LE, 3.0);
+  MipResult R = MipSolver().solve(M);
+  telemetry::uninstallSink();
+  ASSERT_EQ(R.Status, MipStatus::Optimal);
+
+  // The solve span plus per-event instants and depth/open gauges (the
+  // instants are named after the BbEvent kind, in category "ilp").
+  bool SawSolveSpan = false, SawRootLp = false, SawIncumbent = false,
+       SawGauge = false;
+  for (const CapturedEvent &E : Captured) {
+    if (E.Name == "bb.solve" && E.Category == "ilp" &&
+        E.Phase == telemetry::EventPhase::Begin)
+      SawSolveSpan = true;
+    if (E.Phase == telemetry::EventPhase::Instant &&
+        E.Category == "ilp") {
+      if (E.Name == toString(BbEvent::RootLpSolved))
+        SawRootLp = true;
+      if (E.Name == toString(BbEvent::IncumbentFound))
+        SawIncumbent = true;
+    }
+    if (E.Phase == telemetry::EventPhase::Counter &&
+        E.Name == "bb.open_nodes")
+      SawGauge = true;
+  }
+  EXPECT_TRUE(SawSolveSpan);
+  EXPECT_TRUE(SawRootLp);
+  EXPECT_TRUE(SawIncumbent);
+  EXPECT_TRUE(SawGauge);
+}
+
+} // namespace
