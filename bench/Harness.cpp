@@ -26,6 +26,8 @@ BenchConfig BenchConfig::fromEnv() {
     Config.TimeLimitSeconds = std::atof(E);
   if (const char *E = std::getenv("MODSCHED_BENCH_SEED"))
     Config.Seed = std::strtoull(E, nullptr, 10);
+  if (const char *E = std::getenv("MODSCHED_BENCH_WARMSTART"))
+    Config.WarmStart = std::atoi(E) != 0;
   return Config;
 }
 
@@ -46,6 +48,9 @@ LoopRecord LoopRecord::fromResult(const DependenceGraph &G,
   Rec.Mii = R.Mii;
   Rec.Nodes = R.Nodes;
   Rec.SimplexIterations = R.SimplexIterations;
+  Rec.WarmLpSolves = R.WarmLpSolves;
+  Rec.ColdLpSolves = R.ColdLpSolves;
+  Rec.WarmLpIterations = R.WarmLpIterations;
   Rec.Variables = R.Variables;
   Rec.Constraints = R.Constraints;
   Rec.Seconds = R.Seconds;
@@ -69,6 +74,7 @@ bench::runOptimal(const MachineModel &M,
   Opts.Formulation.DepStyle = Dep;
   Opts.TimeLimitSeconds = Config.TimeLimitSeconds;
   Opts.NodeLimit = Config.NodeLimit;
+  Opts.WarmStart = Config.WarmStart;
   OptimalModuloScheduler Scheduler(M, Opts);
 
   std::vector<LoopRecord> Records;
@@ -165,6 +171,9 @@ void emitRecord(json::JsonWriter &W, const LoopRecord &R) {
   W.key("mii").value(R.Mii);
   W.key("nodes").value(R.Nodes);
   W.key("iterations").value(R.SimplexIterations);
+  W.key("warm_solves").value(R.WarmLpSolves);
+  W.key("cold_solves").value(R.ColdLpSolves);
+  W.key("warm_iterations").value(R.WarmLpIterations);
   W.key("variables").value(R.Variables);
   W.key("constraints").value(R.Constraints);
   W.key("seconds").value(R.Seconds);
@@ -209,7 +218,7 @@ std::string BenchJson::write() const {
   std::string Out;
   json::JsonWriter W(Out);
   W.beginObject();
-  W.key("schema_version").value(1);
+  W.key("schema_version").value(2);
   W.key("experiment").value(Experiment);
   W.key("generated_unix")
       .value(static_cast<int64_t>(std::time(nullptr)));
@@ -219,6 +228,7 @@ std::string BenchJson::write() const {
   W.key("time_limit_seconds").value(Cfg.TimeLimitSeconds);
   W.key("node_limit").value(Cfg.NodeLimit);
   W.key("large_cap").value(Cfg.LargeCap);
+  W.key("warm_start").value(Cfg.WarmStart);
   W.endObject();
   W.key("metrics").beginObject();
   for (const auto &[Key, Value] : Metrics)

@@ -16,6 +16,8 @@
 ///   MODSCHED_BENCH_LOOPS      number of synthetic loops (default 110)
 ///   MODSCHED_BENCH_TIMELIMIT  per-loop seconds (default 2.0)
 ///   MODSCHED_BENCH_SEED       suite seed (default 20260705)
+///   MODSCHED_BENCH_WARMSTART  0 disables warm-started node LPs (default 1;
+///                             the knob behind warm-vs-cold A/B runs)
 ///
 /// Every experiment binary also writes its per-loop records and resolved
 /// configuration to bench_results/BENCH_<experiment>.json (see BenchJson
@@ -49,6 +51,9 @@ struct BenchConfig {
   int64_t NodeLimit = 200000;
   /// Largest synthetic loop body.
   int LargeCap = 32;
+  /// Warm-start node LPs from the parent basis (SchedulerOptions::
+  /// WarmStart); MODSCHED_BENCH_WARMSTART=0 turns it off for A/B runs.
+  bool WarmStart = true;
 
   /// Reads the MODSCHED_BENCH_* environment overrides.
   static BenchConfig fromEnv();
@@ -64,6 +69,11 @@ struct LoopRecord {
   int Mii = 0;
   int64_t Nodes = 0;
   int64_t SimplexIterations = 0;
+  /// Warm-started / cold node LP solves and the iterations spent inside
+  /// warm solves (see MipResult; zeros for pre-warm-start records).
+  int64_t WarmLpSolves = 0;
+  int64_t ColdLpSolves = 0;
+  int64_t WarmLpIterations = 0;
   int Variables = 0;
   int Constraints = 0;
   double Seconds = 0.0;
@@ -117,7 +127,8 @@ commonlySolved(const std::vector<std::vector<LoopRecord>> &RecordSets);
 /// produced, and call write() before exiting. The artifact is
 ///   <dir>/BENCH_<experiment>.json
 /// with <dir> = $MODSCHED_BENCH_RESULTS_DIR or "bench_results" (created
-/// if missing). The schema (schema_version 1) is validated by
+/// if missing). The schema (schema_version 2: adds the warm-start solve
+/// counters and the config's warm_start flag) is validated by
 /// scripts/check_bench_json.py and documented in docs/OBSERVABILITY.md.
 class BenchJson {
 public:

@@ -50,6 +50,9 @@ void recordSolve(std::string Name, const DependenceGraph &G,
   Rec.TimedOut = R.Status == MipStatus::Limit;
   Rec.Nodes = R.Nodes;
   Rec.SimplexIterations = R.SimplexIterations;
+  Rec.WarmLpSolves = R.WarmLpSolves;
+  Rec.ColdLpSolves = R.ColdLpSolves;
+  Rec.WarmLpIterations = R.WarmLpIterations;
   Rec.Seconds = R.Seconds;
   Rec.Secondary = R.Objective;
   upsertRecord(std::move(Rec));
@@ -209,6 +212,34 @@ BENCHMARK(BM_StageBoundTightening)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+void BM_MipWarmStart(benchmark::State &State) {
+  // A/B ablation of the warm-started dual simplex: identical search with
+  // node LPs either warm-started from the parent basis (Arg 1) or solved
+  // cold by the two-phase primal (Arg 0). The persistent workspace is
+  // active in both arms, so the delta isolates basis reuse. Results land
+  // in BENCH_micro_solver.json as BM_MipWarmStart/{0,1} records with the
+  // warm_solves / cold_solves / warm_iterations fields.
+  MachineModel M = MachineModel::cydraLike();
+  DependenceGraph G = benchLoop(M);
+  MipOptions Opts;
+  Opts.WarmStart = State.range(0) != 0;
+  MipResult Last;
+  for (auto _ : State) {
+    Last = solveLoop(M, G, Objective::MinReg, DependenceStyle::Structured,
+                     Opts);
+    benchmark::DoNotOptimize(Last.Objective);
+  }
+  State.counters["bb_nodes"] = static_cast<double>(Last.Nodes);
+  State.counters["simplex_iters"] =
+      static_cast<double>(Last.SimplexIterations);
+  State.counters["warm_lps"] = static_cast<double>(Last.WarmLpSolves);
+  recordSolve("BM_MipWarmStart/" + std::to_string(State.range(0)), G, Last);
+}
+BENCHMARK(BM_MipWarmStart)
+    ->Arg(0) // cold two-phase primal at every node
+    ->Arg(1) // warm dual simplex from the parent basis
+    ->Unit(benchmark::kMillisecond);
+
 void BM_NodePresolve(benchmark::State &State) {
   // Ablation: bound propagation at every branch-and-bound node.
   MachineModel M = MachineModel::cydraLike();
@@ -284,6 +315,30 @@ int main(int argc, char **argv) {
   Config.TimeLimitSeconds = 20.0;
   bench::BenchJson Json("micro_solver");
   Json.setConfig(Config);
+
+  // Headline warm-vs-cold metrics from the BM_MipWarmStart A/B arms.
+  const bench::LoopRecord *Cold = nullptr, *Warm = nullptr;
+  for (const bench::LoopRecord &R : solveRecords()) {
+    if (R.Name == "BM_MipWarmStart/0")
+      Cold = &R;
+    if (R.Name == "BM_MipWarmStart/1")
+      Warm = &R;
+  }
+  if (Cold && Warm) {
+    if (Warm->SimplexIterations > 0)
+      Json.addMetric("warm_start_iteration_speedup",
+                     static_cast<double>(Cold->SimplexIterations) /
+                         static_cast<double>(Warm->SimplexIterations));
+    if (Warm->Seconds > 0)
+      Json.addMetric("warm_start_time_speedup",
+                     Cold->Seconds / Warm->Seconds);
+    int64_t WarmLps = Warm->WarmLpSolves + Warm->ColdLpSolves;
+    if (WarmLps > 0)
+      Json.addMetric("warm_start_lp_fraction",
+                     static_cast<double>(Warm->WarmLpSolves) /
+                         static_cast<double>(WarmLps));
+  }
+
   Json.addRecordSet("last_solves", solveRecords());
   Json.write();
   return 0;

@@ -1,5 +1,9 @@
 #!/usr/bin/env python3
-"""Validate bench_results/BENCH_*.json artifacts (schema_version 1).
+"""Validate bench_results/BENCH_*.json artifacts (schema_version 2).
+
+Schema 2 (this version) extends schema 1 with the warm-start solver
+fields: per-record warm_solves / cold_solves / warm_iterations counters
+and the config's warm_start flag (the MODSCHED_BENCH_WARMSTART A/B knob).
 
 Stdlib-only. Usage:
 
@@ -20,6 +24,7 @@ CONFIG_KEYS = {
     "time_limit_seconds": numbers.Real,
     "node_limit": numbers.Integral,
     "large_cap": numbers.Integral,
+    "warm_start": bool,
 }
 
 RECORD_KEYS = {
@@ -32,6 +37,9 @@ RECORD_KEYS = {
     "mii": numbers.Integral,
     "nodes": numbers.Integral,
     "iterations": numbers.Integral,
+    "warm_solves": numbers.Integral,
+    "cold_solves": numbers.Integral,
+    "warm_iterations": numbers.Integral,
     "variables": numbers.Integral,
     "constraints": numbers.Integral,
     "seconds": numbers.Real,
@@ -102,8 +110,8 @@ def check_file(path):
         "metrics": dict,
         "record_sets": list,
     }, "$")
-    if doc["schema_version"] != 1:
-        raise SchemaError(f"$.schema_version: expected 1, got "
+    if doc["schema_version"] != 2:
+        raise SchemaError(f"$.schema_version: expected 2, got "
                           f"{doc['schema_version']}")
     if not doc["experiment"]:
         raise SchemaError("$.experiment: empty string")

@@ -10,6 +10,7 @@
 #include <cassert>
 #include <climits>
 #include <cmath>
+#include <memory>
 
 using namespace modsched;
 using namespace modsched::ilp;
@@ -69,12 +70,34 @@ telemetry::Counter StatInfeasibleNodes("ilp", "bb.infeasible_nodes",
 telemetry::PhaseTimer TimeSolve("ilp", "bb.solve",
                                 "wall time in MIP solves");
 
-/// One open subproblem: the variable-bound vectors it was created with.
+telemetry::Counter StatWarmNodeLps("ilp", "bb.warm_node_lps",
+                                   "node LPs solved by warm-started dual "
+                                   "simplex");
+
+/// One open subproblem, stored as a delta against the depth-first bound
+/// trail instead of full Lower/Upper vector copies: the trail mark at
+/// which the parent's bound state ends, plus the single branching bound
+/// this child tightens. Popping a node rewinds the shared CurLower /
+/// CurUpper vectors to TrailMark and applies the delta — O(changes)
+/// instead of O(variables) time and memory per node.
 struct Node {
-  std::vector<double> Lower;
-  std::vector<double> Upper;
+  /// Trail length at creation; the bound state of the parent (after its
+  /// presolve) is exactly the first TrailMark trail entries.
+  size_t TrailMark = 0;
+  /// Variable tightened by this branch, or -1 for the root.
+  int BranchVar = -1;
+  /// New bound value for BranchVar (floor or floor+1 of the parent's LP
+  /// value).
+  double BranchBound = 0.0;
+  /// True: BranchBound is a new upper bound (x <= floor child); false:
+  /// a new lower bound (x >= floor+1 child).
+  bool BranchIsUpper = false;
   /// Branching depth (root = 0).
   int Depth = 0;
+  /// Optimal basis of the parent's LP relaxation, shared by both
+  /// children; warm-starts this node's LP via the dual simplex. Null at
+  /// the root or when the parent's basis was not exportable.
+  std::shared_ptr<const lp::Basis> StartBasis;
 };
 
 /// Fans search events out to the user observer and, when tracing is on,
@@ -103,7 +126,8 @@ public:
          {"lp_objective", Info.LpObjective},
          {"incumbent", Info.Incumbent >= 1e300 ? 0.0 : Info.Incumbent},
          {"branch_var", Info.BranchVariable},
-         {"fixed", Info.FixedVariables}});
+         {"fixed", Info.FixedVariables},
+         {"warm", int64_t(Info.Warm ? 1 : 0)}});
     telemetry::gauge("ilp", "bb.depth", Info.Depth);
     telemetry::gauge("ilp", "bb.open_nodes",
                      static_cast<double>(Info.OpenNodes));
@@ -179,17 +203,43 @@ MipResult MipSolver::solve(const Model &M) const {
     return std::ceil(LpBound - 1e-6);
   };
 
-  // Root relaxation.
-  Node Root;
-  Root.Lower.reserve(M.numVariables());
-  Root.Upper.reserve(M.numVariables());
-  for (const Variable &V : M.variables()) {
-    Root.Lower.push_back(V.Lower);
-    Root.Upper.push_back(V.Upper);
-  }
+  // Depth-first bound state: one pair of effective-bound vectors shared
+  // by every node, plus the trail of individual bound writes (branch
+  // deltas and presolve tightenings) along the current root-to-node
+  // path. Popping a node rewinds the trail to the node's mark — marks
+  // are monotone along the stack, so a rewind never undoes state a
+  // still-open node depends on.
+  std::vector<double> CurLower, CurUpper;
+  M.getBounds(CurLower, CurUpper);
+  std::vector<BoundChange> Trail;
+  auto RewindTo = [&](size_t Mark) {
+    while (Trail.size() > Mark) {
+      const BoundChange &B = Trail.back();
+      if (B.IsUpper)
+        CurUpper[B.Var] = B.OldValue;
+      else
+        CurLower[B.Var] = B.OldValue;
+      Trail.pop_back();
+    }
+  };
+
+  // LP solver state hoisted out of the node loop: one options struct
+  // (the wall-clock budget becomes an absolute deadline computed once,
+  // replacing the per-node remaining-time arithmetic), one solver, and
+  // one persistent workspace whose tableau and scratch buffers are
+  // reused by every node's LP. With depth-first search the preferred
+  // child is solved immediately after its parent, so the workspace
+  // tableau usually still realizes the parent basis and the warm start
+  // skips refactorization entirely.
+  lp::SimplexOptions LpOpts = Opts.Lp;
+  if (Opts.TimeLimitSeconds < 1e29)
+    LpOpts.DeadlineSeconds = std::min(
+        LpOpts.DeadlineSeconds, monotonicSeconds() + Opts.TimeLimitSeconds);
+  SimplexSolver Lp(LpOpts);
+  SimplexWorkspace Ws;
 
   std::vector<Node> Stack;
-  Stack.push_back(std::move(Root));
+  Stack.emplace_back(); // Root: trail mark 0, no branch delta, no basis.
   bool IsRoot = true;
 
   while (!Stack.empty()) {
@@ -205,6 +255,11 @@ MipResult MipSolver::solve(const Model &M) const {
       ++Result.Nodes;
     Result.MaxDepth = std::max(Result.MaxDepth, N.Depth);
 
+    RewindTo(N.TrailMark);
+
+    // Whether this node's LP was warm-started (set once it has run).
+    bool NodeWarm = false;
+
     // Builds the common part of a search-event payload for this node.
     auto MakeInfo = [&](BbEvent Kind) {
       BbEventInfo Info;
@@ -213,16 +268,43 @@ MipResult MipSolver::solve(const Model &M) const {
       Info.Depth = N.Depth;
       Info.OpenNodes = Stack.size();
       Info.Incumbent = Incumbent;
+      Info.Warm = NodeWarm;
       return Info;
     };
 
     if (!IsRoot && Monitor.active())
       Monitor.notify(MakeInfo(BbEvent::NodeVisited));
 
+    // Apply this node's branching delta to the shared bound state.
+    if (N.BranchVar >= 0) {
+      if (N.BranchIsUpper) {
+        if (N.BranchBound < CurUpper[N.BranchVar]) {
+          Trail.push_back({N.BranchVar, /*IsUpper=*/true,
+                           CurUpper[N.BranchVar]});
+          CurUpper[N.BranchVar] = N.BranchBound;
+        }
+      } else {
+        if (N.BranchBound > CurLower[N.BranchVar]) {
+          Trail.push_back({N.BranchVar, /*IsUpper=*/false,
+                           CurLower[N.BranchVar]});
+          CurLower[N.BranchVar] = N.BranchBound;
+        }
+      }
+      if (CurLower[N.BranchVar] > CurUpper[N.BranchVar] + 1e-9) {
+        // The branch emptied the variable's box (e.g. floor of the LP
+        // value fell below an un-rounded fractional lower bound).
+        ++Result.InfeasibleNodes;
+        ++StatInfeasibleNodes;
+        if (Monitor.active())
+          Monitor.notify(MakeInfo(BbEvent::NodeInfeasible));
+        continue;
+      }
+    }
+
     if (Opts.NodePresolve) {
       PropagationStats PStats;
-      PropagationResult PR =
-          propagateBounds(M, N.Lower, N.Upper, /*MaxRounds=*/8, &PStats);
+      PropagationResult PR = propagateBounds(M, CurLower, CurUpper,
+                                             /*MaxRounds=*/8, &PStats, &Trail);
       Result.PresolveFixedVariables += PStats.FixedVariables;
       if (Monitor.active() && PStats.FixedVariables > 0) {
         BbEventInfo Info = MakeInfo(BbEvent::PresolveFixed);
@@ -240,17 +322,20 @@ MipResult MipSolver::solve(const Model &M) const {
       }
     }
 
-    // Forward the remaining wall-clock budget into the LP so a single
-    // huge relaxation cannot overshoot the outer time limit.
-    lp::SimplexOptions LpOpts = Opts.Lp;
-    if (Opts.TimeLimitSeconds < 1e29) {
-      double Remaining = Opts.TimeLimitSeconds - Watch.seconds();
-      LpOpts.TimeLimitSeconds =
-          std::min(LpOpts.TimeLimitSeconds, std::max(0.05, Remaining));
-    }
-    SimplexSolver Lp(LpOpts);
-    LpResult Relax = Lp.solve(M, N.Lower, N.Upper);
+    const lp::Basis *Start =
+        (Opts.WarmStart && N.StartBasis && !N.StartBasis->empty())
+            ? N.StartBasis.get()
+            : nullptr;
+    LpResult Relax = Lp.solve(M, CurLower, CurUpper, &Ws, Start);
     Result.SimplexIterations += Relax.Iterations;
+    NodeWarm = Relax.WarmStarted;
+    if (Relax.WarmStarted) {
+      ++Result.WarmLpSolves;
+      Result.WarmLpIterations += Relax.Iterations;
+      ++StatWarmNodeLps;
+    } else {
+      ++Result.ColdLpSolves;
+    }
 
     if (Relax.Status == LpStatus::IterationLimit) {
       // Cannot bound this subtree; give up on exactness.
@@ -328,12 +413,24 @@ MipResult MipSolver::solve(const Model &M) const {
       Monitor.notify(Info);
     }
 
-    Node Down = N; // x <= floor
-    Down.Upper[BranchVar] = std::min(Down.Upper[BranchVar], Floor);
+    // Both children share this node's bound state (trail prefix) and,
+    // when warm starts are on, its optimal basis — which stays dual-
+    // feasible under the one-bound tightening each child applies.
+    std::shared_ptr<const lp::Basis> ChildBasis;
+    if (Opts.WarmStart && !Relax.FinalBasis.empty())
+      ChildBasis =
+          std::make_shared<const lp::Basis>(std::move(Relax.FinalBasis));
+
+    Node Down; // x <= floor
+    Down.TrailMark = Trail.size();
+    Down.BranchVar = BranchVar;
+    Down.BranchBound = Floor;
+    Down.BranchIsUpper = true;
     Down.Depth = N.Depth + 1;
-    Node Up = std::move(N); // x >= floor + 1
-    Up.Lower[BranchVar] = std::max(Up.Lower[BranchVar], Floor + 1.0);
-    Up.Depth = Down.Depth;
+    Down.StartBasis = ChildBasis;
+    Node Up = Down; // x >= floor + 1
+    Up.BranchBound = Floor + 1.0;
+    Up.BranchIsUpper = false;
 
     bool PreferDown = (X - Floor) < 0.5;
     if (PreferDown) {

@@ -83,6 +83,10 @@ struct BbEventInfo {
   int BranchVariable = -1;
   /// Variables fixed by node presolve (PresolveFixed), else 0.
   int64_t FixedVariables = 0;
+  /// True when the event's node LP was solved by a warm-started dual
+  /// simplex from the parent's basis (false before the LP runs, for cold
+  /// solves, and for warm attempts that fell back to the cold primal).
+  bool Warm = false;
 };
 
 /// Observer callback fired synchronously from MipSolver::solve().
@@ -106,6 +110,12 @@ struct MipOptions {
   bool StopAtFirstSolution = false;
   /// Run bound propagation at every node before the LP (ablation knob).
   bool NodePresolve = true;
+  /// Warm-start each node's LP with the dual simplex from its parent's
+  /// optimal basis (ablation knob; the CPLEX behavior the paper relies
+  /// on). When false every node LP is a cold two-phase primal solve; the
+  /// persistent workspace is used either way, so this isolates the
+  /// basis-reuse effect from the allocation hoisting.
+  bool WarmStart = true;
   BranchRule Branching = BranchRule::MostFractional;
   lp::SimplexOptions Lp;
   /// Optional search observer (tests / tracing / visualization). Null by
@@ -139,6 +149,14 @@ struct MipResult {
   int64_t Incumbents = 0;
   /// Variables fixed by node presolve, summed over all nodes.
   int64_t PresolveFixedVariables = 0;
+  /// Node LPs solved by the warm-started dual simplex.
+  int64_t WarmLpSolves = 0;
+  /// Node LPs solved cold by the two-phase primal (root LP, warm-start
+  /// fallbacks, and every LP when MipOptions::WarmStart is off).
+  int64_t ColdLpSolves = 0;
+  /// Simplex iterations spent inside warm-started solves (subset of
+  /// SimplexIterations).
+  int64_t WarmLpIterations = 0;
 };
 
 /// Depth-first branch-and-bound with best-bound pruning.

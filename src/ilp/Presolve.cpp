@@ -60,7 +60,8 @@ PropagationResult ilp::propagateBounds(const Model &M,
                                        std::vector<double> &Lower,
                                        std::vector<double> &Upper,
                                        int MaxRounds,
-                                       PropagationStats *Stats) {
+                                       PropagationStats *Stats,
+                                       std::vector<BoundChange> *Journal) {
   assert(Lower.size() == static_cast<size_t>(M.numVariables()) &&
          Upper.size() == Lower.size() && "bound vectors sized to model");
   const double Tol = 1e-9;
@@ -72,6 +73,15 @@ PropagationResult ilp::propagateBounds(const Model &M,
     ++Publish.Local.TightenedBounds;
     if (Upper[Var] - Lower[Var] <= Tol && OldUp - OldLo > Tol)
       ++Publish.Local.FixedVariables;
+  };
+  // Records the pre-write value of a bound onto the caller's trail.
+  auto JournalUpper = [&](int Var) {
+    if (Journal)
+      Journal->push_back({Var, /*IsUpper=*/true, Upper[Var]});
+  };
+  auto JournalLower = [&](int Var) {
+    if (Journal)
+      Journal->push_back({Var, /*IsUpper=*/false, Lower[Var]});
   };
 
   for (int Round = 0; Round < MaxRounds; ++Round) {
@@ -114,6 +124,7 @@ PropagationResult ilp::propagateBounds(const Model &M,
             if (IsInt)
               NewUp = std::floor(NewUp + Tol);
             if (NewUp < Upper[Var] - Tol) {
+              JournalUpper(Var);
               Upper[Var] = NewUp;
               Changed = true;
               NoteTightened(Var, Lo, Up);
@@ -123,6 +134,7 @@ PropagationResult ilp::propagateBounds(const Model &M,
             if (IsInt)
               NewLo = std::ceil(NewLo - Tol);
             if (NewLo > Lower[Var] + Tol) {
+              JournalLower(Var);
               Lower[Var] = NewLo;
               Changed = true;
               NoteTightened(Var, Lo, Up);
@@ -138,6 +150,7 @@ PropagationResult ilp::propagateBounds(const Model &M,
             if (IsInt)
               NewLo = std::ceil(NewLo - Tol);
             if (NewLo > Lower[Var] + Tol) {
+              JournalLower(Var);
               Lower[Var] = NewLo;
               Changed = true;
               NoteTightened(Var, Lo, Up);
@@ -147,6 +160,7 @@ PropagationResult ilp::propagateBounds(const Model &M,
             if (IsInt)
               NewUp = std::floor(NewUp + Tol);
             if (NewUp < Upper[Var] - Tol) {
+              JournalUpper(Var);
               Upper[Var] = NewUp;
               Changed = true;
               NoteTightened(Var, Lo, Up);

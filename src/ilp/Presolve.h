@@ -31,6 +31,20 @@ enum class PropagationResult {
   Infeasible, ///< Some variable's bounds crossed: the node is dead.
 };
 
+/// One recorded bound write: enough information to undo it. The branch-
+/// and-bound solver keeps a trail of these along its depth-first path
+/// (one entry per tightening, whether from branching or from node
+/// presolve) and rewinds the trail on backtrack instead of copying full
+/// Lower/Upper vectors into every open node.
+struct BoundChange {
+  /// Variable whose bound was written.
+  int Var = -1;
+  /// True when the upper bound was written, false for the lower bound.
+  bool IsUpper = false;
+  /// The bound's value before the write.
+  double OldValue = 0.0;
+};
+
 /// Telemetry detail of one propagateBounds() call (all zero when the
 /// pass changed nothing). See docs/OBSERVABILITY.md.
 struct PropagationStats {
@@ -44,12 +58,16 @@ struct PropagationStats {
 
 /// Propagates \p M's constraints over the bounds [\p Lower, \p Upper]
 /// in place. \p MaxRounds caps the fixpoint iteration. When \p Stats is
-/// non-null it receives the per-call propagation telemetry.
+/// non-null it receives the per-call propagation telemetry. When
+/// \p Journal is non-null, every individual bound write is appended to it
+/// (including writes made before an Infeasible conclusion), so a caller
+/// maintaining a backtracking trail can undo the pass exactly.
 PropagationResult propagateBounds(const lp::Model &M,
                                   std::vector<double> &Lower,
                                   std::vector<double> &Upper,
                                   int MaxRounds = 8,
-                                  PropagationStats *Stats = nullptr);
+                                  PropagationStats *Stats = nullptr,
+                                  std::vector<BoundChange> *Journal = nullptr);
 
 } // namespace ilp
 } // namespace modsched

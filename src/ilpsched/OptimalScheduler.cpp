@@ -75,11 +75,15 @@ OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
   MipOpts.NodeLimit = Opts.NodeLimit - Stats.Nodes;
   MipOpts.Branching = Opts.Branching;
   MipOpts.StopAtFirstSolution = Opts.Formulation.Obj == Objective::None;
+  MipOpts.WarmStart = Opts.WarmStart;
   MipSolver Solver(MipOpts);
 
   MipResult R = Solver.solve(F.model());
   Stats.Nodes += R.Nodes;
   Stats.SimplexIterations += R.SimplexIterations;
+  Stats.WarmLpSolves += R.WarmLpSolves;
+  Stats.ColdLpSolves += R.ColdLpSolves;
+  Stats.WarmLpIterations += R.WarmLpIterations;
   Attempt.Status = R.Status;
   Attempt.Nodes = R.Nodes;
   Attempt.SimplexIterations = R.SimplexIterations;

@@ -39,6 +39,10 @@ struct SchedulerOptions {
   int MaxIiIncrease = 64;
   /// Branch rule forwarded to the MIP solver.
   ilp::BranchRule Branching = ilp::BranchRule::MostFractional;
+  /// Warm-start node LPs from the parent basis (forwarded to
+  /// ilp::MipOptions::WarmStart; ablation knob for the warm-vs-cold
+  /// benchmark A/B, see bench/micro_solver).
+  bool WarmStart = true;
 };
 
 /// Telemetry record of one tentative-II solve attempt (see
@@ -89,6 +93,13 @@ struct ScheduleResult {
   /// prior to solver simplifications.
   int Variables = 0;
   int Constraints = 0;
+  /// Node LPs warm-started from the parent basis, summed over attempts.
+  int64_t WarmLpSolves = 0;
+  /// Node LPs solved cold, summed over attempts.
+  int64_t ColdLpSolves = 0;
+  /// Simplex iterations inside warm-started LPs (subset of
+  /// SimplexIterations), summed over attempts.
+  int64_t WarmLpIterations = 0;
   /// Total wall-clock time.
   double Seconds = 0.0;
   /// One record per tentative II tried, in search order (telemetry; see

@@ -69,6 +69,16 @@ double Model::evaluateObjective(const std::vector<double> &X) const {
   return Sum;
 }
 
+void Model::getBounds(std::vector<double> &Lower,
+                      std::vector<double> &Upper) const {
+  Lower.resize(Vars.size());
+  Upper.resize(Vars.size());
+  for (size_t I = 0; I < Vars.size(); ++I) {
+    Lower[I] = Vars[I].Lower;
+    Upper[I] = Vars[I].Upper;
+  }
+}
+
 bool Model::isFeasible(const std::vector<double> &X, double Tolerance,
                        std::string *WhyNot) const {
   assert(X.size() == Vars.size() && "solution size mismatch");

@@ -107,6 +107,11 @@ public:
   /// Evaluates the objective at \p X.
   double evaluateObjective(const std::vector<double> &X) const;
 
+  /// Copies every variable's bounds into \p Lower / \p Upper (resized to
+  /// numVariables()). This is the canonical way to seed the effective-
+  /// bound workspace that branch-and-bound mutates along its search path.
+  void getBounds(std::vector<double> &Lower, std::vector<double> &Upper) const;
+
   /// Returns true iff \p X satisfies every constraint and bound within
   /// \p Tolerance, writing a description of the first violation into
   /// \p WhyNot if provided. Integrality is NOT checked here.

@@ -1,8 +1,12 @@
-//===- lp/Simplex.cpp - Bounded-variable primal simplex -------------------===//
+//===- lp/Simplex.cpp - Bounded-variable primal/dual simplex --------------===//
 //
-// Dense two-phase primal simplex with general bounds. See Simplex.h for an
-// overview of the algorithm and Chvatal, "Linear Programming", ch. 8 for
-// the textbook treatment of bounded variables.
+// Dense bounded-variable simplex with two entry points: a two-phase
+// primal for cold solves and a warm-startable dual simplex for re-solves
+// from an exported basis after bound tightenings (the branch-and-bound
+// pattern). See Simplex.h for an overview, Chvatal, "Linear
+// Programming", ch. 8 for bounded-variable primal simplex, and
+// Koberstein's "The dual simplex method" for the dual ratio test with
+// boxed variables.
 //
 //===----------------------------------------------------------------------===//
 
@@ -33,8 +37,27 @@ modsched::telemetry::Counter
                  "periodic basic-value refreshes");
 modsched::telemetry::Counter StatInfeasible("lp", "simplex.infeasible",
                                             "LP solves proved infeasible");
+modsched::telemetry::Counter
+    StatWarmSolves("lp", "warm_solves",
+                   "LP solves warm-started from a basis (dual simplex)");
+modsched::telemetry::Counter
+    StatWarmIterations("lp", "warm_iterations",
+                       "simplex pivots inside warm-started solves");
+modsched::telemetry::Counter
+    StatColdSolves("lp", "cold_solves",
+                   "LP solves from scratch (two-phase primal)");
+modsched::telemetry::Counter
+    StatWarmFallbacks("lp", "warm_fallbacks",
+                      "warm-start attempts that fell back to a cold solve");
+modsched::telemetry::Counter
+    StatBasisRebuilds("lp", "basis_rebuilds",
+                      "warm starts that refactorized the requested basis");
 modsched::telemetry::PhaseTimer TimeSolve("lp", "simplex.solve",
                                           "wall time in LP solves");
+
+/// Process-unique stamp source for exported bases (the solver stack is
+/// single-threaded by construction; see support/Telemetry.h).
+uint64_t NextBasisId = 0;
 
 } // namespace
 
@@ -60,15 +83,53 @@ namespace {
 /// Where a column currently rests.
 enum class ColStatus : uint8_t { Basic, AtLower, AtUpper, Free };
 
-/// The working tableau for one solve. Columns are laid out as
-/// [structural | slack | artificial].
+/// Reduced-cost sign tolerance for accepting a starting basis as
+/// dual-feasible (slightly looser than OptTol to absorb drift
+/// accumulated across chained warm solves).
+constexpr double DualFeasTol = 1e-6;
+
+/// The working tableau for one or more solves. Columns are laid out as
+/// [structural | slack | artificial]. The object is reusable: initCold /
+/// tryInitWarm re-seed it for the next solve while recycling every
+/// buffer, which is what SimplexWorkspace persists across the
+/// branch-and-bound node loop.
 class Tableau {
 public:
-  Tableau(const Model &M, const std::vector<double> &Lower,
-          const std::vector<double> &Upper, const SimplexOptions &Opts);
+  /// Seeds a cold solve: slack/artificial starting basis for phase 1.
+  void initCold(const Model &M, const std::vector<double> &Lower,
+                const std::vector<double> &Upper, const SimplexOptions &Opts);
+
+  /// Seeds a warm solve from \p B. Returns false (leaving the object in
+  /// need of initCold) when the basis cannot be realized: shape
+  /// mismatch, singular refactorization, or dual infeasibility beyond
+  /// tolerance. On success the tableau realizes \p B with the new
+  /// bounds, either in place (when the workspace still held it) or via
+  /// refactorization from the original constraint matrix.
+  bool tryInitWarm(const Model &M, const std::vector<double> &Lower,
+                   const std::vector<double> &Upper, const Basis &B,
+                   const SimplexOptions &Opts);
 
   /// Runs phase 1 (if needed) and phase 2. Returns the final status.
   LpStatus run();
+
+  /// Runs the dual simplex until primal feasibility, then a primal
+  /// clean-up pass. Requires tryInitWarm to have succeeded.
+  LpStatus runWarm();
+
+  /// Exports the current (optimal) basis. Returns false when a
+  /// degenerate artificial column is basic and cannot be pivoted out.
+  bool extractBasis(Basis &Out);
+
+  /// Stamps \p B (and the tableau) with a fresh identity after a
+  /// successful extractBasis, enabling O(1) reuse detection.
+  void stamp(Basis &B) {
+    B.Id = ++NextBasisId;
+    CurrentStamp = B.Id;
+  }
+
+  /// Marks the tableau as not realizing any exported basis (after a
+  /// non-optimal end state or a failed extraction).
+  void invalidateStamp() { CurrentStamp = 0; }
 
   /// Extracts the values of the structural variables.
   std::vector<double> structuralValues() const;
@@ -78,11 +139,25 @@ public:
   int64_t boundFlips() const { return Flips; }
   int64_t refactorizations() const { return Refactors; }
   int64_t phase1Iterations() const { return Phase1Iters; }
+  int64_t dualIterations() const { return DualIters; }
 
 private:
-  /// Runs the simplex loop with the current cost row until optimality,
-  /// unboundedness, or the iteration limit.
+  /// Runs the primal simplex loop with the current cost row until
+  /// optimality, unboundedness, or the iteration limit.
   LpStatus iterate(bool PhaseOne);
+
+  /// Runs the dual simplex loop until primal feasibility, infeasibility,
+  /// or the iteration limit. Requires a dual-feasible basis.
+  LpStatus dualIterate();
+
+  /// Shared per-solve bookkeeping for initCold / tryInitWarm.
+  void beginSolve(const Model &M, const SimplexOptions &Opts);
+
+  /// Lays out bounds/objective/statuses and the raw (unreduced) tableau
+  /// for \p M with no artificial columns; basis assignment left to the
+  /// caller.
+  void buildRaw(const Model &M, const std::vector<double> &Lower,
+                const std::vector<double> &Upper);
 
   /// Rebuilds CostRow[j] = Cost[j] - sum_i Cost[Basis[i]] * Tab(i, j).
   void rebuildCostRow();
@@ -91,8 +166,33 @@ private:
   /// values; flushes accumulated floating-point drift.
   void refreshBasicValues();
 
+  /// Row-reduces the tableau so column \p Enter becomes the identity
+  /// column of \p LeaveRow, updating Rhs and CostRow. Does not touch
+  /// Status / Basis / BasicValue (callers differ there).
+  void applyPivot(int LeaveRow, int Enter);
+
+  /// Re-rests any nonbasic column whose resting bound is no longer
+  /// finite (or that was free and now has finite bounds) on a bound
+  /// compatible with its reduced-cost sign.
+  void snapNonbasicToBounds();
+
+  /// True when every nonbasic column's reduced cost has the sign its
+  /// status requires (within DualFeasTol).
+  bool dualFeasible() const;
+
   /// Chooses the entering column, or -1 at optimality.
   int chooseEntering(bool Bland) const;
+
+  /// Checks the per-solve pivot/wall-clock budgets (every 64 pivots).
+  bool budgetExceeded() const {
+    if (Iters >= OptsP->MaxIterations)
+      return true;
+    if ((Iters & 63) != 0)
+      return false;
+    return Clock.seconds() > OptsP->TimeLimitSeconds ||
+           (OptsP->DeadlineSeconds < 1e29 &&
+            monotonicSeconds() > OptsP->DeadlineSeconds);
+  }
 
   double &tab(int Row, int Col) { return Tab[size_t(Row) * NumCols + Col]; }
   double tab(int Row, int Col) const {
@@ -115,7 +215,8 @@ private:
     return 0.0;
   }
 
-  const SimplexOptions &Opts;
+  const SimplexOptions *OptsP = nullptr;
+  const Model *ModelP = nullptr; ///< Model of the current tableau state.
   int NumRows = 0;
   int NumStruct = 0;
   int NumCols = 0; ///< structural + slack + artificial.
@@ -130,44 +231,106 @@ private:
   std::vector<ColStatus> Status;  ///< Per-column status.
   std::vector<int> Basis;         ///< Basis[row] = column index.
   std::vector<double> BasicValue; ///< Current value of Basis[row].
+  std::vector<int> Scratch;      ///< Refactorization work list.
   int64_t Iters = 0;
   int64_t Degenerate = 0;  ///< Pivots with ~zero step length.
   int64_t Flips = 0;       ///< Pure bound-flip pivots.
   int64_t Refactors = 0;   ///< refreshBasicValues() calls.
   int64_t Phase1Iters = 0; ///< Pivots spent in phase 1.
+  int64_t DualIters = 0;   ///< Pivots spent in the dual simplex.
+  /// Pivots accumulated in Tab since the last build from the original
+  /// constraint matrix; bounds tableau drift across chained warm solves.
+  int64_t PivotsSinceFactor = 0;
+  /// Id of the exported basis this tableau currently realizes (0 =
+  /// none). See Basis::Id.
+  uint64_t CurrentStamp = 0;
   Stopwatch Clock;
 };
 
-Tableau::Tableau(const Model &M, const std::vector<double> &Lower,
-                 const std::vector<double> &Upper, const SimplexOptions &Opts)
-    : Opts(Opts) {
+void Tableau::beginSolve(const Model &M, const SimplexOptions &Opts) {
+  OptsP = &Opts;
+  Iters = Degenerate = Flips = Refactors = Phase1Iters = DualIters = 0;
+  Clock.reset();
   NumRows = M.numConstraints();
   NumStruct = M.numVariables();
+  FirstArtificial = NumStruct + NumRows;
+}
 
-  Obj.reserve(NumStruct);
-  for (const Variable &V : M.variables())
-    Obj.push_back(V.Objective);
+void Tableau::buildRaw(const Model &M, const std::vector<double> &Lower,
+                       const std::vector<double> &Upper) {
+  Obj.assign(Lower.size(), 0.0);
+  for (int Col = 0; Col < NumStruct; ++Col)
+    Obj[Col] = M.variable(Col).Objective;
 
   // Column bounds: structural variables first, then one slack per row.
   Lo.assign(Lower.begin(), Lower.end());
   Up.assign(Upper.begin(), Upper.end());
+  Lo.resize(FirstArtificial);
+  Up.resize(FirstArtificial);
   for (int Row = 0; Row < NumRows; ++Row) {
+    int SlackCol = NumStruct + Row;
     switch (M.constraint(Row).Sense) {
     case ConstraintSense::LE:
-      Lo.push_back(0.0);
-      Up.push_back(infinity());
+      Lo[SlackCol] = 0.0;
+      Up[SlackCol] = infinity();
       break;
     case ConstraintSense::GE:
-      Lo.push_back(-infinity());
-      Up.push_back(0.0);
+      Lo[SlackCol] = -infinity();
+      Up[SlackCol] = 0.0;
       break;
     case ConstraintSense::EQ:
-      Lo.push_back(0.0);
-      Up.push_back(0.0);
+      Lo[SlackCol] = 0.0;
+      Up[SlackCol] = 0.0;
       break;
     }
   }
-  FirstArtificial = NumStruct + NumRows;
+  NumCols = FirstArtificial;
+
+  Tab.assign(size_t(NumRows) * NumCols, 0.0);
+  Rhs.assign(NumRows, 0.0);
+  for (int Row = 0; Row < NumRows; ++Row) {
+    const Constraint &C = M.constraint(Row);
+    for (const Term &T : C.Terms)
+      tab(Row, T.first) += T.second;
+    tab(Row, NumStruct + Row) = 1.0; // Slack.
+    Rhs[Row] = C.Rhs;
+  }
+  PivotsSinceFactor = 0;
+}
+
+void Tableau::initCold(const Model &M, const std::vector<double> &Lower,
+                       const std::vector<double> &Upper,
+                       const SimplexOptions &Opts) {
+  beginSolve(M, Opts);
+  ModelP = &M;
+  CurrentStamp = 0;
+
+  Obj.assign(size_t(NumStruct), 0.0);
+  for (int Col = 0; Col < NumStruct; ++Col)
+    Obj[Col] = M.variable(Col).Objective;
+
+  // Column bounds: structural variables first, then one slack per row.
+  Lo.assign(Lower.begin(), Lower.end());
+  Up.assign(Upper.begin(), Upper.end());
+  Lo.resize(FirstArtificial);
+  Up.resize(FirstArtificial);
+  for (int Row = 0; Row < NumRows; ++Row) {
+    int SlackCol = NumStruct + Row;
+    switch (M.constraint(Row).Sense) {
+    case ConstraintSense::LE:
+      Lo[SlackCol] = 0.0;
+      Up[SlackCol] = infinity();
+      break;
+    case ConstraintSense::GE:
+      Lo[SlackCol] = -infinity();
+      Up[SlackCol] = 0.0;
+      break;
+    case ConstraintSense::EQ:
+      Lo[SlackCol] = 0.0;
+      Up[SlackCol] = 0.0;
+      break;
+    }
+  }
 
   // Rest every structural variable at a finite bound (or 0 when free) and
   // compute the residual each row's slack must absorb.
@@ -220,7 +383,11 @@ Tableau::Tableau(const Model &M, const std::vector<double> &Lower,
   NumCols = FirstArtificial + NumArtificials;
   Lo.resize(NumCols, 0.0);
   Up.resize(NumCols, infinity());
+  std::fill(Lo.begin() + FirstArtificial, Lo.end(), 0.0);
+  std::fill(Up.begin() + FirstArtificial, Up.end(), infinity());
   Status.resize(NumCols, ColStatus::Basic);
+  std::fill(Status.begin() + FirstArtificial, Status.end(),
+            ColStatus::Basic);
 
   // Fill the tableau. A row whose basis column is an artificial with sign
   // -1 is negated so the initial basis matrix is the identity.
@@ -236,9 +403,93 @@ Tableau::Tableau(const Model &M, const std::vector<double> &Lower,
       tab(Row, Basis[Row]) = 1.0; // Artificial column, already scaled.
     Rhs[Row] = Scale * C.Rhs;
   }
+  PivotsSinceFactor = 0;
 
   Cost.assign(NumCols, 0.0);
   CostRow.assign(NumCols, 0.0);
+}
+
+bool Tableau::tryInitWarm(const Model &M, const std::vector<double> &Lower,
+                          const std::vector<double> &Upper,
+                          const lp::Basis &B, const SimplexOptions &Opts) {
+  // Shape check: the basis must describe this model's column layout.
+  int Rows = M.numConstraints();
+  int Struct = M.numVariables();
+  if (static_cast<int>(B.BasicCols.size()) != Rows ||
+      static_cast<int>(B.ColStatus.size()) != Struct + Rows)
+    return false;
+
+  // Fast path: the workspace tableau still realizes exactly this basis
+  // (the child-after-parent pattern of depth-first branch-and-bound).
+  // Only the bounds changed, and the tableau (B^-1 A) does not depend on
+  // bounds — rebind them and go. Guarded by a drift budget: after enough
+  // chained pivots, refactorize from the original matrix instead.
+  bool Reused = false;
+  if (B.Id != 0 && B.Id == CurrentStamp && ModelP == &M &&
+      NumRows == Rows && NumStruct == Struct &&
+      PivotsSinceFactor < Opts.WarmRebuildPivots) {
+    beginSolve(M, Opts);
+    CurrentStamp = 0; // Tableau is about to diverge from any export.
+    std::copy(Lower.begin(), Lower.end(), Lo.begin());
+    std::copy(Upper.begin(), Upper.end(), Up.begin());
+    Reused = true;
+  } else {
+    // Refactorization path: rebuild the raw tableau (no artificials) and
+    // row-reduce the requested basic columns to the identity, choosing
+    // pivot rows greedily by magnitude for stability.
+    ++StatBasisRebuilds;
+    beginSolve(M, Opts);
+    ModelP = &M;
+    CurrentStamp = 0;
+    buildRaw(M, Lower, Upper);
+
+    Status.assign(NumCols, ColStatus::AtLower);
+    for (int Col = 0; Col < NumCols; ++Col)
+      Status[Col] = static_cast<ColStatus>(B.ColStatus[Col]);
+
+    Cost.assign(NumCols, 0.0);
+    CostRow.assign(NumCols, 0.0); // Zero during elimination pivots.
+
+    Basis.assign(NumRows, -1);
+    BasicValue.assign(NumRows, 0.0);
+    Scratch.clear();
+    for (int Col : B.BasicCols) {
+      if (Col < 0 || Col >= NumCols ||
+          Status[Col] != ColStatus::Basic)
+        return false; // Corrupt basis.
+      Scratch.push_back(Col);
+    }
+    for (int Col : Scratch) {
+      int BestRow = -1;
+      double BestMag = OptsP->PivotTol;
+      for (int Row = 0; Row < NumRows; ++Row) {
+        if (Basis[Row] >= 0)
+          continue;
+        double Mag = std::abs(tab(Row, Col));
+        if (Mag > BestMag) {
+          BestMag = Mag;
+          BestRow = Row;
+        }
+      }
+      if (BestRow < 0)
+        return false; // Numerically singular under the new row order.
+      Basis[BestRow] = Col;
+      applyPivot(BestRow, Col);
+      ++Refactors;
+    }
+  }
+
+  // Phase-2 costs and reduced costs. On the reused path Cost/CostRow are
+  // already current (the previous solve ended in phase 2); rebuild on the
+  // refactorized path.
+  if (!Reused) {
+    std::copy(Obj.begin(), Obj.begin() + NumStruct, Cost.begin());
+    rebuildCostRow();
+  }
+
+  snapNonbasicToBounds();
+  refreshBasicValues();
+  return dualFeasible();
 }
 
 void Tableau::rebuildCostRow() {
@@ -272,9 +523,95 @@ void Tableau::refreshBasicValues() {
   }
 }
 
+void Tableau::applyPivot(int LeaveRow, int Enter) {
+  double Pivot = tab(LeaveRow, Enter);
+  assert(std::abs(Pivot) > OptsP->PivotTol && "pivot too small");
+  double *PivRow = &Tab[size_t(LeaveRow) * NumCols];
+  double InvPivot = 1.0 / Pivot;
+  for (int Col = 0; Col < NumCols; ++Col)
+    PivRow[Col] *= InvPivot;
+  Rhs[LeaveRow] *= InvPivot;
+  PivRow[Enter] = 1.0;
+  for (int Row = 0; Row < NumRows; ++Row) {
+    if (Row == LeaveRow)
+      continue;
+    double Factor = tab(Row, Enter);
+    if (Factor == 0.0)
+      continue;
+    double *RowPtr = &Tab[size_t(Row) * NumCols];
+    for (int Col = 0; Col < NumCols; ++Col)
+      RowPtr[Col] -= Factor * PivRow[Col];
+    RowPtr[Enter] = 0.0; // Exactly zero, despite roundoff.
+    Rhs[Row] -= Factor * Rhs[LeaveRow];
+  }
+  double CostFactor = CostRow[Enter];
+  if (CostFactor != 0.0) {
+    for (int Col = 0; Col < NumCols; ++Col)
+      CostRow[Col] -= CostFactor * PivRow[Col];
+    CostRow[Enter] = 0.0;
+  }
+  ++PivotsSinceFactor;
+}
+
+void Tableau::snapNonbasicToBounds() {
+  for (int Col = 0; Col < NumCols; ++Col) {
+    switch (Status[Col]) {
+    case ColStatus::Basic:
+      continue;
+    case ColStatus::AtLower:
+      if (std::isfinite(Lo[Col]))
+        continue;
+      break;
+    case ColStatus::AtUpper:
+      if (std::isfinite(Up[Col]))
+        continue;
+      break;
+    case ColStatus::Free:
+      if (!std::isfinite(Lo[Col]) && !std::isfinite(Up[Col]))
+        continue;
+      break;
+    }
+    // Re-rest on a finite bound compatible with the reduced-cost sign
+    // (cr >= 0 prefers the lower bound, cr <= 0 the upper); the
+    // dual-feasibility check after snapping rejects incompatible cases.
+    bool LoOk = std::isfinite(Lo[Col]), UpOk = std::isfinite(Up[Col]);
+    if (LoOk && (CostRow[Col] >= 0.0 || !UpOk))
+      Status[Col] = ColStatus::AtLower;
+    else if (UpOk)
+      Status[Col] = ColStatus::AtUpper;
+    else
+      Status[Col] = ColStatus::Free;
+  }
+}
+
+bool Tableau::dualFeasible() const {
+  for (int Col = 0; Col < NumCols; ++Col) {
+    if (Status[Col] == ColStatus::Basic || Lo[Col] == Up[Col])
+      continue;
+    double Cr = CostRow[Col];
+    switch (Status[Col]) {
+    case ColStatus::AtLower:
+      if (Cr < -DualFeasTol)
+        return false;
+      break;
+    case ColStatus::AtUpper:
+      if (Cr > DualFeasTol)
+        return false;
+      break;
+    case ColStatus::Free:
+      if (std::abs(Cr) > DualFeasTol)
+        return false;
+      break;
+    case ColStatus::Basic:
+      break;
+    }
+  }
+  return true;
+}
+
 int Tableau::chooseEntering(bool Bland) const {
   int Best = -1;
-  double BestScore = Opts.OptTol;
+  double BestScore = OptsP->OptTol;
   for (int Col = 0; Col < NumCols; ++Col) {
     if (Status[Col] == ColStatus::Basic)
       continue;
@@ -294,7 +631,7 @@ int Tableau::chooseEntering(bool Bland) const {
     case ColStatus::Basic:
       break;
     }
-    if (Score <= Opts.OptTol)
+    if (Score <= OptsP->OptTol)
       continue;
     if (Bland)
       return Col; // Smallest eligible index.
@@ -311,9 +648,7 @@ LpStatus Tableau::iterate(bool PhaseOne) {
   int DegenerateRun = 0;
   bool Bland = false;
   for (;;) {
-    if (Iters >= Opts.MaxIterations)
-      return LpStatus::IterationLimit;
-    if ((Iters & 63) == 0 && Clock.seconds() > Opts.TimeLimitSeconds)
+    if (budgetExceeded())
       return LpStatus::IterationLimit;
 
     int Enter = chooseEntering(Bland);
@@ -337,7 +672,7 @@ LpStatus Tableau::iterate(bool PhaseOne) {
     bool LeaveAtUpper = false;
     for (int Row = 0; Row < NumRows; ++Row) {
       double Alpha = tab(Row, Enter);
-      if (std::abs(Alpha) <= Opts.PivotTol)
+      if (std::abs(Alpha) <= OptsP->PivotTol)
         continue;
       double Rate = -Dir * Alpha; // d(BasicValue[Row]) / dStep.
       int BV = Basis[Row];
@@ -377,9 +712,9 @@ LpStatus Tableau::iterate(bool PhaseOne) {
     }
 
     ++Iters;
-    if (BestT <= Opts.FeasTol) {
+    if (BestT <= OptsP->FeasTol) {
       ++Degenerate;
-      if (++DegenerateRun > Opts.DegenerateLimit)
+      if (++DegenerateRun > OptsP->DegenerateLimit)
         Bland = true;
     } else {
       DegenerateRun = 0;
@@ -414,35 +749,132 @@ LpStatus Tableau::iterate(bool PhaseOne) {
     Basis[LeaveRow] = Enter;
     BasicValue[LeaveRow] = EnterValue;
 
-    // Row reduction: normalize the pivot row, eliminate elsewhere.
-    double Pivot = tab(LeaveRow, Enter);
-    assert(std::abs(Pivot) > Opts.PivotTol && "pivot too small");
-    double *PivRow = &Tab[size_t(LeaveRow) * NumCols];
-    double InvPivot = 1.0 / Pivot;
-    for (int Col = 0; Col < NumCols; ++Col)
-      PivRow[Col] *= InvPivot;
-    Rhs[LeaveRow] *= InvPivot;
-    PivRow[Enter] = 1.0;
-    for (int Row = 0; Row < NumRows; ++Row) {
-      if (Row == LeaveRow)
-        continue;
-      double Factor = tab(Row, Enter);
-      if (Factor == 0.0)
-        continue;
-      double *RowPtr = &Tab[size_t(Row) * NumCols];
-      for (int Col = 0; Col < NumCols; ++Col)
-        RowPtr[Col] -= Factor * PivRow[Col];
-      RowPtr[Enter] = 0.0; // Exactly zero, despite roundoff.
-      Rhs[Row] -= Factor * Rhs[LeaveRow];
-    }
-    double CostFactor = CostRow[Enter];
-    if (CostFactor != 0.0) {
-      for (int Col = 0; Col < NumCols; ++Col)
-        CostRow[Col] -= CostFactor * PivRow[Col];
-      CostRow[Enter] = 0.0;
-    }
+    applyPivot(LeaveRow, Enter);
 
     // Periodically flush floating-point drift in the basic values.
+    if (Iters % 256 == 0)
+      refreshBasicValues();
+  }
+}
+
+LpStatus Tableau::dualIterate() {
+  int DegenerateRun = 0;
+  bool Bland = false;
+  for (;;) {
+    if (budgetExceeded())
+      return LpStatus::IterationLimit;
+
+    // Leaving row: the most-violated basic variable (its bound violation
+    // is the dual pricing score).
+    int LeaveRow = -1;
+    double BestViol = OptsP->FeasTol;
+    bool ViolUpper = false;
+    for (int Row = 0; Row < NumRows; ++Row) {
+      int BV = Basis[Row];
+      double V = BasicValue[Row];
+      double Below = Lo[BV] - V;
+      double Above = V - Up[BV];
+      if (Below > BestViol) {
+        BestViol = Below;
+        LeaveRow = Row;
+        ViolUpper = false;
+      }
+      if (Above > BestViol) {
+        BestViol = Above;
+        LeaveRow = Row;
+        ViolUpper = true;
+      }
+    }
+    if (LeaveRow < 0)
+      return LpStatus::Optimal; // Primal feasible again.
+
+    // Entering column: must be able to move (in its allowed direction)
+    // so the violated basic value heads back toward its bound; among
+    // candidates, the smallest dual ratio |reduced cost| / |alpha| keeps
+    // every other reduced cost's sign after the pivot. Ties prefer the
+    // larger |alpha| (stability), or the smallest index under the
+    // Bland-style anti-cycling fallback.
+    int Enter = -1;
+    double BestRatio = infinity();
+    double BestAlpha = 0.0;
+    double EnterDir = 0.0;
+    const double *LeavePtr = &Tab[size_t(LeaveRow) * NumCols];
+    for (int Col = 0; Col < NumCols; ++Col) {
+      if (Status[Col] == ColStatus::Basic || Lo[Col] == Up[Col])
+        continue;
+      double Alpha = LeavePtr[Col];
+      if (std::abs(Alpha) <= OptsP->PivotTol)
+        continue;
+      // Moving Col by t*D changes BasicValue[LeaveRow] by -t*D*Alpha;
+      // a violated upper bound needs a decrease, a lower an increase.
+      double D;
+      if (Status[Col] == ColStatus::Free) {
+        D = ViolUpper ? (Alpha > 0 ? 1.0 : -1.0)
+                      : (Alpha > 0 ? -1.0 : 1.0);
+      } else {
+        D = Status[Col] == ColStatus::AtLower ? 1.0 : -1.0;
+        bool Helps = ViolUpper ? D * Alpha > 0 : D * Alpha < 0;
+        if (!Helps)
+          continue;
+      }
+      double Cr = CostRow[Col];
+      double AbsCr = Status[Col] == ColStatus::AtLower
+                         ? std::max(0.0, Cr)
+                         : Status[Col] == ColStatus::AtUpper
+                               ? std::max(0.0, -Cr)
+                               : std::abs(Cr);
+      double Ratio = AbsCr / std::abs(Alpha);
+      bool Take = false;
+      if (Enter < 0 || Ratio < BestRatio - 1e-12)
+        Take = true;
+      else if (Ratio <= BestRatio + 1e-12)
+        Take = Bland ? Col < Enter
+                     : std::abs(Alpha) > std::abs(BestAlpha);
+      if (Take) {
+        Enter = Col;
+        BestRatio = std::min(Ratio, BestRatio);
+        BestAlpha = Alpha;
+        EnterDir = D;
+      }
+    }
+    if (Enter < 0) {
+      // No movement of any nonbasic column can repair the violated row:
+      // the row itself certifies emptiness of the bound box (a Farkas
+      // certificate independent of the reduced costs).
+      return LpStatus::Infeasible;
+    }
+
+    ++Iters;
+    ++DualIters;
+    if (BestRatio <= OptsP->OptTol) {
+      ++Degenerate;
+      if (++DegenerateRun > OptsP->DegenerateLimit)
+        Bland = true;
+    } else {
+      DegenerateRun = 0;
+      Bland = false;
+    }
+
+    // Step length: drive the leaving variable exactly onto its violated
+    // bound. The entering variable may overshoot its own far bound — it
+    // then becomes the (smaller) primal infeasibility of a later dual
+    // pivot, which is standard for the bounded-variable dual simplex.
+    double T = BestViol / std::abs(tab(LeaveRow, Enter));
+    for (int Row = 0; Row < NumRows; ++Row) {
+      double Alpha = tab(Row, Enter);
+      if (Alpha != 0.0)
+        BasicValue[Row] -= EnterDir * T * Alpha;
+    }
+
+    int Leave = Basis[LeaveRow];
+    double EnterValue = restingValue(Enter) + EnterDir * T;
+    Status[Leave] = ViolUpper ? ColStatus::AtUpper : ColStatus::AtLower;
+    Status[Enter] = ColStatus::Basic;
+    Basis[LeaveRow] = Enter;
+    BasicValue[LeaveRow] = EnterValue;
+
+    applyPivot(LeaveRow, Enter);
+
     if (Iters % 256 == 0)
       refreshBasicValues();
   }
@@ -486,6 +918,55 @@ LpStatus Tableau::run() {
   return S;
 }
 
+LpStatus Tableau::runWarm() {
+  LpStatus S = dualIterate();
+  if (S != LpStatus::Optimal)
+    return S;
+  // Primal clean-up: the dual loop restored primal feasibility; a primal
+  // pass from the (rebuilt) reduced costs polishes any drifted
+  // optimality violations — usually zero pivots.
+  S = iterate(/*PhaseOne=*/false);
+  if (S == LpStatus::Optimal)
+    refreshBasicValues();
+  return S;
+}
+
+bool Tableau::extractBasis(lp::Basis &Out) {
+  // Drive any residual degenerate artificial out of the basis with a
+  // zero-step pivot so the exported basis only references structural and
+  // slack columns (which a re-solve can rebuild from the model).
+  for (int Row = 0; Row < NumRows; ++Row) {
+    if (Basis[Row] < FirstArtificial)
+      continue;
+    int Best = -1;
+    double BestMag = OptsP->PivotTol;
+    for (int Col = 0; Col < FirstArtificial; ++Col) {
+      if (Status[Col] == ColStatus::Basic)
+        continue;
+      double Mag = std::abs(tab(Row, Col));
+      if (Mag > BestMag) {
+        BestMag = Mag;
+        Best = Col;
+      }
+    }
+    if (Best < 0)
+      return false; // Structurally redundant row; basis not exportable.
+    double EnterValue = restingValue(Best);
+    Status[Basis[Row]] = ColStatus::AtLower; // Artificial rests at [0,0].
+    Status[Best] = ColStatus::Basic;
+    Basis[Row] = Best;
+    BasicValue[Row] = EnterValue;
+    applyPivot(Row, Best);
+  }
+
+  Out.ColStatus.resize(FirstArtificial);
+  for (int Col = 0; Col < FirstArtificial; ++Col)
+    Out.ColStatus[Col] = static_cast<uint8_t>(Status[Col]);
+  Out.BasicCols.assign(Basis.begin(), Basis.end());
+  Out.Id = 0; // Caller stamps.
+  return true;
+}
+
 std::vector<double> Tableau::structuralValues() const {
   std::vector<double> X(NumStruct, 0.0);
   for (int Col = 0; Col < NumStruct; ++Col)
@@ -499,20 +980,35 @@ std::vector<double> Tableau::structuralValues() const {
 
 } // namespace
 
+//===----------------------------------------------------------------------===//
+// SimplexWorkspace
+//===----------------------------------------------------------------------===//
+
+struct SimplexWorkspace::State {
+  Tableau T;
+};
+
+SimplexWorkspace::SimplexWorkspace() : S(std::make_unique<State>()) {}
+SimplexWorkspace::~SimplexWorkspace() = default;
+SimplexWorkspace::SimplexWorkspace(SimplexWorkspace &&) noexcept = default;
+SimplexWorkspace &
+SimplexWorkspace::operator=(SimplexWorkspace &&) noexcept = default;
+
+//===----------------------------------------------------------------------===//
+// SimplexSolver
+//===----------------------------------------------------------------------===//
+
 LpResult SimplexSolver::solve(const Model &M) {
   std::vector<double> Lower, Upper;
-  Lower.reserve(M.numVariables());
-  Upper.reserve(M.numVariables());
-  for (const Variable &V : M.variables()) {
-    Lower.push_back(V.Lower);
-    Upper.push_back(V.Upper);
-  }
+  M.getBounds(Lower, Upper);
   return solve(M, Lower, Upper);
 }
 
 LpResult SimplexSolver::solve(const Model &M,
                               const std::vector<double> &Lower,
-                              const std::vector<double> &Upper) {
+                              const std::vector<double> &Upper,
+                              SimplexWorkspace *Workspace,
+                              const Basis *Start) {
   assert(static_cast<int>(Lower.size()) == M.numVariables() &&
          static_cast<int>(Upper.size()) == M.numVariables() &&
          "bounds arrays must cover every variable");
@@ -527,25 +1023,60 @@ LpResult SimplexSolver::solve(const Model &M,
       return Result; // Status defaults to Infeasible.
     }
 
-  Tableau T(M, Lower, Upper, Opts);
-  LpStatus S = T.run();
+  // Workspace-less calls get a one-shot local tableau.
+  Tableau Local;
+  Tableau &T = Workspace ? Workspace->S->T : Local;
+
+  bool Warm = false;
+  if (Workspace && Start && !Start->empty()) {
+    Warm = T.tryInitWarm(M, Lower, Upper, *Start, Opts);
+    if (!Warm)
+      ++StatWarmFallbacks;
+  }
+
+  LpStatus S;
+  if (Warm) {
+    S = T.runWarm();
+    ++StatWarmSolves;
+  } else {
+    T.initCold(M, Lower, Upper, Opts);
+    S = T.run();
+    ++StatColdSolves;
+  }
+
   Result.Iterations = T.iterations();
   Result.DegeneratePivots = T.degeneratePivots();
   Result.BoundFlips = T.boundFlips();
   Result.Refactorizations = T.refactorizations();
   Result.Phase1Iterations = T.phase1Iterations();
+  Result.DualIterations = T.dualIterations();
+  Result.WarmStarted = Warm;
   Result.Status = S;
 
   StatIterations += Result.Iterations;
   StatDegenerate += Result.DegeneratePivots;
   StatFlips += Result.BoundFlips;
   StatRefactor += Result.Refactorizations;
+  if (Warm)
+    StatWarmIterations += Result.Iterations;
   if (S == LpStatus::Infeasible)
     ++StatInfeasible;
 
-  if (S != LpStatus::Optimal)
+  if (S != LpStatus::Optimal) {
+    if (Workspace)
+      T.invalidateStamp();
     return Result;
+  }
   Result.Values = T.structuralValues();
   Result.Objective = M.evaluateObjective(Result.Values);
+
+  // Export the optimal basis for future warm starts (workspace callers
+  // only: the stamp ties it to the persisted tableau state).
+  if (Workspace) {
+    if (T.extractBasis(Result.FinalBasis))
+      T.stamp(Result.FinalBasis);
+    else
+      T.invalidateStamp();
+  }
   return Result;
 }

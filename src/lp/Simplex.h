@@ -5,9 +5,13 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A dense two-phase primal simplex solver with general variable bounds.
-/// It is the LP engine underneath the branch-and-bound MIP solver
-/// (src/ilp) that substitutes for the CPLEX solver used in the paper.
+/// A dense bounded-variable simplex solver with two entry points: a
+/// two-phase primal simplex for cold solves and a warm-startable dual
+/// simplex for re-solves from a known basis after bound changes. It is
+/// the LP engine underneath the branch-and-bound MIP solver (src/ilp)
+/// that substitutes for the CPLEX solver used in the paper — including
+/// CPLEX's defining trick of never cold-starting an LP inside the
+/// branch-and-bound tree.
 ///
 /// Implementation notes:
 ///  * Every constraint row gets a slack variable with bounds encoding the
@@ -21,6 +25,14 @@
 ///    switch to Bland's rule after a run of degenerate pivots, which
 ///    guarantees termination.
 ///  * The ratio test handles bound flips of the entering variable.
+///  * Warm starts: an optimal solve can export its Basis; a later solve
+///    of the same model with tightened bounds (exactly the state after a
+///    branch-and-bound bound change) restarts from that basis — which is
+///    still dual-feasible — and runs the dual simplex until primal
+///    feasibility is restored, typically in a handful of pivots. When the
+///    caller also passes a persistent SimplexWorkspace the tableau is
+///    reused in place (no refactorization at all) whenever the workspace
+///    still holds the requested basis.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +42,7 @@
 #include "lp/Model.h"
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace modsched {
@@ -64,6 +77,57 @@ struct SimplexOptions {
   /// Number of consecutive degenerate pivots before switching to Bland's
   /// rule.
   int DegenerateLimit = 512;
+  /// Absolute wall-clock deadline on the modsched::monotonicSeconds()
+  /// clock; exceeding it reports LpStatus::IterationLimit. Unlike
+  /// TimeLimitSeconds (a per-solve budget), a deadline is computed once
+  /// by the MIP solver and shared by every node's LP without per-node
+  /// remaining-time arithmetic.
+  double DeadlineSeconds = 1e30;
+  /// Dense-tableau drift guard for warm starts: after this many pivots
+  /// have accumulated in a workspace tableau since its last fresh
+  /// factorization, the next warm solve refactorizes from the original
+  /// constraint matrix instead of reusing the tableau in place.
+  int64_t WarmRebuildPivots = 4096;
+};
+
+/// An exported simplex basis: the resting status of every [structural |
+/// slack] column plus the basic column of each row. Treat as opaque —
+/// the fields are only meaningful to SimplexSolver::solve, and only for
+/// re-solves of the same model (same constraints; bounds may differ).
+/// Produced by an optimal solve that was given a SimplexWorkspace.
+struct Basis {
+  /// Per-column resting status (internal encoding), structural columns
+  /// first, then one slack per row.
+  std::vector<uint8_t> ColStatus;
+  /// BasicCols[row] = column index basic in that row.
+  std::vector<int> BasicCols;
+  /// Workspace stamp identifying the tableau state this basis was
+  /// extracted from (0 = none); lets a warm solve detect in O(1) that
+  /// the workspace tableau already realizes this basis.
+  uint64_t Id = 0;
+
+  bool empty() const { return BasicCols.empty(); }
+};
+
+/// Persistent scratch state for a sequence of solves: the dense tableau,
+/// pricing and ratio-test buffers, and the identity of the basis the
+/// tableau currently realizes. Hoisting one workspace out of the
+/// branch-and-bound node loop eliminates the per-node tableau
+/// reallocation and enables zero-refactorization warm starts whenever
+/// consecutive solves walk parent -> child in the search tree.
+class SimplexWorkspace {
+public:
+  SimplexWorkspace();
+  ~SimplexWorkspace();
+  SimplexWorkspace(SimplexWorkspace &&) noexcept;
+  SimplexWorkspace &operator=(SimplexWorkspace &&) noexcept;
+  SimplexWorkspace(const SimplexWorkspace &) = delete;
+  SimplexWorkspace &operator=(const SimplexWorkspace &) = delete;
+
+private:
+  friend class SimplexSolver;
+  struct State;
+  std::unique_ptr<State> S;
 };
 
 /// Result of an LP solve.
@@ -88,9 +152,22 @@ struct LpResult {
   int64_t Refactorizations = 0;
   /// Pivots spent in phase 1 (driving artificials out of the basis).
   int64_t Phase1Iterations = 0;
+  /// Pivots spent in the warm-start dual simplex (subset of Iterations).
+  int64_t DualIterations = 0;
+  /// True when this solve restarted from a caller-provided basis and ran
+  /// the dual simplex (false for cold two-phase primal solves, including
+  /// warm attempts that had to fall back).
+  bool WarmStarted = false;
+  /// The optimal basis of this solve, exportable to warm-start a later
+  /// solve of the same model with tightened bounds. Only populated when
+  /// Status == Optimal and the solve was given a SimplexWorkspace; empty
+  /// when the final basis is not reusable (e.g. a residual degenerate
+  /// artificial could not be pivoted out).
+  Basis FinalBasis;
 };
 
-/// Dense two-phase bounded-variable primal simplex.
+/// Dense bounded-variable simplex: two-phase primal for cold solves,
+/// dual simplex for warm re-solves from an exported basis.
 class SimplexSolver {
 public:
   explicit SimplexSolver(SimplexOptions Options = {}) : Opts(Options) {}
@@ -101,8 +178,21 @@ public:
   /// Solves \p M with the variable bounds replaced by \p Lower / \p Upper
   /// (used by branch-and-bound nodes to tighten integer bounds without
   /// copying the whole model).
+  ///
+  /// \p Workspace, when non-null, persists the tableau and scratch
+  /// buffers across calls (and enables FinalBasis export). \p Start,
+  /// when non-null and non-empty, requests a warm start from that basis:
+  /// the solver reuses the workspace tableau in place when it still
+  /// realizes the basis (otherwise refactorizes from the constraint
+  /// matrix) and runs the dual simplex, which is exact for the
+  /// branch-and-bound pattern of a dual-feasible but primal-infeasible
+  /// basis after a bound tightening. Falls back to the cold two-phase
+  /// primal whenever the basis is unusable (stale shape, singular
+  /// refactorization, or dual infeasibility beyond tolerance).
   LpResult solve(const Model &M, const std::vector<double> &Lower,
-                 const std::vector<double> &Upper);
+                 const std::vector<double> &Upper,
+                 SimplexWorkspace *Workspace = nullptr,
+                 const Basis *Start = nullptr);
 
 private:
   SimplexOptions Opts;

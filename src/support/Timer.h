@@ -18,6 +18,17 @@
 
 namespace modsched {
 
+/// Seconds elapsed on the steady clock since a fixed process-wide epoch
+/// (the first call). Deadlines expressed against this clock can be
+/// computed once and compared cheaply from anywhere — the branch-and-
+/// bound solver uses it to hand its LP subsolver an absolute deadline
+/// instead of recomputing a remaining-time budget at every node.
+inline double monotonicSeconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point Epoch = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - Epoch).count();
+}
+
 /// Stopwatch over std::chrono::steady_clock. Starts on construction.
 class Stopwatch {
 public:

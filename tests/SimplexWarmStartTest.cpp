@@ -1,0 +1,269 @@
+//===- tests/SimplexWarmStartTest.cpp - warm vs cold differential ---------===//
+//
+// Differential test of the warm-started dual simplex against the cold
+// two-phase primal: on randomized bounded LPs, export the optimal basis,
+// apply a branching-style bound tightening, and check that a warm
+// re-solve from the parent basis agrees with a cold solve of the same
+// child on both status and objective. This is exactly the re-solve
+// pattern the branch-and-bound solver relies on for correctness.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lp/Model.h"
+#include "lp/Simplex.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+using namespace modsched;
+using namespace modsched::lp;
+
+namespace {
+
+/// Builds a random bounded LP. Roughly half the instances are
+/// 0-1-structured (coefficients in {-1, +1}, binary boxes) like the
+/// paper's formulations; the rest use general small integer data.
+Model randomModel(Rng &R) {
+  Model M;
+  int NumVars = static_cast<int>(R.nextInRange(3, 12));
+  bool ZeroOne = R.nextBool(0.5);
+  // Most models are anchored around a random point inside the box: each
+  // constraint's RHS is offset from the anchor's activity so the parent
+  // LP is guaranteed feasible (infeasible parents have no children to
+  // differentiate on). A minority keep fully random RHS values so
+  // infeasible parents and near-infeasible children stay covered.
+  bool Anchored = R.nextBool(0.7);
+  std::vector<double> Anchor;
+  for (int V = 0; V < NumVars; ++V) {
+    double Lo, Up;
+    if (ZeroOne) {
+      Lo = 0.0;
+      Up = 1.0;
+    } else {
+      Lo = static_cast<double>(R.nextInRange(-5, 3));
+      Up = Lo + static_cast<double>(R.nextInRange(0, 9));
+    }
+    double Obj = static_cast<double>(R.nextInRange(-5, 5));
+    M.addVariable("x" + std::to_string(V), Lo, Up, Obj);
+    Anchor.push_back(static_cast<double>(
+        R.nextInRange(static_cast<int64_t>(Lo), static_cast<int64_t>(Up))));
+  }
+  int NumCons = static_cast<int>(R.nextInRange(2, 10));
+  for (int C = 0; C < NumCons; ++C) {
+    std::vector<Term> Terms;
+    int NumTerms = static_cast<int>(R.nextInRange(1, std::min(NumVars, 6)));
+    for (int T = 0; T < NumTerms; ++T) {
+      int Var = static_cast<int>(R.nextBelow(NumVars));
+      double Coeff = ZeroOne ? (R.nextBool(0.5) ? 1.0 : -1.0)
+                             : static_cast<double>(R.nextInRange(-3, 3));
+      if (Coeff != 0.0)
+        Terms.push_back({Var, Coeff});
+    }
+    if (Terms.empty())
+      continue;
+    ConstraintSense Sense =
+        C % 3 == 0 ? ConstraintSense::LE
+                   : (C % 3 == 1 ? ConstraintSense::GE : ConstraintSense::EQ);
+    double Rhs;
+    if (Anchored) {
+      double Activity = 0.0;
+      for (const Term &T : Terms)
+        Activity += T.second * Anchor[T.first];
+      double Slack = static_cast<double>(R.nextInRange(0, 4));
+      Rhs = Sense == ConstraintSense::LE   ? Activity + Slack
+            : Sense == ConstraintSense::GE ? Activity - Slack
+                                           : Activity;
+    } else {
+      Rhs = static_cast<double>(Sense == ConstraintSense::EQ
+                                    ? R.nextInRange(-2, 2)
+                                    : R.nextInRange(-6, 8));
+    }
+    M.addConstraint(std::move(Terms), Sense, Rhs);
+  }
+  return M;
+}
+
+/// Applies one branching-style tightening (x <= floor or x >= floor+1
+/// around the parent's LP value) to a random variable. Returns false
+/// when no variable admits a tightening that keeps its box non-empty.
+bool tightenLikeBranch(const Model &M, const std::vector<double> &ParentX,
+                       std::vector<double> &Lower,
+                       std::vector<double> &Upper, Rng &R) {
+  int NumVars = M.numVariables();
+  int First = static_cast<int>(R.nextBelow(NumVars));
+  for (int Step = 0; Step < NumVars; ++Step) {
+    int Var = (First + Step) % NumVars;
+    double X = ParentX[Var];
+    double Floor = std::floor(X);
+    bool Down = R.nextBool(0.5);
+    for (int Side = 0; Side < 2; ++Side, Down = !Down) {
+      if (Down && Floor < Upper[Var] && Floor >= Lower[Var]) {
+        Upper[Var] = Floor;
+        return true;
+      }
+      if (!Down && Floor + 1.0 > Lower[Var] && Floor + 1.0 <= Upper[Var]) {
+        Lower[Var] = Floor + 1.0;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+struct DifferentialTally {
+  int Models = 0;
+  int Children = 0;
+  int WarmStarted = 0;
+  int OptimalAgreements = 0;
+  int InfeasibleAgreements = 0;
+};
+
+/// Runs the cold-parent / tightened-children differential for one seed,
+/// descending \p Depth levels (child-of-child re-solves exercise the
+/// in-place tableau reuse path that branch-and-bound DFS hits).
+void runDifferential(uint64_t Seed, int NumModels, int Depth,
+                     DifferentialTally &Tally) {
+  Rng R(Seed);
+  for (int I = 0; I < NumModels; ++I) {
+    Model M = randomModel(R);
+    ++Tally.Models;
+
+    SimplexWorkspace Ws;
+    SimplexSolver Warm; // Owns the workspace-based solve chain.
+    std::vector<double> Lower, Upper;
+    M.getBounds(Lower, Upper);
+    LpResult Parent = Warm.solve(M, Lower, Upper, &Ws);
+    if (Parent.Status != LpStatus::Optimal || Parent.FinalBasis.empty())
+      continue; // Infeasible / non-exportable parents have no children.
+
+    Basis B = Parent.FinalBasis;
+    std::vector<double> X = Parent.Values;
+    for (int Level = 0; Level < Depth; ++Level) {
+      if (!tightenLikeBranch(M, X, Lower, Upper, R))
+        break;
+      ++Tally.Children;
+
+      LpResult WarmChild = Warm.solve(M, Lower, Upper, &Ws, &B);
+      SimplexSolver Cold;
+      LpResult ColdChild = Cold.solve(M, Lower, Upper);
+
+      ASSERT_NE(WarmChild.Status, LpStatus::IterationLimit)
+          << "warm child hit the iteration limit (seed " << Seed << ")";
+      ASSERT_NE(ColdChild.Status, LpStatus::IterationLimit)
+          << "cold child hit the iteration limit (seed " << Seed << ")";
+      ASSERT_EQ(WarmChild.Status, ColdChild.Status)
+          << "status disagreement at seed " << Seed << " model " << I
+          << " level " << Level << ":\n"
+          << M.toString();
+      if (WarmChild.WarmStarted)
+        ++Tally.WarmStarted;
+      if (WarmChild.Status == LpStatus::Optimal) {
+        ++Tally.OptimalAgreements;
+        EXPECT_NEAR(WarmChild.Objective, ColdChild.Objective, 1e-6)
+            << "objective disagreement at seed " << Seed << " model " << I
+            << " level " << Level << ":\n"
+            << M.toString();
+        std::string WhyNot;
+        EXPECT_TRUE(M.isFeasible(WarmChild.Values, 1e-6, &WhyNot))
+            << WhyNot << "\nat seed " << Seed << " model " << I;
+      } else {
+        ++Tally.InfeasibleAgreements;
+        break; // Both proved the child infeasible; no deeper children.
+      }
+      if (WarmChild.FinalBasis.empty())
+        break; // Cannot descend without an exportable basis.
+      B = WarmChild.FinalBasis;
+      X = WarmChild.Values;
+    }
+  }
+}
+
+TEST(SimplexWarmStart, DifferentialAgainstColdOnRandomLps) {
+  DifferentialTally Tally;
+  // ~100 random LPs as two independent streams, each descending up to
+  // three branching levels below the parent.
+  runDifferential(/*Seed=*/20260806, /*NumModels=*/50, /*Depth=*/3, Tally);
+  runDifferential(/*Seed=*/97, /*NumModels=*/50, /*Depth=*/3, Tally);
+
+  // The generator must actually produce solvable parents with children,
+  // and the warm path must genuinely engage (not silently fall back to
+  // the cold primal on every instance) for the differential to mean
+  // anything.
+  EXPECT_EQ(Tally.Models, 100);
+  EXPECT_GE(Tally.Children, 60) << "generator produced too few children";
+  EXPECT_GE(Tally.WarmStarted, Tally.Children / 2)
+      << "warm starts fell back to cold too often";
+  EXPECT_GT(Tally.OptimalAgreements, 0);
+  EXPECT_GT(Tally.InfeasibleAgreements, 0)
+      << "no infeasible children generated; infeasibility detection of "
+         "the dual simplex is untested";
+}
+
+TEST(SimplexWarmStart, ReusesBasisAcrossBothChildren) {
+  // The branch-and-bound pattern proper: one parent basis warm-starts
+  // BOTH children (down: x <= floor, up: x >= floor + 1), in DFS order,
+  // from one persistent workspace.
+  Model M;
+  int X = M.addVariable("x", 0, 10, -1.0);
+  int Y = M.addVariable("y", 0, 10, -2.0);
+  M.addConstraint({{X, 1.0}, {Y, 2.0}}, ConstraintSense::LE, 13.0);
+  M.addConstraint({{X, 1.0}, {Y, -1.0}}, ConstraintSense::LE, 4.0);
+
+  SimplexWorkspace Ws;
+  SimplexSolver S;
+  std::vector<double> Lower, Upper;
+  M.getBounds(Lower, Upper);
+  LpResult Parent = S.solve(M, Lower, Upper, &Ws);
+  ASSERT_EQ(Parent.Status, LpStatus::Optimal);
+  ASSERT_FALSE(Parent.FinalBasis.empty());
+  Basis B = Parent.FinalBasis;
+
+  // Down child: y <= 3.
+  std::vector<double> Lo1 = Lower, Up1 = Upper;
+  Up1[Y] = 3.0;
+  LpResult Down = S.solve(M, Lo1, Up1, &Ws, &B);
+  SimplexSolver Cold;
+  LpResult DownCold = Cold.solve(M, Lo1, Up1);
+  ASSERT_EQ(Down.Status, LpStatus::Optimal);
+  EXPECT_NEAR(Down.Objective, DownCold.Objective, 1e-9);
+
+  // Up child: y >= 4, warm-started from the SAME parent basis even
+  // though the workspace tableau has moved on to the down child.
+  std::vector<double> Lo2 = Lower, Up2 = Upper;
+  Lo2[Y] = 4.0;
+  LpResult Up = S.solve(M, Lo2, Up2, &Ws, &B);
+  LpResult UpCold = Cold.solve(M, Lo2, Up2);
+  ASSERT_EQ(Up.Status, UpCold.Status);
+  ASSERT_EQ(Up.Status, LpStatus::Optimal);
+  EXPECT_NEAR(Up.Objective, UpCold.Objective, 1e-9);
+}
+
+TEST(SimplexWarmStart, WarmSolveAfterInfeasibleTightening) {
+  // Tightening that empties the feasible region: the dual simplex must
+  // prove infeasibility, matching the cold phase-1 verdict.
+  Model M;
+  int X = M.addVariable("x", 0, 10, 1.0);
+  int Y = M.addVariable("y", 0, 10, 1.0);
+  M.addConstraint({{X, 1.0}, {Y, 1.0}}, ConstraintSense::GE, 8.0);
+
+  SimplexWorkspace Ws;
+  SimplexSolver S;
+  std::vector<double> Lower, Upper;
+  M.getBounds(Lower, Upper);
+  LpResult Parent = S.solve(M, Lower, Upper, &Ws);
+  ASSERT_EQ(Parent.Status, LpStatus::Optimal);
+  ASSERT_FALSE(Parent.FinalBasis.empty());
+
+  std::vector<double> Lo = Lower, Up = Upper;
+  Up[X] = 3.0;
+  Up[Y] = 3.0; // x + y <= 6 < 8: infeasible.
+  LpResult Child = S.solve(M, Lo, Up, &Ws, &Parent.FinalBasis);
+  EXPECT_EQ(Child.Status, LpStatus::Infeasible);
+  SimplexSolver Cold;
+  EXPECT_EQ(Cold.solve(M, Lo, Up).Status, LpStatus::Infeasible);
+}
+
+} // namespace
