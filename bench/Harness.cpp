@@ -7,9 +7,12 @@
 #include "support/Format.h"
 #include "support/Json.h"
 #include "support/Statistics.h"
+#include "support/ThreadPool.h"
 #include "workloads/SyntheticGenerator.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
@@ -18,16 +21,79 @@
 using namespace modsched;
 using namespace modsched::bench;
 
+namespace {
+
+/// Strict env-integer parsing: the whole string must be a base-10
+/// integer within [Min, Max]. Anything else ("ten", "3x", empty,
+/// overflow, out of range) warns on stderr and reports failure so the
+/// caller keeps its compiled-in default — the atoi-style silent
+/// garbage-to-0 mapping is exactly what this replaces.
+bool parseEnvInt(const char *Name, const char *Text, long long Min,
+                 long long Max, long long &Out) {
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(Text, &End, 10);
+  if (End == Text || *End != '\0' || errno == ERANGE || V < Min || V > Max) {
+    std::fprintf(stderr,
+                 "warning: ignoring %s='%s' (expected an integer in "
+                 "[%lld, %lld]); keeping the default\n",
+                 Name, Text, Min, Max);
+    return false;
+  }
+  Out = V;
+  return true;
+}
+
+/// Strict env-double parsing: the whole string must be a finite number
+/// strictly greater than \p Min. Warns and reports failure otherwise.
+bool parseEnvSeconds(const char *Name, const char *Text, double Min,
+                     double &Out) {
+  errno = 0;
+  char *End = nullptr;
+  double V = std::strtod(Text, &End);
+  if (End == Text || *End != '\0' || errno == ERANGE ||
+      !(V > Min) || !(V < 1e30)) {
+    std::fprintf(stderr,
+                 "warning: ignoring %s='%s' (expected seconds > %g); "
+                 "keeping the default\n",
+                 Name, Text, Min);
+    return false;
+  }
+  Out = V;
+  return true;
+}
+
+} // namespace
+
 BenchConfig BenchConfig::fromEnv() {
   BenchConfig Config;
+  long long V = 0;
   if (const char *E = std::getenv("MODSCHED_BENCH_LOOPS"))
-    Config.SyntheticLoops = std::atoi(E);
+    if (parseEnvInt("MODSCHED_BENCH_LOOPS", E, 0, 1000000, V))
+      Config.SyntheticLoops = static_cast<int>(V);
   if (const char *E = std::getenv("MODSCHED_BENCH_TIMELIMIT"))
-    Config.TimeLimitSeconds = std::atof(E);
-  if (const char *E = std::getenv("MODSCHED_BENCH_SEED"))
-    Config.Seed = std::strtoull(E, nullptr, 10);
+    parseEnvSeconds("MODSCHED_BENCH_TIMELIMIT", E, 0.0,
+                    Config.TimeLimitSeconds);
+  if (const char *E = std::getenv("MODSCHED_BENCH_SEED")) {
+    // Seeds use the full uint64 range; parse via the widest unsigned
+    // type with the same strictness.
+    errno = 0;
+    char *End = nullptr;
+    unsigned long long S = std::strtoull(E, &End, 10);
+    if (End == E || *End != '\0' || errno == ERANGE)
+      std::fprintf(stderr,
+                   "warning: ignoring MODSCHED_BENCH_SEED='%s' (expected "
+                   "an unsigned integer); keeping the default\n",
+                   E);
+    else
+      Config.Seed = S;
+  }
   if (const char *E = std::getenv("MODSCHED_BENCH_WARMSTART"))
-    Config.WarmStart = std::atoi(E) != 0;
+    if (parseEnvInt("MODSCHED_BENCH_WARMSTART", E, 0, 1, V))
+      Config.WarmStart = V != 0;
+  if (const char *E = std::getenv("MODSCHED_BENCH_JOBS"))
+    if (parseEnvInt("MODSCHED_BENCH_JOBS", E, 1, 256, V))
+      Config.Jobs = static_cast<int>(V);
   return Config;
 }
 
@@ -44,6 +110,7 @@ LoopRecord LoopRecord::fromResult(const DependenceGraph &G,
   Rec.NumOps = G.numOperations();
   Rec.Solved = R.Found;
   Rec.TimedOut = R.TimedOut;
+  Rec.NodeLimitHit = R.NodeLimitHit;
   Rec.II = R.II;
   Rec.Mii = R.Mii;
   Rec.Nodes = R.Nodes;
@@ -77,10 +144,30 @@ bench::runOptimal(const MachineModel &M,
   Opts.WarmStart = Config.WarmStart;
   OptimalModuloScheduler Scheduler(M, Opts);
 
-  std::vector<LoopRecord> Records;
-  Records.reserve(Suite.size());
-  for (const DependenceGraph &G : Suite)
-    Records.push_back(LoopRecord::fromResult(G, Scheduler.schedule(G)));
+  std::vector<LoopRecord> Records(Suite.size());
+  const int Jobs = std::max(1, Config.Jobs);
+  if (Jobs == 1 || Suite.size() <= 1) {
+    for (size_t I = 0; I < Suite.size(); ++I)
+      Records[I] = LoopRecord::fromResult(Suite[I],
+                                          Scheduler.schedule(Suite[I]));
+    return Records;
+  }
+
+  // Parallel per-loop sweep (MODSCHED_BENCH_JOBS): one task per loop on
+  // a fixed pool. The scheduler is reentrant — every attempt solves
+  // under its own SolveContext and worker-thread telemetry accumulates
+  // in per-thread shards — and each task writes only its own record
+  // slot, so the output vector keeps suite order deterministically.
+  // Wall-clock censoring is per loop exactly as in the serial sweep,
+  // but loops now compete for cores; use the node-limit censor when
+  // cross-machine determinism matters.
+  ThreadPool Pool(Jobs);
+  for (size_t I = 0; I < Suite.size(); ++I)
+    Pool.submit([&Records, &Suite, &Scheduler, I]() {
+      Records[I] = LoopRecord::fromResult(Suite[I],
+                                          Scheduler.schedule(Suite[I]));
+    });
+  Pool.wait();
   return Records;
 }
 
@@ -166,6 +253,7 @@ void emitRecord(json::JsonWriter &W, const LoopRecord &R) {
   W.key("n").value(R.NumOps);
   W.key("solved").value(R.Solved);
   W.key("timed_out").value(R.TimedOut);
+  W.key("node_limit_hit").value(R.NodeLimitHit);
   W.key("status").value(R.status());
   W.key("ii").value(R.II);
   W.key("mii").value(R.Mii);
@@ -188,6 +276,7 @@ void emitRecord(json::JsonWriter &W, const LoopRecord &R) {
     W.key("status").value(ilp::toString(A.Status));
     W.key("window_infeasible").value(A.WindowInfeasible);
     W.key("scheduled").value(A.Scheduled);
+    W.key("cancelled").value(A.Cancelled);
     W.key("nodes").value(A.Nodes);
     W.key("iterations").value(A.SimplexIterations);
     W.key("variables").value(A.Variables);
@@ -218,7 +307,7 @@ std::string BenchJson::write() const {
   std::string Out;
   json::JsonWriter W(Out);
   W.beginObject();
-  W.key("schema_version").value(2);
+  W.key("schema_version").value(3);
   W.key("experiment").value(Experiment);
   W.key("generated_unix")
       .value(static_cast<int64_t>(std::time(nullptr)));
@@ -229,6 +318,7 @@ std::string BenchJson::write() const {
   W.key("node_limit").value(Cfg.NodeLimit);
   W.key("large_cap").value(Cfg.LargeCap);
   W.key("warm_start").value(Cfg.WarmStart);
+  W.key("jobs").value(Cfg.Jobs);
   W.endObject();
   W.key("metrics").beginObject();
   for (const auto &[Key, Value] : Metrics)

@@ -18,13 +18,21 @@
 ///   MODSCHED_BENCH_SEED       suite seed (default 20260705)
 ///   MODSCHED_BENCH_WARMSTART  0 disables warm-started node LPs (default 1;
 ///                             the knob behind warm-vs-cold A/B runs)
+///   MODSCHED_BENCH_JOBS       worker threads for the per-loop sweep
+///                             (default 1 = serial; loops are scheduled
+///                             concurrently, records stay in suite order)
+///
+/// Malformed or out-of-range values are rejected with a warning on
+/// stderr and the compiled-in default is kept — "MODSCHED_BENCH_LOOPS=
+/// ten" or a negative time limit never silently becomes 0.
 ///
 /// Every experiment binary also writes its per-loop records and resolved
 /// configuration to bench_results/BENCH_<experiment>.json (see BenchJson
 /// below); the directory is overridden with
 ///   MODSCHED_BENCH_RESULTS_DIR  output directory (default bench_results)
 /// and the solver-level observability switches (docs/OBSERVABILITY.md)
-/// compose freely with any bench run:
+/// compose freely with any bench run (MODSCHED_BENCH_JOBS included —
+/// worker-thread telemetry merges through the thread shards):
 ///   MODSCHED_TRACE=<file>     Chrome trace_event (.json) / JSONL trace
 ///   MODSCHED_STATS=1          counter/timer report on stderr at exit
 ///
@@ -54,8 +62,14 @@ struct BenchConfig {
   /// Warm-start node LPs from the parent basis (SchedulerOptions::
   /// WarmStart); MODSCHED_BENCH_WARMSTART=0 turns it off for A/B runs.
   bool WarmStart = true;
+  /// Worker threads for the per-loop sweep (MODSCHED_BENCH_JOBS). One
+  /// loop is one task; with >1 the sweep runs on a ThreadPool, each
+  /// attempt under its own SolveContext, and the record vector keeps
+  /// suite order regardless of completion order.
+  int Jobs = 1;
 
-  /// Reads the MODSCHED_BENCH_* environment overrides.
+  /// Reads the MODSCHED_BENCH_* environment overrides. Invalid values
+  /// warn on stderr and keep the defaults above.
   static BenchConfig fromEnv();
 };
 
@@ -65,6 +79,9 @@ struct LoopRecord {
   int NumOps = 0;
   bool Solved = false;
   bool TimedOut = false;
+  /// Node budget exhausted (deterministic censoring, distinct from the
+  /// machine-dependent wall-clock timeout; both can be set).
+  bool NodeLimitHit = false;
   int II = 0;
   int Mii = 0;
   int64_t Nodes = 0;
@@ -91,9 +108,18 @@ struct LoopRecord {
   static LoopRecord fromResult(const DependenceGraph &G,
                                const ScheduleResult &R);
 
-  /// "solved", "timeout", or "unsolved" (proved infeasible / gave up).
+  /// "solved", "timeout", "node_limit", or "unsolved" (proved
+  /// infeasible / gave up). A run censored by both budgets reports
+  /// "timeout" (the wall clock is what the paper's tables censor on);
+  /// the node_limit_hit field still records the node budget.
   const char *status() const {
-    return Solved ? "solved" : (TimedOut ? "timeout" : "unsolved");
+    if (Solved)
+      return "solved";
+    if (TimedOut)
+      return "timeout";
+    if (NodeLimitHit)
+      return "node_limit";
+    return "unsolved";
   }
 };
 
@@ -127,9 +153,12 @@ commonlySolved(const std::vector<std::vector<LoopRecord>> &RecordSets);
 /// produced, and call write() before exiting. The artifact is
 ///   <dir>/BENCH_<experiment>.json
 /// with <dir> = $MODSCHED_BENCH_RESULTS_DIR or "bench_results" (created
-/// if missing). The schema (schema_version 2: adds the warm-start solve
-/// counters and the config's warm_start flag) is validated by
-/// scripts/check_bench_json.py and documented in docs/OBSERVABILITY.md.
+/// if missing). The schema (schema_version 3: adds config.jobs, the
+/// per-record node_limit_hit flag / "node_limit" status, and the
+/// per-attempt cancelled flag; version 2 added the warm-start solve
+/// counters) is validated by scripts/check_bench_json.py — which still
+/// accepts version 2 artifacts — and documented in
+/// docs/OBSERVABILITY.md.
 class BenchJson {
 public:
   explicit BenchJson(std::string Experiment);

@@ -1,9 +1,15 @@
 #!/usr/bin/env python3
-"""Validate bench_results/BENCH_*.json artifacts (schema_version 2).
+"""Validate bench_results/BENCH_*.json artifacts (schema_version 2 or 3).
 
-Schema 2 (this version) extends schema 1 with the warm-start solver
-fields: per-record warm_solves / cold_solves / warm_iterations counters
-and the config's warm_start flag (the MODSCHED_BENCH_WARMSTART A/B knob).
+Schema 3 (this version) extends schema 2 with concurrency fields: the
+config's jobs count (the MODSCHED_BENCH_JOBS knob), a per-record
+node_limit_hit flag with its "node_limit" status, and a per-attempt
+cancelled flag (set on II attempts stopped by a lower-II race winner).
+Schema 2 extended schema 1 with the warm-start solver fields: per-record
+warm_solves / cold_solves / warm_iterations counters and the config's
+warm_start flag (the MODSCHED_BENCH_WARMSTART A/B knob). Legacy schema-2
+artifacts still validate; the v3 keys are required only when the file
+declares schema_version 3.
 
 Stdlib-only. Usage:
 
@@ -25,6 +31,11 @@ CONFIG_KEYS = {
     "node_limit": numbers.Integral,
     "large_cap": numbers.Integral,
     "warm_start": bool,
+}
+
+# Keys required only when schema_version >= 3.
+CONFIG_KEYS_V3 = {
+    "jobs": numbers.Integral,
 }
 
 RECORD_KEYS = {
@@ -50,6 +61,10 @@ RECORD_KEYS = {
     "attempts": list,
 }
 
+RECORD_KEYS_V3 = {
+    "node_limit_hit": bool,
+}
+
 ATTEMPT_KEYS = {
     "ii": numbers.Integral,
     "status": str,
@@ -62,7 +77,12 @@ ATTEMPT_KEYS = {
     "seconds": numbers.Real,
 }
 
-STATUSES = {"solved", "timeout", "unsolved"}
+ATTEMPT_KEYS_V3 = {
+    "cancelled": bool,
+}
+
+STATUSES_V2 = {"solved", "timeout", "unsolved"}
+STATUSES_V3 = STATUSES_V2 | {"node_limit"}
 
 
 class SchemaError(Exception):
@@ -87,16 +107,31 @@ def check_keys(obj, spec, where):
                               f"got {type(value).__name__}")
 
 
-def check_record(record, where):
+def check_record(record, where, version):
     check_keys(record, RECORD_KEYS, where)
-    if record["status"] not in STATUSES:
+    if version >= 3:
+        check_keys(record, RECORD_KEYS_V3, where)
+    statuses = STATUSES_V3 if version >= 3 else STATUSES_V2
+    if record["status"] not in statuses:
         raise SchemaError(f"{where}.status: {record['status']!r} not in "
-                          f"{sorted(STATUSES)}")
+                          f"{sorted(statuses)}")
     if record["solved"] and record["status"] != "solved":
         raise SchemaError(f"{where}: solved=true but status="
                           f"{record['status']!r}")
+    if version >= 3:
+        if record["status"] == "node_limit" and not record["node_limit_hit"]:
+            raise SchemaError(f"{where}: status='node_limit' but "
+                              f"node_limit_hit=false")
+        if record["timed_out"] and record["status"] not in {"timeout",
+                                                            "solved"}:
+            raise SchemaError(f"{where}: timed_out=true but status="
+                              f"{record['status']!r} (timeout wins over "
+                              f"node_limit)")
     for i, attempt in enumerate(record["attempts"]):
-        check_keys(attempt, ATTEMPT_KEYS, f"{where}.attempts[{i}]")
+        awhere = f"{where}.attempts[{i}]"
+        check_keys(attempt, ATTEMPT_KEYS, awhere)
+        if version >= 3:
+            check_keys(attempt, ATTEMPT_KEYS_V3, awhere)
 
 
 def check_file(path):
@@ -110,12 +145,15 @@ def check_file(path):
         "metrics": dict,
         "record_sets": list,
     }, "$")
-    if doc["schema_version"] != 2:
-        raise SchemaError(f"$.schema_version: expected 2, got "
-                          f"{doc['schema_version']}")
+    version = doc["schema_version"]
+    if version not in (2, 3):
+        raise SchemaError(f"$.schema_version: expected 2 or 3, got "
+                          f"{version}")
     if not doc["experiment"]:
         raise SchemaError("$.experiment: empty string")
     check_keys(doc["config"], CONFIG_KEYS, "$.config")
+    if version >= 3:
+        check_keys(doc["config"], CONFIG_KEYS_V3, "$.config")
     for key, value in doc["metrics"].items():
         if isinstance(value, bool) or not isinstance(value, numbers.Real):
             raise SchemaError(f"$.metrics[{key!r}]: expected number, got "
@@ -125,7 +163,7 @@ def check_file(path):
         where = f"$.record_sets[{s}]"
         check_keys(record_set, {"label": str, "records": list}, where)
         for r, record in enumerate(record_set["records"]):
-            check_record(record, f"{where}.records[{r}]")
+            check_record(record, f"{where}.records[{r}]", version)
             n_records += 1
     return len(doc["record_sets"]), n_records
 

@@ -3,6 +3,7 @@
 #include "ilp/BranchAndBound.h"
 
 #include "ilp/Presolve.h"
+#include "lp/SolveContext.h"
 #include "support/Telemetry.h"
 #include "support/Timer.h"
 
@@ -24,6 +25,8 @@ const char *ilp::toString(MipStatus Status) {
     return "infeasible";
   case MipStatus::Limit:
     return "limit";
+  case MipStatus::Cancelled:
+    return "cancelled";
   }
   return "unknown";
 }
@@ -184,6 +187,11 @@ int pickBranchVariable(const Model &M, const std::vector<double> &X,
 } // namespace
 
 MipResult MipSolver::solve(const Model &M) const {
+  lp::SolveContext Ctx;
+  return solve(M, Ctx);
+}
+
+MipResult MipSolver::solve(const Model &M, lp::SolveContext &Ctx) const {
   telemetry::TimerScope Time(
       TimeSolve, {{"variables", int64_t(M.numVariables())},
                   {"constraints", int64_t(M.numConstraints())}});
@@ -223,28 +231,32 @@ MipResult MipSolver::solve(const Model &M) const {
     }
   };
 
-  // LP solver state hoisted out of the node loop: one options struct
-  // (the wall-clock budget becomes an absolute deadline computed once,
-  // replacing the per-node remaining-time arithmetic), one solver, and
-  // one persistent workspace whose tableau and scratch buffers are
-  // reused by every node's LP. With depth-first search the preferred
-  // child is solved immediately after its parent, so the workspace
-  // tableau usually still realizes the parent basis and the warm start
-  // skips refactorization entirely.
-  lp::SimplexOptions LpOpts = Opts.Lp;
-  if (Opts.TimeLimitSeconds < 1e29)
-    LpOpts.DeadlineSeconds = std::min(
-        LpOpts.DeadlineSeconds, monotonicSeconds() + Opts.TimeLimitSeconds);
-  SimplexSolver Lp(LpOpts);
-  SimplexWorkspace Ws;
+  // LP solver state hoisted out of the node loop: the solver's own
+  // wall-clock budget is folded into the context deadline once (an
+  // absolute deadline on the shared clock, restored on exit by the
+  // scope — no per-node remaining-time arithmetic), and every node LP
+  // reuses the context's persistent workspace. With depth-first search
+  // the preferred child is solved immediately after its parent, so the
+  // workspace tableau usually still realizes the parent basis and the
+  // warm start skips refactorization entirely.
+  lp::DeadlineScope Deadline(Ctx, Opts.TimeLimitSeconds);
+  SimplexSolver Lp(Opts.Lp);
 
   std::vector<Node> Stack;
   Stack.emplace_back(); // Root: trail mark 0, no branch delta, no basis.
   bool IsRoot = true;
 
   while (!Stack.empty()) {
-    if (Watch.seconds() > Opts.TimeLimitSeconds ||
-        Result.Nodes >= Opts.NodeLimit) {
+    if (Ctx.cancelled()) {
+      Result.Cancelled = true;
+      Aborted = true;
+      break;
+    }
+    if (Watch.seconds() > Opts.TimeLimitSeconds || Ctx.deadlineExpired())
+      Result.HitTimeLimit = true;
+    if (Result.Nodes >= Opts.NodeLimit)
+      Result.HitNodeLimit = true;
+    if (Result.HitTimeLimit || Result.HitNodeLimit) {
       Aborted = true;
       break;
     }
@@ -326,7 +338,7 @@ MipResult MipSolver::solve(const Model &M) const {
         (Opts.WarmStart && N.StartBasis && !N.StartBasis->empty())
             ? N.StartBasis.get()
             : nullptr;
-    LpResult Relax = Lp.solve(M, CurLower, CurUpper, &Ws, Start);
+    LpResult Relax = Lp.solve(M, CurLower, CurUpper, &Ctx, Start);
     Result.SimplexIterations += Relax.Iterations;
     NodeWarm = Relax.WarmStarted;
     if (Relax.WarmStarted) {
@@ -338,7 +350,13 @@ MipResult MipSolver::solve(const Model &M) const {
     }
 
     if (Relax.Status == LpStatus::IterationLimit) {
-      // Cannot bound this subtree; give up on exactness.
+      // Cannot bound this subtree; give up on exactness. The LP reports
+      // the same status for a cancelled context, a deadline expiry, and
+      // a genuine pivot-budget exhaustion — the context disambiguates.
+      if (Ctx.cancelled())
+        Result.Cancelled = true;
+      else
+        Result.HitTimeLimit = true;
       Aborted = true;
       IsRoot = false;
       break;
@@ -454,5 +472,10 @@ MipResult MipSolver::solve(const Model &M) const {
   // nodes remain: with a zero objective every feasible point is optimal.
   if (Result.HasSolution && Opts.StopAtFirstSolution && !Aborted)
     Result.Status = MipStatus::Optimal;
+  // Cancellation trumps the Limit classification: the caller asked the
+  // search to stop, so neither bound statistic nor solution state is a
+  // verdict about the problem.
+  if (Result.Cancelled)
+    Result.Status = MipStatus::Cancelled;
   return Result;
 }

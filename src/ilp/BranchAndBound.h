@@ -35,6 +35,7 @@ enum class MipStatus {
   Optimal,    ///< Proved optimal (or first solution, when so configured).
   Infeasible, ///< Proved that no integral solution exists.
   Limit,      ///< Stopped on a time/node/iteration budget.
+  Cancelled,  ///< Stopped because the SolveContext's token was cancelled.
 };
 
 /// Returns a printable name for \p Status.
@@ -137,6 +138,16 @@ struct MipResult {
   int64_t SimplexIterations = 0;
   /// Wall-clock seconds spent in solve().
   double Seconds = 0.0;
+  /// Why Status == Limit: the node budget was exhausted (distinct from
+  /// wall-clock expiry so censoring is attributed correctly; both can
+  /// be true when the checks trip in the same pass).
+  bool HitNodeLimit = false;
+  /// Why Status == Limit: the wall-clock budget / context deadline
+  /// expired (also set when a node LP gave up on its pivot budget).
+  bool HitTimeLimit = false;
+  /// True when the SolveContext's cancellation token stopped the search
+  /// (Status == Cancelled).
+  bool Cancelled = false;
 
   // --- Search telemetry (see docs/OBSERVABILITY.md) ---
   /// Deepest branching depth reached (root = 0).
@@ -159,12 +170,23 @@ struct MipResult {
   int64_t WarmLpIterations = 0;
 };
 
-/// Depth-first branch-and-bound with best-bound pruning.
+/// Depth-first branch-and-bound with best-bound pruning. Stateless
+/// between solves (all mutable solve state lives on the stack or in the
+/// caller's SolveContext), so one solver — or many — can run any number
+/// of concurrent solves, each under its own context.
 class MipSolver {
 public:
   explicit MipSolver(MipOptions Options = {}) : Opts(Options) {}
 
-  /// Solves the minimization MIP \p M.
+  /// Solves the minimization MIP \p M under \p Ctx: node LPs share the
+  /// context's workspace (warm starts), the context deadline is
+  /// tightened by MipOptions::TimeLimitSeconds for the duration of this
+  /// call, and the cancellation token is polled between nodes (and
+  /// inside node LPs), reporting MipStatus::Cancelled when it fires.
+  MipResult solve(const lp::Model &M, lp::SolveContext &Ctx) const;
+
+  /// Convenience overload: solves under a fresh local context (fresh
+  /// workspace, no outer deadline, never cancelled).
   MipResult solve(const lp::Model &M) const;
 
 private:

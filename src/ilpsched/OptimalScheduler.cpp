@@ -2,6 +2,8 @@
 
 #include "ilpsched/OptimalScheduler.h"
 
+#include "ilpsched/IiSearch.h"
+#include "lp/SolveContext.h"
 #include "sched/Mii.h"
 #include "sched/Verifier.h"
 #include "support/Telemetry.h"
@@ -10,6 +12,7 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 using namespace modsched;
 using namespace modsched::ilp;
@@ -24,7 +27,11 @@ telemetry::Counter StatAttempts("ilpsched", "scheduler.attempts",
 telemetry::Counter StatScheduled("ilpsched", "scheduler.scheduled",
                                  "Loops scheduled successfully");
 telemetry::Counter StatTimeouts("ilpsched", "scheduler.timeouts",
-                                "Loops abandoned on budget expiry");
+                                "Loops abandoned on wall-clock budget "
+                                "expiry");
+telemetry::Counter StatNodeLimits("ilpsched", "scheduler.node_limits",
+                                  "Loops abandoned on node-budget "
+                                  "exhaustion");
 telemetry::PhaseTimer TimeSchedule("ilpsched", "scheduler.schedule",
                                    "End-to-end min-II search");
 
@@ -33,7 +40,8 @@ telemetry::PhaseTimer TimeSchedule("ilpsched", "scheduler.schedule",
 std::optional<ModuloSchedule>
 OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
                                      ScheduleResult &Stats,
-                                     double TimeBudget) const {
+                                     double TimeBudget,
+                                     lp::SolveContext *Ctx) const {
   ++StatAttempts;
   Stopwatch AttemptWatch;
   telemetry::SpanScope Span("ilpsched", "scheduler.attempt", {{"ii", II}});
@@ -57,6 +65,7 @@ OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
              {"scheduled", int64_t(Attempt.Scheduled ? 1 : 0)},
              {"window_infeasible",
               int64_t(Attempt.WindowInfeasible ? 1 : 0)},
+             {"cancelled", int64_t(Attempt.Cancelled ? 1 : 0)},
              {"nodes", Attempt.Nodes},
              {"seconds", Attempt.Seconds}});
     }
@@ -78,7 +87,11 @@ OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
   MipOpts.WarmStart = Opts.WarmStart;
   MipSolver Solver(MipOpts);
 
-  MipResult R = Solver.solve(F.model());
+  // Solve under the caller's context (parallel race slots bring their
+  // own, wired to a cancellation source) or a fresh local one — the
+  // latter is exactly the historical sequential behavior.
+  lp::SolveContext LocalCtx;
+  MipResult R = Solver.solve(F.model(), Ctx ? *Ctx : LocalCtx);
   Stats.Nodes += R.Nodes;
   Stats.SimplexIterations += R.SimplexIterations;
   Stats.WarmLpSolves += R.WarmLpSolves;
@@ -88,10 +101,21 @@ OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
   Attempt.Nodes = R.Nodes;
   Attempt.SimplexIterations = R.SimplexIterations;
 
+  if (R.Status == MipStatus::Cancelled) {
+    // The caller's token stopped the search (e.g. a lower-II sibling in
+    // a parallel race won). No verdict about this II; in particular no
+    // half-decoded schedule ever escapes a cancelled solve.
+    Attempt.Cancelled = true;
+    return std::nullopt;
+  }
   if (R.Status == MipStatus::Limit) {
     // Budget expired. A feasible-but-unproven incumbent is not reported
-    // as an optimal schedule; the caller records a timeout.
-    Stats.TimedOut = true;
+    // as an optimal schedule; the caller records which budget censored
+    // the attempt (both flags can trip in the same pass).
+    if (R.HitNodeLimit)
+      Stats.NodeLimitHit = true;
+    if (R.HitTimeLimit || !R.HitNodeLimit)
+      Stats.TimedOut = true;
     return std::nullopt;
   }
   if (!R.HasSolution)
@@ -120,35 +144,26 @@ ScheduleResult OptimalModuloScheduler::schedule(const DependenceGraph &G) const 
   ScheduleResult Result;
   Result.Mii = mii(G, M);
 
-  for (int II = Result.Mii; II <= Result.Mii + Opts.MaxIiIncrease; ++II) {
-    double Remaining = Opts.TimeLimitSeconds - Watch.seconds();
-    if (Remaining <= 0 || Result.Nodes >= Opts.NodeLimit) {
-      Result.TimedOut = true;
-      break;
-    }
-    std::optional<ModuloSchedule> S =
-        scheduleAtIi(G, II, Result, Remaining);
-    if (Result.TimedOut)
-      break;
-    if (S) {
-      Result.Found = true;
-      Result.II = II;
-      Result.Schedule = std::move(*S);
-      break;
-    }
-  }
+  std::unique_ptr<IiSearchStrategy> Search =
+      makeIiSearchStrategy(Opts.Search, Opts.SearchJobs);
+  Search->search(*this, G, Result);
+
   Result.Seconds = Watch.seconds();
   if (Result.Found)
     ++StatScheduled;
   if (Result.TimedOut)
     ++StatTimeouts;
+  if (Result.NodeLimitHit)
+    ++StatNodeLimits;
   if (telemetry::tracingEnabled())
-    telemetry::instant("ilpsched", "scheduler.done",
-                       {{"mii", Result.Mii},
-                        {"ii", Result.II},
-                        {"found", int64_t(Result.Found ? 1 : 0)},
-                        {"timed_out", int64_t(Result.TimedOut ? 1 : 0)},
-                        {"nodes", Result.Nodes},
-                        {"seconds", Result.Seconds}});
+    telemetry::instant(
+        "ilpsched", "scheduler.done",
+        {{"mii", Result.Mii},
+         {"ii", Result.II},
+         {"found", int64_t(Result.Found ? 1 : 0)},
+         {"timed_out", int64_t(Result.TimedOut ? 1 : 0)},
+         {"node_limit_hit", int64_t(Result.NodeLimitHit ? 1 : 0)},
+         {"nodes", Result.Nodes},
+         {"seconds", Result.Seconds}});
   return Result;
 }

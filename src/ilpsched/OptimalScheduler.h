@@ -26,6 +26,23 @@
 
 namespace modsched {
 
+namespace lp {
+struct SolveContext; // lp/SolveContext.h
+} // namespace lp
+
+/// How the min-II search walks the tentative IIs (see
+/// ilpsched/IiSearch.h for the strategy implementations).
+enum class IiSearchKind {
+  /// One II at a time, MII upward — the paper's loop, and the default.
+  Sequential,
+  /// Race a window of consecutive IIs on a thread pool, commit the
+  /// lowest feasible one, cancel the rest. Same II and secondary
+  /// objective as Sequential (the winner depends only on II, never on
+  /// thread timing); wall-clock censoring differs, node censoring is
+  /// per-attempt.
+  ParallelRace,
+};
+
 /// Budgets and knobs for one scheduling run.
 struct SchedulerOptions {
   FormulationOptions Formulation;
@@ -33,7 +50,10 @@ struct SchedulerOptions {
   /// paper used 15 minutes).
   double TimeLimitSeconds = 60.0;
   /// Per-loop branch-and-bound node budget (censoring alternative that
-  /// is deterministic across machines).
+  /// is deterministic across machines). Sequential search spends it
+  /// cumulatively across attempts; ParallelRace grants it to each
+  /// racing attempt independently (slots cannot see each other's node
+  /// spend without races) and re-checks the merged total between waves.
   int64_t NodeLimit = INT64_MAX;
   /// Stop trying IIs after MII + MaxIiIncrease.
   int MaxIiIncrease = 64;
@@ -43,6 +63,11 @@ struct SchedulerOptions {
   /// ilp::MipOptions::WarmStart; ablation knob for the warm-vs-cold
   /// benchmark A/B, see bench/micro_solver).
   bool WarmStart = true;
+  /// II search strategy.
+  IiSearchKind Search = IiSearchKind::Sequential;
+  /// Worker threads for IiSearchKind::ParallelRace (also the II window
+  /// width of one race wave); ignored by Sequential. Clamped to >= 1.
+  int SearchJobs = 1;
 };
 
 /// Telemetry record of one tentative-II solve attempt (see
@@ -61,6 +86,10 @@ struct IiAttempt {
   bool WindowInfeasible = false;
   /// True when this attempt produced (and verified) a schedule.
   bool Scheduled = false;
+  /// True when the attempt's solve was cancelled (a lower-II sibling in
+  /// a parallel race won, or the caller's token fired). A cancelled
+  /// attempt is not a verdict about its II.
+  bool Cancelled = false;
   int64_t Nodes = 0;
   int64_t SimplexIterations = 0;
   int Variables = 0;
@@ -74,8 +103,14 @@ struct ScheduleResult {
   /// True when a schedule was found and (unless the objective is None
   /// with StopAtFirstSolution semantics) proved optimal.
   bool Found = false;
-  /// True when the per-loop budget expired before a conclusion.
+  /// True when the per-loop wall-clock budget expired before a
+  /// conclusion.
   bool TimedOut = false;
+  /// True when the per-loop node budget was exhausted before a
+  /// conclusion. Distinct from TimedOut so deterministic (node) and
+  /// machine-dependent (wall clock) censoring are attributed correctly;
+  /// both can be set when the two budgets trip together.
+  bool NodeLimitHit = false;
   ModuloSchedule Schedule;
   /// The achieved initiation interval (valid when Found).
   int II = 0;
@@ -114,14 +149,21 @@ public:
       : M(M), Opts(Options) {}
 
   /// Schedules \p G for minimum II (and minimum secondary objective among
-  /// all min-II schedules).
+  /// all min-II schedules) using the configured IiSearchKind.
   ScheduleResult schedule(const DependenceGraph &G) const;
 
   /// Solves a single tentative \p II. Returns nullopt when the ILP is
-  /// infeasible at this II; fills \p Stats regardless.
+  /// infeasible at this II (or the attempt was censored / cancelled);
+  /// fills \p Stats regardless. \p Ctx, when non-null, supplies the
+  /// solve environment — workspace, deadline, cancellation token — for
+  /// this attempt (lp/SolveContext.h); a fresh local context is used
+  /// otherwise. Reentrant: concurrent calls on one scheduler are safe
+  /// as long as each uses its own \p Stats and \p Ctx.
   std::optional<ModuloSchedule> scheduleAtIi(const DependenceGraph &G,
                                              int II, ScheduleResult &Stats,
-                                             double TimeBudget) const;
+                                             double TimeBudget,
+                                             lp::SolveContext *Ctx =
+                                                 nullptr) const;
 
   const SchedulerOptions &options() const { return Opts; }
 

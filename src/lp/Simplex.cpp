@@ -12,10 +12,12 @@
 
 #include "lp/Simplex.h"
 
+#include "lp/SolveContext.h"
 #include "support/Telemetry.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 
@@ -55,9 +57,10 @@ modsched::telemetry::Counter
 modsched::telemetry::PhaseTimer TimeSolve("lp", "simplex.solve",
                                           "wall time in LP solves");
 
-/// Process-unique stamp source for exported bases (the solver stack is
-/// single-threaded by construction; see support/Telemetry.h).
-uint64_t NextBasisId = 0;
+/// Process-unique stamp source for exported bases. Atomic: concurrent
+/// solve attempts (each under its own SolveContext) stamp bases from
+/// their own threads.
+std::atomic<uint64_t> NextBasisId{0};
 
 } // namespace
 
@@ -123,9 +126,13 @@ public:
   /// Stamps \p B (and the tableau) with a fresh identity after a
   /// successful extractBasis, enabling O(1) reuse detection.
   void stamp(Basis &B) {
-    B.Id = ++NextBasisId;
+    B.Id = NextBasisId.fetch_add(1, std::memory_order_relaxed) + 1;
     CurrentStamp = B.Id;
   }
+
+  /// Installs the per-attempt solve environment observed by
+  /// budgetExceeded() (deadline + cancellation); null detaches.
+  void setContext(const SolveContext *Ctx) { CtxP = Ctx; }
 
   /// Marks the tableau as not realizing any exported basis (after a
   /// non-optimal end state or a failed extraction).
@@ -183,15 +190,16 @@ private:
   /// Chooses the entering column, or -1 at optimality.
   int chooseEntering(bool Bland) const;
 
-  /// Checks the per-solve pivot/wall-clock budgets (every 64 pivots).
+  /// Checks the per-solve pivot/wall-clock budgets and the context's
+  /// cancellation token / deadline (every 64 pivots).
   bool budgetExceeded() const {
     if (Iters >= OptsP->MaxIterations)
       return true;
     if ((Iters & 63) != 0)
       return false;
-    return Clock.seconds() > OptsP->TimeLimitSeconds ||
-           (OptsP->DeadlineSeconds < 1e29 &&
-            monotonicSeconds() > OptsP->DeadlineSeconds);
+    if (CtxP && (CtxP->cancelled() || CtxP->deadlineExpired()))
+      return true;
+    return Clock.seconds() > OptsP->TimeLimitSeconds;
   }
 
   double &tab(int Row, int Col) { return Tab[size_t(Row) * NumCols + Col]; }
@@ -244,6 +252,9 @@ private:
   /// Id of the exported basis this tableau currently realizes (0 =
   /// none). See Basis::Id.
   uint64_t CurrentStamp = 0;
+  /// Per-attempt solve environment (deadline + cancellation), or null.
+  /// Borrowed from the caller of SimplexSolver::solve for its duration.
+  const SolveContext *CtxP = nullptr;
   Stopwatch Clock;
 };
 
@@ -1007,8 +1018,7 @@ LpResult SimplexSolver::solve(const Model &M) {
 LpResult SimplexSolver::solve(const Model &M,
                               const std::vector<double> &Lower,
                               const std::vector<double> &Upper,
-                              SimplexWorkspace *Workspace,
-                              const Basis *Start) {
+                              SolveContext *Ctx, const Basis *Start) {
   assert(static_cast<int>(Lower.size()) == M.numVariables() &&
          static_cast<int>(Upper.size()) == M.numVariables() &&
          "bounds arrays must cover every variable");
@@ -1023,9 +1033,12 @@ LpResult SimplexSolver::solve(const Model &M,
       return Result; // Status defaults to Infeasible.
     }
 
-  // Workspace-less calls get a one-shot local tableau.
+  // Context-less calls get a one-shot local tableau (and no deadline or
+  // cancellation to observe).
+  SimplexWorkspace *Workspace = Ctx ? &Ctx->Workspace : nullptr;
   Tableau Local;
   Tableau &T = Workspace ? Workspace->S->T : Local;
+  T.setContext(Ctx);
 
   bool Warm = false;
   if (Workspace && Start && !Start->empty()) {

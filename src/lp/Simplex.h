@@ -48,6 +48,8 @@
 namespace modsched {
 namespace lp {
 
+struct SolveContext; // lp/SolveContext.h
+
 /// Outcome of an LP solve.
 enum class LpStatus {
   Optimal,       ///< Optimal basic solution found.
@@ -64,9 +66,10 @@ struct SimplexOptions {
   /// Hard cap on total pivots (both phases).
   int64_t MaxIterations = 200000;
   /// Wall-clock budget for one solve(), in seconds (checked every few
-  /// pivots). Exceeding it reports LpStatus::IterationLimit. The MIP
-  /// solver forwards its remaining per-loop budget here so one huge LP
-  /// relaxation cannot blow through the outer time limit.
+  /// pivots). Exceeding it reports LpStatus::IterationLimit. Outer time
+  /// limits shared across many solves are expressed as the absolute
+  /// deadline of the SolveContext instead (the MIP solver tightens its
+  /// context's deadline once and every node LP observes it).
   double TimeLimitSeconds = 1e30;
   /// Primal feasibility tolerance.
   double FeasTol = 1e-7;
@@ -77,12 +80,6 @@ struct SimplexOptions {
   /// Number of consecutive degenerate pivots before switching to Bland's
   /// rule.
   int DegenerateLimit = 512;
-  /// Absolute wall-clock deadline on the modsched::monotonicSeconds()
-  /// clock; exceeding it reports LpStatus::IterationLimit. Unlike
-  /// TimeLimitSeconds (a per-solve budget), a deadline is computed once
-  /// by the MIP solver and shared by every node's LP without per-node
-  /// remaining-time arithmetic.
-  double DeadlineSeconds = 1e30;
   /// Dense-tableau drift guard for warm starts: after this many pivots
   /// have accumulated in a workspace tableau since its last fresh
   /// factorization, the next warm solve refactorizes from the original
@@ -179,10 +176,14 @@ public:
   /// (used by branch-and-bound nodes to tighten integer bounds without
   /// copying the whole model).
   ///
-  /// \p Workspace, when non-null, persists the tableau and scratch
-  /// buffers across calls (and enables FinalBasis export). \p Start,
-  /// when non-null and non-empty, requests a warm start from that basis:
-  /// the solver reuses the workspace tableau in place when it still
+  /// \p Ctx, when non-null, supplies the per-attempt solve environment
+  /// (lp/SolveContext.h): its workspace persists the tableau and scratch
+  /// buffers across calls (and enables FinalBasis export), its deadline
+  /// bounds this solve's wall-clock, and its cancellation token is
+  /// polled every 64 pivots (both report LpStatus::IterationLimit; the
+  /// caller disambiguates by asking the context). \p Start, when
+  /// non-null and non-empty, requests a warm start from that basis: the
+  /// solver reuses the workspace tableau in place when it still
   /// realizes the basis (otherwise refactorizes from the constraint
   /// matrix) and runs the dual simplex, which is exact for the
   /// branch-and-bound pattern of a dual-feasible but primal-infeasible
@@ -191,7 +192,7 @@ public:
   /// refactorization, or dual infeasibility beyond tolerance).
   LpResult solve(const Model &M, const std::vector<double> &Lower,
                  const std::vector<double> &Upper,
-                 SimplexWorkspace *Workspace = nullptr,
+                 SolveContext *Ctx = nullptr,
                  const Basis *Start = nullptr);
 
 private:

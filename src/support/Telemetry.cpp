@@ -6,6 +6,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 using namespace modsched;
 using namespace modsched::telemetry;
@@ -14,13 +15,34 @@ using namespace modsched::telemetry;
 // Global state
 //===----------------------------------------------------------------------===//
 
-TraceSink *telemetry::detail::ActiveSink = nullptr;
-bool telemetry::detail::StatsActive = false;
+std::atomic<TraceSink *> telemetry::detail::ActiveSink{nullptr};
+std::atomic<bool> telemetry::detail::StatsActive{false};
+thread_local bool telemetry::detail::ShardActive = false;
 
 namespace {
 
+/// Serializes sink installation and event emission: TraceSink
+/// implementations are single-threaded by contract, so concurrent
+/// solves funnel their (already rare — tracing only) events through
+/// this lock. Function-local so static-init-order cannot bite counters
+/// constructed in other translation units.
+std::mutex &sinkMutex() {
+  static std::mutex M;
+  return M;
+}
+
+/// Small sequential id per emitting thread (1 = first emitter).
+int currentThreadTid() {
+  static std::atomic<int> NextTid{1};
+  thread_local int Tid = 0;
+  if (Tid == 0)
+    Tid = NextTid.fetch_add(1, std::memory_order_relaxed);
+  return Tid;
+}
+
 /// Owns the installed sink (detail::ActiveSink is the borrowed fast-path
 /// pointer). File-scope so process exit flushes and closes the file.
+/// Guarded by sinkMutex().
 std::unique_ptr<TraceSink> OwnedSink;
 
 /// Trace epoch: timestamps are microseconds since this point.
@@ -51,24 +73,28 @@ double telemetry::detail::nowUs() {
 }
 
 void telemetry::installSink(std::unique_ptr<TraceSink> Sink) {
+  std::lock_guard<std::mutex> Lock(sinkMutex());
   if (OwnedSink)
     OwnedSink->flush();
   OwnedSink = std::move(Sink);
-  detail::ActiveSink = OwnedSink.get();
+  detail::ActiveSink.store(OwnedSink.get(), std::memory_order_release);
 }
 
 void telemetry::uninstallSink() { installSink(nullptr); }
 
 void telemetry::setStatsEnabled(bool Enabled) {
-  detail::StatsActive = Enabled;
+  detail::StatsActive.store(Enabled, std::memory_order_relaxed);
 }
 
 void telemetry::detail::emitSlow(EventPhase Phase, const char *Cat,
                                  const char *Name, double Value,
                                  const Arg *Args, size_t NumArgs) {
-  TraceSink *Sink = ActiveSink;
+  // Resolve the tid outside the lock (touches only thread-local state).
+  int Tid = currentThreadTid();
+  std::lock_guard<std::mutex> Lock(sinkMutex());
+  TraceSink *Sink = ActiveSink.load(std::memory_order_acquire);
   if (!Sink)
-    return;
+    return; // Uninstalled between the fast-path test and the lock.
   TraceEvent E;
   E.Phase = Phase;
   E.Category = Cat;
@@ -77,6 +103,7 @@ void telemetry::detail::emitSlow(EventPhase Phase, const char *Cat,
   E.Value = Value;
   E.Args = Args;
   E.NumArgs = NumArgs;
+  E.Tid = Tid;
   Sink->event(E);
 }
 
@@ -87,13 +114,101 @@ void telemetry::detail::emitSlow(EventPhase Phase, const char *Cat,
 telemetry::Counter::Counter(const char *Category, const char *Name,
                             const char *Description)
     : Cat(Category), Nm(Name), Desc(Description) {
+  Index = static_cast<uint32_t>(counterRegistry().size());
   counterRegistry().push_back(this);
 }
 
 telemetry::PhaseTimer::PhaseTimer(const char *Category, const char *Name,
                                   const char *Description)
     : Cat(Category), Nm(Name), Desc(Description) {
+  Index = static_cast<uint32_t>(timerRegistry().size());
   timerRegistry().push_back(this);
+}
+
+void telemetry::PhaseTimer::mergeShardDelta(double SampleSeconds,
+                                            uint64_t NumInvocations) {
+  // CAS add: std::atomic<double>::fetch_add is C++20 but spelled as a
+  // loop here so every toolchain in CI lowers it identically.
+  double Cur = MergedSeconds.load(std::memory_order_relaxed);
+  while (!MergedSeconds.compare_exchange_weak(Cur, Cur + SampleSeconds,
+                                              std::memory_order_relaxed))
+    ;
+  MergedInvocations.fetch_add(NumInvocations, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Thread shards
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Per-thread stats accumulator: one slot per registered counter/timer,
+/// indexed by registration index. Touched only by its owning thread;
+/// merged into the registry's atomic cells on scope exit / flush.
+struct StatsShard {
+  std::vector<int64_t> Counters;
+  struct TimerDelta {
+    double Seconds = 0.0;
+    uint64_t Invocations = 0;
+  };
+  std::vector<TimerDelta> Timers;
+
+  void mergeAndClear() {
+    const std::vector<Counter *> &Cs = allCounters();
+    for (size_t I = 0; I < Counters.size(); ++I)
+      if (Counters[I] != 0) {
+        Cs[I]->mergeShardDelta(Counters[I]);
+        Counters[I] = 0;
+      }
+    const std::vector<PhaseTimer *> &Ts = allPhaseTimers();
+    for (size_t I = 0; I < Timers.size(); ++I)
+      if (Timers[I].Invocations != 0) {
+        Ts[I]->mergeShardDelta(Timers[I].Seconds, Timers[I].Invocations);
+        Timers[I] = {};
+      }
+  }
+};
+
+/// The calling thread's shard storage (valid iff detail::ShardActive).
+thread_local StatsShard *TlsShard = nullptr;
+
+} // namespace
+
+void telemetry::detail::shardAddCounter(uint32_t Index, int64_t N) {
+  StatsShard *S = TlsShard;
+  if (S->Counters.size() <= Index)
+    S->Counters.resize(Index + 1, 0);
+  S->Counters[Index] += N;
+}
+
+void telemetry::detail::shardAddTimer(uint32_t Index, double Seconds) {
+  StatsShard *S = TlsShard;
+  if (S->Timers.size() <= Index)
+    S->Timers.resize(Index + 1);
+  S->Timers[Index].Seconds += Seconds;
+  ++S->Timers[Index].Invocations;
+}
+
+telemetry::ThreadShardScope::ThreadShardScope()
+    : Installed(!detail::ShardActive) {
+  if (Installed) {
+    TlsShard = new StatsShard;
+    detail::ShardActive = true;
+  }
+}
+
+telemetry::ThreadShardScope::~ThreadShardScope() {
+  if (!Installed)
+    return;
+  TlsShard->mergeAndClear();
+  delete TlsShard;
+  TlsShard = nullptr;
+  detail::ShardActive = false;
+}
+
+void telemetry::flushThreadShard() {
+  if (detail::ShardActive)
+    TlsShard->mergeAndClear();
 }
 
 const std::vector<Counter *> &telemetry::allCounters() {
@@ -193,7 +308,7 @@ void JsonTraceSink::event(const TraceEvent &E) {
   W.key("name").value(E.Name);
   W.key("ts").value(E.TimestampUs);
   W.key("pid").value(1);
-  W.key("tid").value(1);
+  W.key("tid").value(E.Tid);
   if (E.Phase == EventPhase::Instant)
     W.key("s").value("t"); // Instant scope: thread.
   if (E.Phase == EventPhase::Counter) {

@@ -14,7 +14,8 @@
 /// Design constraints (see docs/OBSERVABILITY.md):
 ///  * Pay-for-use. With no sink installed and stats disabled, every
 ///    recording call is an inlined pointer/flag test; counters are a
-///    single non-atomic add; timers never read the clock.
+///    thread-local-flag test plus a non-atomic add; timers never read
+///    the clock.
 ///  * No allocation on the disabled path. TraceEvent argument lists are
 ///    passed as pointers into the caller's stack frame and only
 ///    serialized when a sink is installed.
@@ -23,14 +24,27 @@
 ///    MODSCHED_STATS=1 prints every registered counter and phase timer
 ///    to stderr at process exit. No code changes needed in binaries.
 ///
-/// The solver is single-threaded by construction (one MipSolver per
-/// loop); counters and sink access are deliberately not synchronized.
+/// Thread model (the reentrant solve pipeline; see DESIGN.md):
+///  * The thread that owns a counter's direct field — by convention the
+///    main thread — increments it with a plain add. Every other thread
+///    must record under a ThreadShardScope: increments then accumulate
+///    into a thread-local shard (still plain adds) that is merged into
+///    the counter's atomic merge cell on scope exit or
+///    flushThreadShard(). support/ThreadPool.h installs a shard scope in
+///    every worker automatically.
+///  * Trace emission is serialized behind an internal mutex; the
+///    enabled/disabled fast path is a single atomic pointer load.
+///    Events carry a small per-thread tid so multi-threaded traces get
+///    one track per thread in Perfetto.
+///  * reset()/resetAllStats() are not synchronized against concurrent
+///    recording — call them only while the solver stack is quiescent.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef MODSCHED_SUPPORT_TELEMETRY_H
 #define MODSCHED_SUPPORT_TELEMETRY_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -89,6 +103,10 @@ struct TraceEvent {
   double Value = 0.0;
   const Arg *Args = nullptr;
   size_t NumArgs = 0;
+  /// Small sequential id of the emitting thread (1 = first thread to
+  /// emit); becomes the trace_event "tid" so concurrent solves render
+  /// as separate tracks.
+  int Tid = 1;
 };
 
 /// Consumer of trace events. Implementations must not re-enter the
@@ -101,20 +119,32 @@ public:
 };
 
 namespace detail {
-/// Installed sink, or nullptr when tracing is off. Read on every emit
-/// fast path; written only by installSink()/uninstallSink().
-extern TraceSink *ActiveSink;
+/// Installed sink, or nullptr when tracing is off. Read (lock-free) on
+/// every emit fast path; written by installSink()/uninstallSink() under
+/// the sink mutex.
+extern std::atomic<TraceSink *> ActiveSink;
 /// True when MODSCHED_STATS (or a test) enabled stats collection.
-extern bool StatsActive;
+extern std::atomic<bool> StatsActive;
 /// Microseconds since the trace epoch (process start).
 double nowUs();
+/// True when the calling thread records stats into a thread-local shard
+/// (set by ThreadShardScope). Tested on every counter/timer fast path.
+extern thread_local bool ShardActive;
+/// Accumulate into the calling thread's shard (ShardActive threads
+/// only). \p Index is the registration index of the counter/timer.
+void shardAddCounter(uint32_t Index, int64_t N);
+void shardAddTimer(uint32_t Index, double Seconds);
 } // namespace detail
 
 /// True when a trace sink is installed (the single-pointer fast path).
-inline bool tracingEnabled() { return detail::ActiveSink != nullptr; }
+inline bool tracingEnabled() {
+  return detail::ActiveSink.load(std::memory_order_acquire) != nullptr;
+}
 
 /// True when end-of-run statistics collection is on.
-inline bool statsEnabled() { return detail::StatsActive; }
+inline bool statsEnabled() {
+  return detail::StatsActive.load(std::memory_order_relaxed);
+}
 
 /// True when either consumer is active (timers read the clock only then).
 inline bool enabled() { return tracingEnabled() || statsEnabled(); }
@@ -207,23 +237,49 @@ private:
 ///   ...
 ///   SimplexPivots += Iters;
 /// \endcode
-/// Incrementing is a plain add; the registry is only walked by
-/// reportStats(). Not thread-safe (the solver is single-threaded).
+/// Incrementing is a plain add on the owning thread and a plain add into
+/// a thread-local shard on ThreadShardScope threads (see the thread
+/// model in the file header); the registry is only walked by
+/// reportStats(). Threads other than the main thread must record under
+/// a ThreadShardScope.
 class Counter {
 public:
   Counter(const char *Category, const char *Name, const char *Description);
 
-  void add(int64_t N) { Val += N; }
+  void add(int64_t N) {
+    if (detail::ShardActive)
+      detail::shardAddCounter(Index, N);
+    else
+      Val += N;
+  }
   Counter &operator+=(int64_t N) {
-    Val += N;
+    add(N);
     return *this;
   }
   Counter &operator++() {
-    ++Val;
+    add(1);
     return *this;
   }
-  int64_t value() const { return Val; }
-  void reset() { Val = 0; }
+  /// Owner-thread value plus everything merged from thread shards.
+  /// Increments still sitting in a live shard are not visible until
+  /// that shard merges (thread exit or flushThreadShard()).
+  int64_t value() const {
+    return Val + Merged.load(std::memory_order_relaxed);
+  }
+  /// Not synchronized; call while recording threads are quiescent.
+  void reset() {
+    Val = 0;
+    Merged.store(0, std::memory_order_relaxed);
+  }
+
+  /// Internal: folds a thread shard's delta into the merge cell. Safe
+  /// from any thread, concurrently with owner-thread add().
+  void mergeShardDelta(int64_t N) {
+    Merged.fetch_add(N, std::memory_order_relaxed);
+  }
+
+  /// Registration index (position in allCounters()); shard slot key.
+  uint32_t index() const { return Index; }
 
   const char *category() const { return Cat; }
   const char *name() const { return Nm; }
@@ -233,26 +289,49 @@ private:
   const char *Cat;
   const char *Nm;
   const char *Desc;
+  uint32_t Index = 0;
+  /// Owner-thread (main-thread) accumulator: plain adds, no atomics.
   int64_t Val = 0;
+  /// Deltas merged in from thread shards.
+  std::atomic<int64_t> Merged{0};
 };
 
 /// Accumulated wall-clock time of a named phase, self-registered at
 /// construction. Only TimerScope mutates it, and only while enabled().
+/// Shares the Counter thread model: plain adds on the owning thread,
+/// shard accumulation on ThreadShardScope threads.
 class PhaseTimer {
 public:
   PhaseTimer(const char *Category, const char *Name,
              const char *Description);
 
   void addSample(double SampleSeconds) {
+    if (detail::ShardActive) {
+      detail::shardAddTimer(Index, SampleSeconds);
+      return;
+    }
     Seconds += SampleSeconds;
     ++Invocations;
   }
-  double seconds() const { return Seconds; }
-  uint64_t invocations() const { return Invocations; }
+  double seconds() const {
+    return Seconds + MergedSeconds.load(std::memory_order_relaxed);
+  }
+  uint64_t invocations() const {
+    return Invocations + MergedInvocations.load(std::memory_order_relaxed);
+  }
+  /// Not synchronized; call while recording threads are quiescent.
   void reset() {
     Seconds = 0;
     Invocations = 0;
+    MergedSeconds.store(0.0, std::memory_order_relaxed);
+    MergedInvocations.store(0, std::memory_order_relaxed);
   }
+
+  /// Internal: folds a thread shard's delta into the merge cells.
+  void mergeShardDelta(double SampleSeconds, uint64_t NumInvocations);
+
+  /// Registration index (position in allPhaseTimers()); shard slot key.
+  uint32_t index() const { return Index; }
 
   const char *category() const { return Cat; }
   const char *name() const { return Nm; }
@@ -262,8 +341,13 @@ private:
   const char *Cat;
   const char *Nm;
   const char *Desc;
+  uint32_t Index = 0;
+  /// Owner-thread (main-thread) accumulators: plain adds, no atomics.
   double Seconds = 0.0;
   uint64_t Invocations = 0;
+  /// Deltas merged in from thread shards.
+  std::atomic<double> MergedSeconds{0.0};
+  std::atomic<uint64_t> MergedInvocations{0};
 };
 
 /// RAII phase measurement: accumulates into a PhaseTimer and, when a
@@ -318,8 +402,38 @@ PhaseTimer *findPhaseTimer(const std::string &CategorySlashName);
 void reportStats(std::FILE *Out);
 
 /// Zeroes every registered counter and timer (tests, or per-experiment
-/// deltas in the bench harness).
+/// deltas in the bench harness). Not synchronized; call while recording
+/// threads are quiescent (live shards are not cleared).
 void resetAllStats();
+
+//===----------------------------------------------------------------------===//
+// Thread shards
+//===----------------------------------------------------------------------===//
+
+/// RAII thread-shard installation for worker threads. While a scope is
+/// active on a thread, every Counter/PhaseTimer recording made from
+/// that thread accumulates into a thread-local shard (plain adds, no
+/// atomics, no locks); destruction merges the shard into the registry's
+/// atomic merge cells. support/ThreadPool.h installs one per worker, so
+/// pool tasks need no telemetry awareness. Nesting is allowed (inner
+/// scopes are no-ops). The main thread does not need a scope — it owns
+/// the counters' direct fields.
+class ThreadShardScope {
+public:
+  ThreadShardScope();
+  ~ThreadShardScope();
+  ThreadShardScope(const ThreadShardScope &) = delete;
+  ThreadShardScope &operator=(const ThreadShardScope &) = delete;
+
+private:
+  /// True when this scope installed the shard (outermost on the thread).
+  bool Installed;
+};
+
+/// Merges the calling thread's live shard into the registry now
+/// (leaving the shard installed and empty). No-op without an active
+/// ThreadShardScope. Lets long-lived workers publish between tasks.
+void flushThreadShard();
 
 //===----------------------------------------------------------------------===//
 // File sinks

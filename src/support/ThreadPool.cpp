@@ -1,0 +1,70 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool --------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace modsched;
+
+ThreadPool::ThreadPool(int NumThreads) {
+  int N = std::max(1, NumThreads);
+  Workers.reserve(static_cast<size_t>(N));
+  for (int I = 0; I < N; ++I)
+    Workers.emplace_back([this] { workerMain(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    AllIdle.wait(Lock, [this] { return Pending == 0; });
+    Stopping = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  assert(Task && "null task submitted to ThreadPool");
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(!Stopping && "submit after ThreadPool destruction began");
+    Queue.push_back(std::move(Task));
+    ++Pending;
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllIdle.wait(Lock, [this] { return Pending == 0; });
+}
+
+void ThreadPool::workerMain() {
+  // Counters / phase timers recorded by tasks on this thread accumulate
+  // into a thread-local shard, merged into the registry when the worker
+  // exits (pool destruction).
+  telemetry::ThreadShardScope Shard;
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkAvailable.wait(Lock,
+                         [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping, and no work left.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --Pending;
+      if (Pending == 0)
+        AllIdle.notify_all();
+    }
+  }
+}

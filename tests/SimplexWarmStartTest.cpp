@@ -11,6 +11,7 @@
 
 #include "lp/Model.h"
 #include "lp/Simplex.h"
+#include "lp/SolveContext.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
@@ -131,11 +132,11 @@ void runDifferential(uint64_t Seed, int NumModels, int Depth,
     Model M = randomModel(R);
     ++Tally.Models;
 
-    SimplexWorkspace Ws;
-    SimplexSolver Warm; // Owns the workspace-based solve chain.
+    SolveContext Ctx; // Owns the workspace of the warm solve chain.
+    SimplexSolver Warm;
     std::vector<double> Lower, Upper;
     M.getBounds(Lower, Upper);
-    LpResult Parent = Warm.solve(M, Lower, Upper, &Ws);
+    LpResult Parent = Warm.solve(M, Lower, Upper, &Ctx);
     if (Parent.Status != LpStatus::Optimal || Parent.FinalBasis.empty())
       continue; // Infeasible / non-exportable parents have no children.
 
@@ -146,7 +147,7 @@ void runDifferential(uint64_t Seed, int NumModels, int Depth,
         break;
       ++Tally.Children;
 
-      LpResult WarmChild = Warm.solve(M, Lower, Upper, &Ws, &B);
+      LpResult WarmChild = Warm.solve(M, Lower, Upper, &Ctx, &B);
       SimplexSolver Cold;
       LpResult ColdChild = Cold.solve(M, Lower, Upper);
 
@@ -212,11 +213,11 @@ TEST(SimplexWarmStart, ReusesBasisAcrossBothChildren) {
   M.addConstraint({{X, 1.0}, {Y, 2.0}}, ConstraintSense::LE, 13.0);
   M.addConstraint({{X, 1.0}, {Y, -1.0}}, ConstraintSense::LE, 4.0);
 
-  SimplexWorkspace Ws;
+  SolveContext Ctx;
   SimplexSolver S;
   std::vector<double> Lower, Upper;
   M.getBounds(Lower, Upper);
-  LpResult Parent = S.solve(M, Lower, Upper, &Ws);
+  LpResult Parent = S.solve(M, Lower, Upper, &Ctx);
   ASSERT_EQ(Parent.Status, LpStatus::Optimal);
   ASSERT_FALSE(Parent.FinalBasis.empty());
   Basis B = Parent.FinalBasis;
@@ -224,7 +225,7 @@ TEST(SimplexWarmStart, ReusesBasisAcrossBothChildren) {
   // Down child: y <= 3.
   std::vector<double> Lo1 = Lower, Up1 = Upper;
   Up1[Y] = 3.0;
-  LpResult Down = S.solve(M, Lo1, Up1, &Ws, &B);
+  LpResult Down = S.solve(M, Lo1, Up1, &Ctx, &B);
   SimplexSolver Cold;
   LpResult DownCold = Cold.solve(M, Lo1, Up1);
   ASSERT_EQ(Down.Status, LpStatus::Optimal);
@@ -234,7 +235,7 @@ TEST(SimplexWarmStart, ReusesBasisAcrossBothChildren) {
   // though the workspace tableau has moved on to the down child.
   std::vector<double> Lo2 = Lower, Up2 = Upper;
   Lo2[Y] = 4.0;
-  LpResult Up = S.solve(M, Lo2, Up2, &Ws, &B);
+  LpResult Up = S.solve(M, Lo2, Up2, &Ctx, &B);
   LpResult UpCold = Cold.solve(M, Lo2, Up2);
   ASSERT_EQ(Up.Status, UpCold.Status);
   ASSERT_EQ(Up.Status, LpStatus::Optimal);
@@ -249,18 +250,18 @@ TEST(SimplexWarmStart, WarmSolveAfterInfeasibleTightening) {
   int Y = M.addVariable("y", 0, 10, 1.0);
   M.addConstraint({{X, 1.0}, {Y, 1.0}}, ConstraintSense::GE, 8.0);
 
-  SimplexWorkspace Ws;
+  SolveContext Ctx;
   SimplexSolver S;
   std::vector<double> Lower, Upper;
   M.getBounds(Lower, Upper);
-  LpResult Parent = S.solve(M, Lower, Upper, &Ws);
+  LpResult Parent = S.solve(M, Lower, Upper, &Ctx);
   ASSERT_EQ(Parent.Status, LpStatus::Optimal);
   ASSERT_FALSE(Parent.FinalBasis.empty());
 
   std::vector<double> Lo = Lower, Up = Upper;
   Up[X] = 3.0;
   Up[Y] = 3.0; // x + y <= 6 < 8: infeasible.
-  LpResult Child = S.solve(M, Lo, Up, &Ws, &Parent.FinalBasis);
+  LpResult Child = S.solve(M, Lo, Up, &Ctx, &Parent.FinalBasis);
   EXPECT_EQ(Child.Status, LpStatus::Infeasible);
   SimplexSolver Cold;
   EXPECT_EQ(Cold.solve(M, Lo, Up).Status, LpStatus::Infeasible);
