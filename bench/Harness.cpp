@@ -15,6 +15,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <ctime>
 #include <filesystem>
 
@@ -94,6 +95,18 @@ BenchConfig BenchConfig::fromEnv() {
   if (const char *E = std::getenv("MODSCHED_BENCH_JOBS"))
     if (parseEnvInt("MODSCHED_BENCH_JOBS", E, 1, 256, V))
       Config.Jobs = static_cast<int>(V);
+  if (const char *E = std::getenv("MODSCHED_BENCH_ENGINE")) {
+    if (std::strcmp(E, "dense") == 0)
+      Config.Engine = lp::SimplexEngine::Dense;
+    else if (std::strcmp(E, "sparse") == 0 ||
+             std::strcmp(E, "sparse_revised") == 0)
+      Config.Engine = lp::SimplexEngine::SparseRevised;
+    else
+      std::fprintf(stderr,
+                   "warning: ignoring MODSCHED_BENCH_ENGINE='%s' "
+                   "(expected dense|sparse); keeping %s\n",
+                   E, lp::toString(Config.Engine));
+  }
   return Config;
 }
 
@@ -118,6 +131,8 @@ LoopRecord LoopRecord::fromResult(const DependenceGraph &G,
   Rec.WarmLpSolves = R.WarmLpSolves;
   Rec.ColdLpSolves = R.ColdLpSolves;
   Rec.WarmLpIterations = R.WarmLpIterations;
+  Rec.LpRefactorizations = R.LpRefactorizations;
+  Rec.LpEtaNonzeros = R.LpEtaNonzeros;
   Rec.Variables = R.Variables;
   Rec.Constraints = R.Constraints;
   Rec.Seconds = R.Seconds;
@@ -142,6 +157,7 @@ bench::runOptimal(const MachineModel &M,
   Opts.TimeLimitSeconds = Config.TimeLimitSeconds;
   Opts.NodeLimit = Config.NodeLimit;
   Opts.WarmStart = Config.WarmStart;
+  Opts.LpEngine = Config.Engine;
   OptimalModuloScheduler Scheduler(M, Opts);
 
   std::vector<LoopRecord> Records(Suite.size());
@@ -262,6 +278,8 @@ void emitRecord(json::JsonWriter &W, const LoopRecord &R) {
   W.key("warm_solves").value(R.WarmLpSolves);
   W.key("cold_solves").value(R.ColdLpSolves);
   W.key("warm_iterations").value(R.WarmLpIterations);
+  W.key("refactorizations").value(R.LpRefactorizations);
+  W.key("eta_nnz").value(R.LpEtaNonzeros);
   W.key("variables").value(R.Variables);
   W.key("constraints").value(R.Constraints);
   W.key("seconds").value(R.Seconds);
@@ -307,7 +325,7 @@ std::string BenchJson::write() const {
   std::string Out;
   json::JsonWriter W(Out);
   W.beginObject();
-  W.key("schema_version").value(3);
+  W.key("schema_version").value(4);
   W.key("experiment").value(Experiment);
   W.key("generated_unix")
       .value(static_cast<int64_t>(std::time(nullptr)));
@@ -319,6 +337,7 @@ std::string BenchJson::write() const {
   W.key("large_cap").value(Cfg.LargeCap);
   W.key("warm_start").value(Cfg.WarmStart);
   W.key("jobs").value(Cfg.Jobs);
+  W.key("engine").value(lp::toString(Cfg.Engine));
   W.endObject();
   W.key("metrics").beginObject();
   for (const auto &[Key, Value] : Metrics)

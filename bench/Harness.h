@@ -18,6 +18,9 @@
 ///   MODSCHED_BENCH_SEED       suite seed (default 20260705)
 ///   MODSCHED_BENCH_WARMSTART  0 disables warm-started node LPs (default 1;
 ///                             the knob behind warm-vs-cold A/B runs)
+///   MODSCHED_BENCH_ENGINE     LP engine for every node LP: "sparse" (the
+///                             default, also "sparse_revised") or "dense"
+///                             — the knob behind sparse-vs-dense A/B runs
 ///   MODSCHED_BENCH_JOBS       worker threads for the per-loop sweep
 ///                             (default 1 = serial; loops are scheduled
 ///                             concurrently, records stay in suite order)
@@ -62,6 +65,10 @@ struct BenchConfig {
   /// Warm-start node LPs from the parent basis (SchedulerOptions::
   /// WarmStart); MODSCHED_BENCH_WARMSTART=0 turns it off for A/B runs.
   bool WarmStart = true;
+  /// LP engine for every node LP (SchedulerOptions::LpEngine);
+  /// MODSCHED_BENCH_ENGINE=dense|sparse overrides for A/B runs. The
+  /// compiled-in default follows MODSCHED_LP_ENGINE (lp/Simplex.h).
+  lp::SimplexEngine Engine = lp::defaultSimplexEngine();
   /// Worker threads for the per-loop sweep (MODSCHED_BENCH_JOBS). One
   /// loop is one task; with >1 the sweep runs on a ThreadPool, each
   /// attempt under its own SolveContext, and the record vector keeps
@@ -91,6 +98,10 @@ struct LoopRecord {
   int64_t WarmLpSolves = 0;
   int64_t ColdLpSolves = 0;
   int64_t WarmLpIterations = 0;
+  /// Basis refactorizations / eta nonzeros summed over all node LPs
+  /// (see MipResult; zeros for dense-engine and pre-sparse records).
+  int64_t LpRefactorizations = 0;
+  int64_t LpEtaNonzeros = 0;
   int Variables = 0;
   int Constraints = 0;
   double Seconds = 0.0;
@@ -153,12 +164,13 @@ commonlySolved(const std::vector<std::vector<LoopRecord>> &RecordSets);
 /// produced, and call write() before exiting. The artifact is
 ///   <dir>/BENCH_<experiment>.json
 /// with <dir> = $MODSCHED_BENCH_RESULTS_DIR or "bench_results" (created
-/// if missing). The schema (schema_version 3: adds config.jobs, the
-/// per-record node_limit_hit flag / "node_limit" status, and the
-/// per-attempt cancelled flag; version 2 added the warm-start solve
-/// counters) is validated by scripts/check_bench_json.py — which still
-/// accepts version 2 artifacts — and documented in
-/// docs/OBSERVABILITY.md.
+/// if missing). The schema (schema_version 4: adds config.engine and the
+/// per-record refactorizations / eta_nnz factorization counters;
+/// version 3 added config.jobs, the per-record node_limit_hit flag /
+/// "node_limit" status, and the per-attempt cancelled flag; version 2
+/// added the warm-start solve counters) is validated by
+/// scripts/check_bench_json.py — which still accepts version 2 and 3
+/// artifacts — and documented in docs/OBSERVABILITY.md.
 class BenchJson {
 public:
   explicit BenchJson(std::string Experiment);

@@ -53,6 +53,8 @@ void recordSolve(std::string Name, const DependenceGraph &G,
   Rec.WarmLpSolves = R.WarmLpSolves;
   Rec.ColdLpSolves = R.ColdLpSolves;
   Rec.WarmLpIterations = R.WarmLpIterations;
+  Rec.LpRefactorizations = R.LpRefactorizations;
+  Rec.LpEtaNonzeros = R.LpEtaNonzeros;
   Rec.Seconds = R.Seconds;
   Rec.Secondary = R.Objective;
   upsertRecord(std::move(Rec));
@@ -240,6 +242,39 @@ BENCHMARK(BM_MipWarmStart)
     ->Arg(1) // warm dual simplex from the parent basis
     ->Unit(benchmark::kMillisecond);
 
+void BM_SparseVsDense(benchmark::State &State) {
+  // A/B ablation of the LP engine: identical branch-and-bound search
+  // with every node LP solved by the dense explicit tableau (Arg 0) or
+  // the sparse revised simplex with the LU-factorized basis (Arg 1).
+  // Warm starts are on in both arms, so the delta isolates the
+  // per-pivot linear algebra. Results land in BENCH_micro_solver.json
+  // as BM_SparseVsDense/{0,1} records with the refactorizations /
+  // eta_nnz factorization counters (sparse arm only).
+  MachineModel M = MachineModel::cydraLike();
+  DependenceGraph G = benchLoop(M);
+  MipOptions Opts;
+  Opts.Lp.Engine = State.range(0) != 0 ? lp::SimplexEngine::SparseRevised
+                                       : lp::SimplexEngine::Dense;
+  MipResult Last;
+  for (auto _ : State) {
+    Last = solveLoop(M, G, Objective::MinReg, DependenceStyle::Structured,
+                     Opts);
+    benchmark::DoNotOptimize(Last.Objective);
+  }
+  State.counters["bb_nodes"] = static_cast<double>(Last.Nodes);
+  State.counters["simplex_iters"] =
+      static_cast<double>(Last.SimplexIterations);
+  State.counters["refactorizations"] =
+      static_cast<double>(Last.LpRefactorizations);
+  State.counters["eta_nnz"] = static_cast<double>(Last.LpEtaNonzeros);
+  recordSolve("BM_SparseVsDense/" + std::to_string(State.range(0)), G,
+              Last);
+}
+BENCHMARK(BM_SparseVsDense)
+    ->Arg(0) // dense explicit tableau at every node
+    ->Arg(1) // sparse revised simplex (LU + eta updates)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_NodePresolve(benchmark::State &State) {
   // Ablation: bound propagation at every branch-and-bound node.
   MachineModel M = MachineModel::cydraLike();
@@ -338,6 +373,18 @@ int main(int argc, char **argv) {
                      static_cast<double>(Warm->WarmLpSolves) /
                          static_cast<double>(WarmLps));
   }
+
+  // Headline sparse-vs-dense metrics from the BM_SparseVsDense arms.
+  const bench::LoopRecord *Dense = nullptr, *Sparse = nullptr;
+  for (const bench::LoopRecord &R : solveRecords()) {
+    if (R.Name == "BM_SparseVsDense/0")
+      Dense = &R;
+    if (R.Name == "BM_SparseVsDense/1")
+      Sparse = &R;
+  }
+  if (Dense && Sparse && Sparse->Seconds > 0)
+    Json.addMetric("sparse_vs_dense_time_speedup",
+                   Dense->Seconds / Sparse->Seconds);
 
   Json.addRecordSet("last_solves", solveRecords());
   Json.write();

@@ -1,7 +1,12 @@
 #!/usr/bin/env python3
-"""Validate bench_results/BENCH_*.json artifacts (schema_version 2 or 3).
+"""Validate bench_results/BENCH_*.json artifacts (schema_version 2-4).
 
-Schema 3 (this version) extends schema 2 with concurrency fields: the
+Schema 4 (this version) extends schema 3 with the LP-engine fields: the
+config's engine string (the MODSCHED_BENCH_ENGINE / MODSCHED_LP_ENGINE
+knob, "dense" or "sparse_revised") and per-record refactorizations /
+eta_nnz factorization counters (basis refactorizations and product-form
+eta nonzeros summed over all node LPs; zeros under the dense engine).
+Schema 3 extended schema 2 with concurrency fields: the
 config's jobs count (the MODSCHED_BENCH_JOBS knob), a per-record
 node_limit_hit flag with its "node_limit" status, and a per-attempt
 cancelled flag (set on II attempts stopped by a lower-II race winner).
@@ -38,6 +43,11 @@ CONFIG_KEYS_V3 = {
     "jobs": numbers.Integral,
 }
 
+# Keys required only when schema_version >= 4.
+CONFIG_KEYS_V4 = {
+    "engine": str,
+}
+
 RECORD_KEYS = {
     "name": str,
     "n": numbers.Integral,
@@ -65,6 +75,11 @@ RECORD_KEYS_V3 = {
     "node_limit_hit": bool,
 }
 
+RECORD_KEYS_V4 = {
+    "refactorizations": numbers.Integral,
+    "eta_nnz": numbers.Integral,
+}
+
 ATTEMPT_KEYS = {
     "ii": numbers.Integral,
     "status": str,
@@ -83,6 +98,8 @@ ATTEMPT_KEYS_V3 = {
 
 STATUSES_V2 = {"solved", "timeout", "unsolved"}
 STATUSES_V3 = STATUSES_V2 | {"node_limit"}
+
+ENGINES_V4 = {"dense", "sparse_revised"}
 
 
 class SchemaError(Exception):
@@ -111,6 +128,8 @@ def check_record(record, where, version):
     check_keys(record, RECORD_KEYS, where)
     if version >= 3:
         check_keys(record, RECORD_KEYS_V3, where)
+    if version >= 4:
+        check_keys(record, RECORD_KEYS_V4, where)
     statuses = STATUSES_V3 if version >= 3 else STATUSES_V2
     if record["status"] not in statuses:
         raise SchemaError(f"{where}.status: {record['status']!r} not in "
@@ -146,14 +165,20 @@ def check_file(path):
         "record_sets": list,
     }, "$")
     version = doc["schema_version"]
-    if version not in (2, 3):
-        raise SchemaError(f"$.schema_version: expected 2 or 3, got "
+    if version not in (2, 3, 4):
+        raise SchemaError(f"$.schema_version: expected 2, 3 or 4, got "
                           f"{version}")
     if not doc["experiment"]:
         raise SchemaError("$.experiment: empty string")
     check_keys(doc["config"], CONFIG_KEYS, "$.config")
     if version >= 3:
         check_keys(doc["config"], CONFIG_KEYS_V3, "$.config")
+    if version >= 4:
+        check_keys(doc["config"], CONFIG_KEYS_V4, "$.config")
+        if doc["config"]["engine"] not in ENGINES_V4:
+            raise SchemaError(f"$.config.engine: "
+                              f"{doc['config']['engine']!r} not in "
+                              f"{sorted(ENGINES_V4)}")
     for key, value in doc["metrics"].items():
         if isinstance(value, bool) or not isinstance(value, numbers.Real):
             raise SchemaError(f"$.metrics[{key!r}]: expected number, got "

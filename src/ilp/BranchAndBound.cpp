@@ -340,6 +340,8 @@ MipResult MipSolver::solve(const Model &M, lp::SolveContext &Ctx) const {
             : nullptr;
     LpResult Relax = Lp.solve(M, CurLower, CurUpper, &Ctx, Start);
     Result.SimplexIterations += Relax.Iterations;
+    Result.LpRefactorizations += Relax.Refactorizations;
+    Result.LpEtaNonzeros += Relax.EtaNonzeros;
     NodeWarm = Relax.WarmStarted;
     if (Relax.WarmStarted) {
       ++Result.WarmLpSolves;

@@ -37,6 +37,8 @@ void mergeSlotWork(ScheduleResult &Into, const ScheduleResult &Slot) {
   Into.WarmLpSolves += Slot.WarmLpSolves;
   Into.ColdLpSolves += Slot.ColdLpSolves;
   Into.WarmLpIterations += Slot.WarmLpIterations;
+  Into.LpRefactorizations += Slot.LpRefactorizations;
+  Into.LpEtaNonzeros += Slot.LpEtaNonzeros;
   for (const IiAttempt &A : Slot.Attempts) {
     Into.Attempts.push_back(A);
     if (A.Cancelled)

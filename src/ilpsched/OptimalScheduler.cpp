@@ -85,6 +85,7 @@ OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
   MipOpts.Branching = Opts.Branching;
   MipOpts.StopAtFirstSolution = Opts.Formulation.Obj == Objective::None;
   MipOpts.WarmStart = Opts.WarmStart;
+  MipOpts.Lp.Engine = Opts.LpEngine;
   MipSolver Solver(MipOpts);
 
   // Solve under the caller's context (parallel race slots bring their
@@ -97,6 +98,8 @@ OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
   Stats.WarmLpSolves += R.WarmLpSolves;
   Stats.ColdLpSolves += R.ColdLpSolves;
   Stats.WarmLpIterations += R.WarmLpIterations;
+  Stats.LpRefactorizations += R.LpRefactorizations;
+  Stats.LpEtaNonzeros += R.LpEtaNonzeros;
   Attempt.Status = R.Status;
   Attempt.Nodes = R.Nodes;
   Attempt.SimplexIterations = R.SimplexIterations;

@@ -63,6 +63,10 @@ struct SchedulerOptions {
   /// ilp::MipOptions::WarmStart; ablation knob for the warm-vs-cold
   /// benchmark A/B, see bench/micro_solver).
   bool WarmStart = true;
+  /// LP engine executing every node LP (forwarded to
+  /// ilp::MipOptions::Lp.Engine; ablation knob for the sparse-vs-dense
+  /// benchmark A/B, see bench/micro_solver and EXPERIMENTS.md E10).
+  lp::SimplexEngine LpEngine = lp::defaultSimplexEngine();
   /// II search strategy.
   IiSearchKind Search = IiSearchKind::Sequential;
   /// Worker threads for IiSearchKind::ParallelRace (also the II window
@@ -135,6 +139,12 @@ struct ScheduleResult {
   /// Simplex iterations inside warm-started LPs (subset of
   /// SimplexIterations), summed over attempts.
   int64_t WarmLpIterations = 0;
+  /// Basis refactorizations summed over attempts (sparse engine: LU
+  /// factorizations; dense: periodic basic-value refreshes).
+  int64_t LpRefactorizations = 0;
+  /// Product-form eta nonzeros appended, summed over attempts (sparse
+  /// engine only; 0 under the dense engine).
+  int64_t LpEtaNonzeros = 0;
   /// Total wall-clock time.
   double Seconds = 0.0;
   /// One record per tentative II tried, in search order (telemetry; see

@@ -3,6 +3,7 @@
 #include "lp/Model.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdio>
 #include <map>
@@ -10,10 +11,23 @@
 using namespace modsched;
 using namespace modsched::lp;
 
+namespace {
+
+/// Process-wide revision source. Relaxed: revisions only need to be
+/// unique, never ordered across threads.
+std::atomic<uint64_t> NextRevision{0};
+
+} // namespace
+
+void Model::bumpRevision() {
+  Revision = NextRevision.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 int Model::addVariable(std::string Name, double Lower, double Upper,
                        double Objective, VarKind Kind) {
   assert(Lower <= Upper && "inverted variable bounds");
   Vars.push_back({std::move(Name), Lower, Upper, Objective, Kind});
+  bumpRevision();
   return static_cast<int>(Vars.size()) - 1;
 }
 
@@ -33,12 +47,14 @@ int Model::addConstraint(std::vector<Term> Terms, ConstraintSense Sense,
     if (Coeff != 0.0)
       Canonical.push_back({Var, Coeff});
   Cons.push_back({std::move(Canonical), Sense, Rhs, std::move(Name)});
+  bumpRevision();
   return static_cast<int>(Cons.size()) - 1;
 }
 
 void Model::setObjective(int Var, double Coefficient) {
   assert(Var >= 0 && Var < numVariables() && "unknown variable");
   Vars[Var].Objective = Coefficient;
+  bumpRevision();
 }
 
 void Model::setBounds(int Var, double Lower, double Upper) {
@@ -46,11 +62,13 @@ void Model::setBounds(int Var, double Lower, double Upper) {
   assert(Lower <= Upper && "inverted variable bounds");
   Vars[Var].Lower = Lower;
   Vars[Var].Upper = Upper;
+  bumpRevision();
 }
 
 void Model::setBranchPriority(int Var, int Priority) {
   assert(Var >= 0 && Var < numVariables() && "unknown variable");
   Vars[Var].BranchPriority = Priority;
+  bumpRevision();
 }
 
 int Model::numIntegerVariables() const {

@@ -18,6 +18,7 @@
 #define MODSCHED_LP_MODEL_H
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <utility>
@@ -128,9 +129,24 @@ public:
   /// golden tests of the formulations.
   std::string toString() const;
 
+  /// Process-unique mutation stamp: every mutating call (addVariable,
+  /// addConstraint, setObjective, setBounds, setBranchPriority) assigns
+  /// a fresh value drawn from a process-wide counter. Two observations
+  /// of the same revision therefore guarantee the model content has not
+  /// changed in between — even across Model objects reusing the same
+  /// address — which is what lets the sparse simplex engine cache its
+  /// compiled constraint matrix across a branch-and-bound solve
+  /// sequence (bound changes arrive out-of-band and do not touch the
+  /// model, so the revision stays put for the whole search).
+  uint64_t revision() const { return Revision; }
+
 private:
+  /// Draws a fresh process-unique revision value.
+  void bumpRevision();
+
   std::vector<Variable> Vars;
   std::vector<Constraint> Cons;
+  uint64_t Revision = 0;
 };
 
 } // namespace lp

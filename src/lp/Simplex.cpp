@@ -13,6 +13,7 @@
 #include "lp/Simplex.h"
 
 #include "lp/SolveContext.h"
+#include "lp/SparseRevisedSimplex.h"
 #include "support/Telemetry.h"
 #include "support/Timer.h"
 
@@ -20,6 +21,9 @@
 #include <atomic>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace {
 
@@ -81,10 +85,44 @@ const char *lp::toString(LpStatus Status) {
   return "unknown";
 }
 
+const char *lp::toString(SimplexEngine Engine) {
+  switch (Engine) {
+  case SimplexEngine::Dense:
+    return "dense";
+  case SimplexEngine::SparseRevised:
+    return "sparse_revised";
+  }
+  return "unknown";
+}
+
+SimplexEngine lp::defaultSimplexEngine() {
+  static const SimplexEngine Cached = [] {
+    const char *Env = std::getenv("MODSCHED_LP_ENGINE");
+    if (!Env || !*Env)
+      return SimplexEngine::SparseRevised;
+    if (std::strcmp(Env, "dense") == 0)
+      return SimplexEngine::Dense;
+    if (std::strcmp(Env, "sparse") == 0 ||
+        std::strcmp(Env, "sparse_revised") == 0)
+      return SimplexEngine::SparseRevised;
+    std::fprintf(stderr,
+                 "modsched: unrecognized MODSCHED_LP_ENGINE='%s' "
+                 "(want dense|sparse); keeping sparse_revised\n",
+                 Env);
+    return SimplexEngine::SparseRevised;
+  }();
+  return Cached;
+}
+
+uint64_t lp::detail::takeBasisStamp() {
+  return NextBasisId.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 namespace {
 
-/// Where a column currently rests.
-enum class ColStatus : uint8_t { Basic, AtLower, AtUpper, Free };
+/// Where a column currently rests (shared with the sparse engine so
+/// exported bases are interchangeable; see lp::ColState).
+using ColStatus = lp::ColState;
 
 /// Reduced-cost sign tolerance for accepting a starting basis as
 /// dual-feasible (slightly looser than OptTol to absorb drift
@@ -126,7 +164,7 @@ public:
   /// Stamps \p B (and the tableau) with a fresh identity after a
   /// successful extractBasis, enabling O(1) reuse detection.
   void stamp(Basis &B) {
-    B.Id = NextBasisId.fetch_add(1, std::memory_order_relaxed) + 1;
+    B.Id = lp::detail::takeBasisStamp();
     CurrentStamp = B.Id;
   }
 
@@ -147,6 +185,11 @@ public:
   int64_t refactorizations() const { return Refactors; }
   int64_t phase1Iterations() const { return Phase1Iters; }
   int64_t dualIterations() const { return DualIters; }
+  /// Product-form eta nonzeros: the dense tableau has no eta file.
+  int64_t etaNonzeros() const { return 0; }
+  /// True when the last tryInitWarm took the rebuild-from-matrix path
+  /// (counted as a basis rebuild by the caller's telemetry).
+  bool didRebuildBasis() const { return DidRebuild; }
 
 private:
   /// Runs the primal simplex loop with the current cost row until
@@ -249,6 +292,8 @@ private:
   /// Pivots accumulated in Tab since the last build from the original
   /// constraint matrix; bounds tableau drift across chained warm solves.
   int64_t PivotsSinceFactor = 0;
+  /// Whether the last tryInitWarm rebuilt the tableau from the matrix.
+  bool DidRebuild = false;
   /// Id of the exported basis this tableau currently realizes (0 =
   /// none). See Basis::Id.
   uint64_t CurrentStamp = 0;
@@ -436,6 +481,7 @@ bool Tableau::tryInitWarm(const Model &M, const std::vector<double> &Lower,
   // bounds — rebind them and go. Guarded by a drift budget: after enough
   // chained pivots, refactorize from the original matrix instead.
   bool Reused = false;
+  DidRebuild = false;
   if (B.Id != 0 && B.Id == CurrentStamp && ModelP == &M &&
       NumRows == Rows && NumStruct == Struct &&
       PivotsSinceFactor < Opts.WarmRebuildPivots) {
@@ -448,7 +494,7 @@ bool Tableau::tryInitWarm(const Model &M, const std::vector<double> &Lower,
     // Refactorization path: rebuild the raw tableau (no artificials) and
     // row-reduce the requested basic columns to the identity, choosing
     // pivot rows greedily by magnitude for stability.
-    ++StatBasisRebuilds;
+    DidRebuild = true;
     beginSolve(M, Opts);
     ModelP = &M;
     CurrentStamp = 0;
@@ -996,7 +1042,12 @@ std::vector<double> Tableau::structuralValues() const {
 //===----------------------------------------------------------------------===//
 
 struct SimplexWorkspace::State {
+  /// Dense engine state: the explicit tableau.
   Tableau T;
+  /// Sparse engine state: compiled matrix + LU factorization + scratch.
+  /// Both live side by side so a solve sequence may switch engines (a
+  /// basis stamped by one engine simply takes the other's rebuild path).
+  SparseRevisedSimplex Sparse;
 };
 
 SimplexWorkspace::SimplexWorkspace() : S(std::make_unique<State>()) {}
@@ -1015,54 +1066,48 @@ LpResult SimplexSolver::solve(const Model &M) {
   return solve(M, Lower, Upper);
 }
 
-LpResult SimplexSolver::solve(const Model &M,
-                              const std::vector<double> &Lower,
-                              const std::vector<double> &Upper,
-                              SolveContext *Ctx, const Basis *Start) {
-  assert(static_cast<int>(Lower.size()) == M.numVariables() &&
-         static_cast<int>(Upper.size()) == M.numVariables() &&
-         "bounds arrays must cover every variable");
-  telemetry::TimerScope Time(TimeSolve);
-  ++StatSolves;
+namespace {
+
+/// Engine-generic solve flow: warm attempt (with cold fallback), the
+/// appropriate run loop, telemetry, and basis export. \p EngineT is
+/// Tableau or SparseRevisedSimplex — both expose the same lifecycle
+/// (setContext / initCold / tryInitWarm / run / runWarm / extractBasis /
+/// stamp / invalidateStamp / structuralValues and the stat accessors).
+template <typename EngineT>
+LpResult solveWithEngine(EngineT &E, const Model &M,
+                         const std::vector<double> &Lower,
+                         const std::vector<double> &Upper,
+                         const SimplexOptions &Opts, SolveContext *Ctx,
+                         const Basis *Start, bool Persistent) {
   LpResult Result;
-
-  // An empty bound interval anywhere makes the node trivially infeasible.
-  for (int Col = 0; Col < M.numVariables(); ++Col)
-    if (Lower[Col] > Upper[Col]) {
-      ++StatInfeasible;
-      return Result; // Status defaults to Infeasible.
-    }
-
-  // Context-less calls get a one-shot local tableau (and no deadline or
-  // cancellation to observe).
-  SimplexWorkspace *Workspace = Ctx ? &Ctx->Workspace : nullptr;
-  Tableau Local;
-  Tableau &T = Workspace ? Workspace->S->T : Local;
-  T.setContext(Ctx);
+  E.setContext(Ctx);
 
   bool Warm = false;
-  if (Workspace && Start && !Start->empty()) {
-    Warm = T.tryInitWarm(M, Lower, Upper, *Start, Opts);
+  if (Persistent && Start && !Start->empty()) {
+    Warm = E.tryInitWarm(M, Lower, Upper, *Start, Opts);
     if (!Warm)
       ++StatWarmFallbacks;
   }
 
   LpStatus S;
   if (Warm) {
-    S = T.runWarm();
+    if (E.didRebuildBasis())
+      ++StatBasisRebuilds;
+    S = E.runWarm();
     ++StatWarmSolves;
   } else {
-    T.initCold(M, Lower, Upper, Opts);
-    S = T.run();
+    E.initCold(M, Lower, Upper, Opts);
+    S = E.run();
     ++StatColdSolves;
   }
 
-  Result.Iterations = T.iterations();
-  Result.DegeneratePivots = T.degeneratePivots();
-  Result.BoundFlips = T.boundFlips();
-  Result.Refactorizations = T.refactorizations();
-  Result.Phase1Iterations = T.phase1Iterations();
-  Result.DualIterations = T.dualIterations();
+  Result.Iterations = E.iterations();
+  Result.DegeneratePivots = E.degeneratePivots();
+  Result.BoundFlips = E.boundFlips();
+  Result.Refactorizations = E.refactorizations();
+  Result.Phase1Iterations = E.phase1Iterations();
+  Result.DualIterations = E.dualIterations();
+  Result.EtaNonzeros = E.etaNonzeros();
   Result.WarmStarted = Warm;
   Result.Status = S;
 
@@ -1076,20 +1121,54 @@ LpResult SimplexSolver::solve(const Model &M,
     ++StatInfeasible;
 
   if (S != LpStatus::Optimal) {
-    if (Workspace)
-      T.invalidateStamp();
+    if (Persistent)
+      E.invalidateStamp();
     return Result;
   }
-  Result.Values = T.structuralValues();
+  Result.Values = E.structuralValues();
   Result.Objective = M.evaluateObjective(Result.Values);
 
   // Export the optimal basis for future warm starts (workspace callers
-  // only: the stamp ties it to the persisted tableau state).
-  if (Workspace) {
-    if (T.extractBasis(Result.FinalBasis))
-      T.stamp(Result.FinalBasis);
+  // only: the stamp ties it to the persisted engine state).
+  if (Persistent) {
+    if (E.extractBasis(Result.FinalBasis))
+      E.stamp(Result.FinalBasis);
     else
-      T.invalidateStamp();
+      E.invalidateStamp();
   }
   return Result;
+}
+
+} // namespace
+
+LpResult SimplexSolver::solve(const Model &M,
+                              const std::vector<double> &Lower,
+                              const std::vector<double> &Upper,
+                              SolveContext *Ctx, const Basis *Start) {
+  assert(static_cast<int>(Lower.size()) == M.numVariables() &&
+         static_cast<int>(Upper.size()) == M.numVariables() &&
+         "bounds arrays must cover every variable");
+  telemetry::TimerScope Time(TimeSolve);
+  ++StatSolves;
+
+  // An empty bound interval anywhere makes the node trivially infeasible.
+  for (int Col = 0; Col < M.numVariables(); ++Col)
+    if (Lower[Col] > Upper[Col]) {
+      ++StatInfeasible;
+      return LpResult(); // Status defaults to Infeasible.
+    }
+
+  // Context-less calls get a one-shot local engine (and no deadline or
+  // cancellation to observe).
+  SimplexWorkspace *Workspace = Ctx ? &Ctx->Workspace : nullptr;
+  if (Opts.Engine == SimplexEngine::SparseRevised) {
+    SparseRevisedSimplex Local;
+    SparseRevisedSimplex &E = Workspace ? Workspace->S->Sparse : Local;
+    return solveWithEngine(E, M, Lower, Upper, Opts, Ctx, Start,
+                           Workspace != nullptr);
+  }
+  Tableau Local;
+  Tableau &E = Workspace ? Workspace->S->T : Local;
+  return solveWithEngine(E, M, Lower, Upper, Opts, Ctx, Start,
+                         Workspace != nullptr);
 }

@@ -61,6 +61,26 @@ enum class LpStatus {
 /// Returns a printable name for \p Status.
 const char *toString(LpStatus Status);
 
+/// Which LP engine executes a solve. Dense is the original explicit
+/// m x n tableau (O(m*n) per pivot); SparseRevised is the revised
+/// simplex over a compiled sparse matrix with an LU-factorized basis,
+/// eta updates, and hyper-sparse FTRAN/BTRAN (lp/SparseRevisedSimplex.h)
+/// — the fast path for the paper's 0-1-structured models.
+enum class SimplexEngine : uint8_t { Dense, SparseRevised };
+
+/// Returns a printable name for \p Engine ("dense" / "sparse_revised").
+const char *toString(SimplexEngine Engine);
+
+/// The process-default engine: SparseRevised, overridable once at
+/// startup with MODSCHED_LP_ENGINE=dense|sparse (unrecognized values
+/// warn to stderr and keep the default). Read lazily and cached.
+SimplexEngine defaultSimplexEngine();
+
+/// Where a column rests in an exported simplex basis. Shared by both
+/// engines (Basis::ColStatus stores these raw values), which is what
+/// makes bases interchangeable across the engine seam.
+enum class ColState : uint8_t { Basic, AtLower, AtUpper, Free };
+
 /// Tuning knobs for the simplex solver.
 struct SimplexOptions {
   /// Hard cap on total pivots (both phases).
@@ -85,6 +105,14 @@ struct SimplexOptions {
   /// factorization, the next warm solve refactorizes from the original
   /// constraint matrix instead of reusing the tableau in place.
   int64_t WarmRebuildPivots = 4096;
+  /// Engine executing the solve (see SimplexEngine).
+  SimplexEngine Engine = defaultSimplexEngine();
+  /// Sparse engine: refactorize the basis after this many product-form
+  /// eta updates.
+  int RefactorEtaLimit = 64;
+  /// Sparse engine: refactorize early when the eta file's nonzeros
+  /// exceed this multiple of (rows + LU nonzeros) — the fill guard.
+  double RefactorFillFactor = 4.0;
 };
 
 /// An exported simplex basis: the resting status of every [structural |
@@ -151,6 +179,9 @@ struct LpResult {
   int64_t Phase1Iterations = 0;
   /// Pivots spent in the warm-start dual simplex (subset of Iterations).
   int64_t DualIterations = 0;
+  /// Product-form eta nonzeros appended to the basis factorization
+  /// (sparse engine only; 0 for dense solves).
+  int64_t EtaNonzeros = 0;
   /// True when this solve restarted from a caller-provided basis and ran
   /// the dual simplex (false for cold two-phase primal solves, including
   /// warm attempts that had to fall back).
@@ -198,6 +229,13 @@ public:
 private:
   SimplexOptions Opts;
 };
+
+namespace detail {
+/// Draws a fresh process-unique basis stamp. Both engines stamp
+/// exported bases from this shared atomic source, so a stamp uniquely
+/// identifies one engine state across the whole process.
+uint64_t takeBasisStamp();
+} // namespace detail
 
 } // namespace lp
 } // namespace modsched

@@ -1,0 +1,69 @@
+//===- lp/SparseMatrix.cpp - Compiled sparse constraint matrix ------------===//
+
+#include "lp/SparseMatrix.h"
+
+#include "lp/Model.h"
+
+#include <cassert>
+
+using namespace modsched;
+using namespace modsched::lp;
+
+bool SparseMatrix::matches(const Model &M) const {
+  return ModelRevision != 0 && ModelRevision == M.revision() &&
+         NumRows == M.numConstraints() && NumCols == M.numVariables();
+}
+
+void SparseMatrix::compile(const Model &M) {
+  NumRows = M.numConstraints();
+  NumCols = M.numVariables();
+  ModelRevision = M.revision();
+
+  // Count entries per column and per row in one sweep.
+  ColStart.assign(NumCols + 1, 0);
+  RowStart.assign(NumRows + 1, 0);
+  int Nnz = 0;
+  for (int I = 0; I < NumRows; ++I) {
+    const Constraint &C = M.constraint(I);
+    RowStart[I + 1] = static_cast<int>(C.Terms.size());
+    for (const Term &T : C.Terms) {
+      assert(T.first >= 0 && T.first < NumCols &&
+             "constraint references unknown variable");
+      assert(T.second != 0.0 && "model must canonicalize zero coefficients");
+      ++ColStart[T.first + 1];
+      ++Nnz;
+    }
+  }
+  for (int J = 0; J < NumCols; ++J)
+    ColStart[J + 1] += ColStart[J];
+  for (int I = 0; I < NumRows; ++I)
+    RowStart[I + 1] += RowStart[I];
+
+  RowIndex.resize(Nnz);
+  Value.resize(Nnz);
+  ColIndex.resize(Nnz);
+  RValue.resize(Nnz);
+
+  // Fill CSR directly (constraints are already row-ordered) and scatter
+  // into CSC using a moving write cursor per column. Walking rows in
+  // order keeps each CSC column's row indices sorted ascending, which
+  // the LU factorization relies on.
+  std::vector<int> ColCursor(ColStart.begin(), ColStart.end() - 1);
+  for (int I = 0; I < NumRows; ++I) {
+    const Constraint &C = M.constraint(I);
+    int RPos = RowStart[I];
+    for (const Term &T : C.Terms) {
+      ColIndex[RPos] = T.first;
+      RValue[RPos] = T.second;
+      ++RPos;
+      int CPos = ColCursor[T.first]++;
+      RowIndex[CPos] = I;
+      Value[CPos] = T.second;
+    }
+    assert(RPos == RowStart[I + 1] && "row fill cursor mismatch");
+  }
+#ifndef NDEBUG
+  for (int J = 0; J < NumCols; ++J)
+    assert(ColCursor[J] == ColStart[J + 1] && "column fill cursor mismatch");
+#endif
+}

@@ -1,0 +1,73 @@
+//===- lp/SparseMatrix.h - Compiled sparse constraint matrix -----*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immutable compressed-sparse representation of an `lp::Model`'s
+/// constraint matrix, in both column-major (CSC) and row-major (CSR)
+/// form. The sparse revised simplex engine compiles a model once per
+/// solve sequence and then works exclusively off this structure:
+/// FTRAN pulls whole columns (CSC), the pivot-row computation sweeps
+/// rows against BTRAN output (CSR).
+///
+/// Only the structural variables are stored. Slack columns are the
+/// implicit identity (+e_i per row) and artificial columns are
+/// engine-private, so neither pays storage or indirection here.
+///
+/// Instances are keyed on `Model::revision()`: the revision is a
+/// process-unique mutation stamp, so matching (revision, rows, cols)
+/// proves the compiled matrix still describes the model even across
+/// Model objects that reuse the same address.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_LP_SPARSEMATRIX_H
+#define MODSCHED_LP_SPARSEMATRIX_H
+
+#include <cstdint>
+#include <vector>
+
+namespace modsched {
+namespace lp {
+
+class Model;
+
+/// CSC + CSR view of a model's constraint matrix (structural columns
+/// only). All index vectors are dense-int; the matrix is immutable
+/// after `compile`.
+struct SparseMatrix {
+  int NumRows = 0;
+  int NumCols = 0;
+  /// `Model::revision()` at compile time; 0 means "never compiled".
+  uint64_t ModelRevision = 0;
+
+  /// Column-major: column j's entries are positions
+  /// [ColStart[j], ColStart[j+1]) of RowIndex/Value.
+  std::vector<int> ColStart;
+  std::vector<int> RowIndex;
+  std::vector<double> Value;
+
+  /// Row-major mirror: row i's entries are positions
+  /// [RowStart[i], RowStart[i+1]) of ColIndex/RValue.
+  std::vector<int> RowStart;
+  std::vector<int> ColIndex;
+  std::vector<double> RValue;
+
+  /// Total stored nonzeros.
+  int numNonzeros() const { return static_cast<int>(RowIndex.size()); }
+
+  /// True iff this compiled matrix is still a faithful image of \p M.
+  bool matches(const Model &M) const;
+
+  /// Rebuilds both forms from \p M's canonical constraints. The model's
+  /// `addConstraint` already merged duplicate terms and dropped zero
+  /// coefficients, so every (row, col) pair appears at most once.
+  void compile(const Model &M);
+};
+
+} // namespace lp
+} // namespace modsched
+
+#endif // MODSCHED_LP_SPARSEMATRIX_H

@@ -29,6 +29,32 @@ TEST(Model, CanonicalizesTerms) {
   EXPECT_DOUBLE_EQ(C.Terms[0].second, 3.0);
 }
 
+TEST(Model, CanonicalizationDropsAllZeroConstraintsTerms) {
+  // Hygiene contract both simplex engines rely on (the sparse engine
+  // compiles the canonical terms verbatim into its CSC/CSR matrix, see
+  // tests/SparseSimplexTest.cpp): duplicates merge, exact-zero
+  // coefficients drop, and a term that cancels to zero vanishes.
+  Model M;
+  int X = M.addVariable("x", 0, 10);
+  int Y = M.addVariable("y", 0, 10);
+  int Z = M.addVariable("z", 0, 10);
+  M.addConstraint({{Z, 0.0}, {X, -1.0}, {Y, 2.0}, {X, 1.0}, {Y, 1.0}},
+                  ConstraintSense::GE, 1.0);
+  const Constraint &C = M.constraint(0);
+  ASSERT_EQ(C.Terms.size(), 1u); // x cancelled, z zero, y merged.
+  EXPECT_EQ(C.Terms[0].first, Y);
+  EXPECT_DOUBLE_EQ(C.Terms[0].second, 3.0);
+  // Terms arrive sorted by variable index (map order), which the CSR
+  // compilation asserts on.
+  Model M2;
+  int A = M2.addVariable("a", 0, 1);
+  int B = M2.addVariable("b", 0, 1);
+  M2.addConstraint({{B, 1.0}, {A, 1.0}}, ConstraintSense::LE, 1.0);
+  const Constraint &C2 = M2.constraint(0);
+  ASSERT_EQ(C2.Terms.size(), 2u);
+  EXPECT_LT(C2.Terms[0].first, C2.Terms[1].first);
+}
+
 TEST(Model, ZeroOneStructureCheck) {
   Model M;
   int X = M.addVariable("x", 0, 1);
