@@ -107,6 +107,17 @@ BenchConfig BenchConfig::fromEnv() {
                    "(expected dense|sparse); keeping %s\n",
                    E, lp::toString(Config.Engine));
   }
+  if (const char *E = std::getenv("MODSCHED_BENCH_BACKEND")) {
+    if (std::strcmp(E, "ilp") == 0)
+      Config.Backend = SchedulerBackend::Ilp;
+    else if (std::strcmp(E, "pb") == 0)
+      Config.Backend = SchedulerBackend::Pb;
+    else
+      std::fprintf(stderr,
+                   "warning: ignoring MODSCHED_BENCH_BACKEND='%s' "
+                   "(expected ilp|pb); keeping %s\n",
+                   E, toString(Config.Backend));
+  }
   return Config;
 }
 
@@ -128,6 +139,8 @@ LoopRecord LoopRecord::fromResult(const DependenceGraph &G,
   Rec.Mii = R.Mii;
   Rec.Nodes = R.Nodes;
   Rec.SimplexIterations = R.SimplexIterations;
+  Rec.PbConflicts = R.PbConflicts;
+  Rec.PbPropagations = R.PbPropagations;
   Rec.WarmLpSolves = R.WarmLpSolves;
   Rec.ColdLpSolves = R.ColdLpSolves;
   Rec.WarmLpIterations = R.WarmLpIterations;
@@ -158,6 +171,7 @@ bench::runOptimal(const MachineModel &M,
   Opts.NodeLimit = Config.NodeLimit;
   Opts.WarmStart = Config.WarmStart;
   Opts.LpEngine = Config.Engine;
+  Opts.Backend = Config.Backend;
   OptimalModuloScheduler Scheduler(M, Opts);
 
   std::vector<LoopRecord> Records(Suite.size());
@@ -275,6 +289,8 @@ void emitRecord(json::JsonWriter &W, const LoopRecord &R) {
   W.key("mii").value(R.Mii);
   W.key("nodes").value(R.Nodes);
   W.key("iterations").value(R.SimplexIterations);
+  W.key("pb_conflicts").value(R.PbConflicts);
+  W.key("pb_propagations").value(R.PbPropagations);
   W.key("warm_solves").value(R.WarmLpSolves);
   W.key("cold_solves").value(R.ColdLpSolves);
   W.key("warm_iterations").value(R.WarmLpIterations);
@@ -297,6 +313,7 @@ void emitRecord(json::JsonWriter &W, const LoopRecord &R) {
     W.key("cancelled").value(A.Cancelled);
     W.key("nodes").value(A.Nodes);
     W.key("iterations").value(A.SimplexIterations);
+    W.key("pb_conflicts").value(A.PbConflicts);
     W.key("variables").value(A.Variables);
     W.key("constraints").value(A.Constraints);
     W.key("seconds").value(A.Seconds);
@@ -325,7 +342,7 @@ std::string BenchJson::write() const {
   std::string Out;
   json::JsonWriter W(Out);
   W.beginObject();
-  W.key("schema_version").value(4);
+  W.key("schema_version").value(5);
   W.key("experiment").value(Experiment);
   W.key("generated_unix")
       .value(static_cast<int64_t>(std::time(nullptr)));
@@ -338,6 +355,7 @@ std::string BenchJson::write() const {
   W.key("warm_start").value(Cfg.WarmStart);
   W.key("jobs").value(Cfg.Jobs);
   W.key("engine").value(lp::toString(Cfg.Engine));
+  W.key("backend").value(toString(Cfg.Backend));
   W.endObject();
   W.key("metrics").beginObject();
   for (const auto &[Key, Value] : Metrics)

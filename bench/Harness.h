@@ -21,6 +21,11 @@
 ///   MODSCHED_BENCH_ENGINE     LP engine for every node LP: "sparse" (the
 ///                             default, also "sparse_revised") or "dense"
 ///                             — the knob behind sparse-vs-dense A/B runs
+///   MODSCHED_BENCH_BACKEND    exact engine behind every attempt: "ilp"
+///                             (LP-based branch-and-bound) or "pb" (CDCL
+///                             pseudo-Boolean) — the knob behind
+///                             PB-vs-ILP A/B runs; the compiled-in
+///                             default follows MODSCHED_BACKEND
 ///   MODSCHED_BENCH_JOBS       worker threads for the per-loop sweep
 ///                             (default 1 = serial; loops are scheduled
 ///                             concurrently, records stay in suite order)
@@ -69,6 +74,13 @@ struct BenchConfig {
   /// MODSCHED_BENCH_ENGINE=dense|sparse overrides for A/B runs. The
   /// compiled-in default follows MODSCHED_LP_ENGINE (lp/Simplex.h).
   lp::SimplexEngine Engine = lp::defaultSimplexEngine();
+  /// Exact engine behind every attempt (SchedulerOptions::Backend):
+  /// ILP branch-and-bound or the CDCL pseudo-Boolean solver.
+  /// MODSCHED_BENCH_BACKEND=ilp|pb overrides for A/B runs; the
+  /// compiled-in default follows MODSCHED_BACKEND (ilpsched/
+  /// OptimalScheduler.h). Formulations the PB backend cannot encode
+  /// fall back to ILP per attempt with a one-time warning.
+  SchedulerBackend Backend = defaultSchedulerBackend();
   /// Worker threads for the per-loop sweep (MODSCHED_BENCH_JOBS). One
   /// loop is one task; with >1 the sweep runs on a ThreadPool, each
   /// attempt under its own SolveContext, and the record vector keeps
@@ -93,6 +105,10 @@ struct LoopRecord {
   int Mii = 0;
   int64_t Nodes = 0;
   int64_t SimplexIterations = 0;
+  /// CDCL conflicts / unit propagations summed over all PB solves (see
+  /// ScheduleResult; zeros for ILP-backend records).
+  int64_t PbConflicts = 0;
+  int64_t PbPropagations = 0;
   /// Warm-started / cold node LP solves and the iterations spent inside
   /// warm solves (see MipResult; zeros for pre-warm-start records).
   int64_t WarmLpSolves = 0;
@@ -164,13 +180,15 @@ commonlySolved(const std::vector<std::vector<LoopRecord>> &RecordSets);
 /// produced, and call write() before exiting. The artifact is
 ///   <dir>/BENCH_<experiment>.json
 /// with <dir> = $MODSCHED_BENCH_RESULTS_DIR or "bench_results" (created
-/// if missing). The schema (schema_version 4: adds config.engine and the
+/// if missing). The schema (schema_version 5: adds config.backend and
+/// the per-record pb_conflicts / pb_propagations CDCL counters plus the
+/// per-attempt pb_conflicts; version 4 added config.engine and the
 /// per-record refactorizations / eta_nnz factorization counters;
 /// version 3 added config.jobs, the per-record node_limit_hit flag /
 /// "node_limit" status, and the per-attempt cancelled flag; version 2
 /// added the warm-start solve counters) is validated by
-/// scripts/check_bench_json.py — which still accepts version 2 and 3
-/// artifacts — and documented in docs/OBSERVABILITY.md.
+/// scripts/check_bench_json.py — which still accepts versions 2
+/// through 4 — and documented in docs/OBSERVABILITY.md.
 class BenchJson {
 public:
   explicit BenchJson(std::string Experiment);

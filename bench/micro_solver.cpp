@@ -275,6 +275,39 @@ BENCHMARK(BM_SparseVsDense)
     ->Arg(1) // sparse revised simplex (LU + eta updates)
     ->Unit(benchmark::kMillisecond);
 
+void BM_PbVsIlp(benchmark::State &State) {
+  // A/B smoke of the exact backends: the full II search on the fixed
+  // 12-op loop solved by LP-based branch-and-bound (Arg 0) or by the
+  // CDCL pseudo-Boolean engine (Arg 1), identical formulation options.
+  // Results land in BENCH_micro_solver.json as BM_PbVsIlp/{0,1} records;
+  // the PB arm reports pb_conflicts / pb_propagations and zero nodes,
+  // the ILP arm the reverse. The arms must agree on II and the MinBuff
+  // objective — the cheap always-on companion of tests/PbBackendTest.
+  MachineModel M = MachineModel::cydraLike();
+  DependenceGraph G = benchLoop(M);
+  SchedulerOptions Opts;
+  Opts.Formulation.Obj = Objective::MinBuff;
+  Opts.TimeLimitSeconds = 20.0;
+  Opts.Backend = State.range(0) != 0 ? SchedulerBackend::Pb
+                                     : SchedulerBackend::Ilp;
+  OptimalModuloScheduler Scheduler(M, Opts);
+  ScheduleResult Last;
+  for (auto _ : State) {
+    Last = Scheduler.schedule(G);
+    benchmark::DoNotOptimize(Last.II);
+  }
+  State.counters["ii"] = Last.II;
+  State.counters["bb_nodes"] = static_cast<double>(Last.Nodes);
+  State.counters["pb_conflicts"] = static_cast<double>(Last.PbConflicts);
+  bench::LoopRecord Rec = bench::LoopRecord::fromResult(G, Last);
+  Rec.Name = "BM_PbVsIlp/" + std::to_string(State.range(0));
+  upsertRecord(std::move(Rec));
+}
+BENCHMARK(BM_PbVsIlp)
+    ->Arg(0) // ILP branch-and-bound backend
+    ->Arg(1) // CDCL pseudo-Boolean backend
+    ->Unit(benchmark::kMillisecond);
+
 void BM_NodePresolve(benchmark::State &State) {
   // Ablation: bound propagation at every branch-and-bound node.
   MachineModel M = MachineModel::cydraLike();
@@ -385,6 +418,27 @@ int main(int argc, char **argv) {
   if (Dense && Sparse && Sparse->Seconds > 0)
     Json.addMetric("sparse_vs_dense_time_speedup",
                    Dense->Seconds / Sparse->Seconds);
+
+  // Headline PB-vs-ILP metrics from the BM_PbVsIlp A/B arms. The
+  // agreement metric is 1.0 iff both backends solved and returned the
+  // same II and MinBuff objective (the smoke counterpart of the test
+  // suite's differential).
+  const bench::LoopRecord *Ilp = nullptr, *Pb = nullptr;
+  for (const bench::LoopRecord &R : solveRecords()) {
+    if (R.Name == "BM_PbVsIlp/0")
+      Ilp = &R;
+    if (R.Name == "BM_PbVsIlp/1")
+      Pb = &R;
+  }
+  if (Ilp && Pb) {
+    Json.addMetric("pb_vs_ilp_agree",
+                   Ilp->Solved && Pb->Solved && Ilp->II == Pb->II &&
+                           Ilp->Secondary == Pb->Secondary
+                       ? 1.0
+                       : 0.0);
+    if (Pb->Seconds > 0)
+      Json.addMetric("pb_vs_ilp_time_ratio", Ilp->Seconds / Pb->Seconds);
+  }
 
   Json.addRecordSet("last_solves", solveRecords());
   Json.write();

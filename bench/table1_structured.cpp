@@ -19,8 +19,10 @@ int main() {
   MachineModel M = MachineModel::cydraLike();
   std::vector<DependenceGraph> Suite = benchSuite(M, Config);
   std::printf("Table 1: measurements with STRUCTURED scheduling "
-              "constraints (suite: %zu loops, %.1fs/loop)\n\n",
-              Suite.size(), Config.TimeLimitSeconds);
+              "constraints (suite: %zu loops, %.1fs/loop, backend=%s, "
+              "engine=%s)\n\n",
+              Suite.size(), Config.TimeLimitSeconds,
+              toString(Config.Backend), lp::toString(Config.Engine));
 
   BenchJson Json("table1_structured");
   Json.setConfig(Config);

@@ -1,7 +1,13 @@
 #!/usr/bin/env python3
-"""Validate bench_results/BENCH_*.json artifacts (schema_version 2-4).
+"""Validate bench_results/BENCH_*.json artifacts (schema_version 2-5).
 
-Schema 4 (this version) extends schema 3 with the LP-engine fields: the
+Schema 5 (this version) extends schema 4 with the exact-backend fields:
+the config's backend string (the MODSCHED_BENCH_BACKEND /
+MODSCHED_BACKEND knob, "ilp" or "pb"), per-record pb_conflicts /
+pb_propagations counters (CDCL conflicts and unit propagations summed
+over all PB solves; zeros under the ILP backend), and a per-attempt
+pb_conflicts counter.
+Schema 4 extended schema 3 with the LP-engine fields: the
 config's engine string (the MODSCHED_BENCH_ENGINE / MODSCHED_LP_ENGINE
 knob, "dense" or "sparse_revised") and per-record refactorizations /
 eta_nnz factorization counters (basis refactorizations and product-form
@@ -12,9 +18,9 @@ node_limit_hit flag with its "node_limit" status, and a per-attempt
 cancelled flag (set on II attempts stopped by a lower-II race winner).
 Schema 2 extended schema 1 with the warm-start solver fields: per-record
 warm_solves / cold_solves / warm_iterations counters and the config's
-warm_start flag (the MODSCHED_BENCH_WARMSTART A/B knob). Legacy schema-2
-artifacts still validate; the v3 keys are required only when the file
-declares schema_version 3.
+warm_start flag (the MODSCHED_BENCH_WARMSTART A/B knob). Legacy
+artifacts still validate; each version's keys are required only when
+the file declares at least that schema_version.
 
 Stdlib-only. Usage:
 
@@ -46,6 +52,11 @@ CONFIG_KEYS_V3 = {
 # Keys required only when schema_version >= 4.
 CONFIG_KEYS_V4 = {
     "engine": str,
+}
+
+# Keys required only when schema_version >= 5.
+CONFIG_KEYS_V5 = {
+    "backend": str,
 }
 
 RECORD_KEYS = {
@@ -80,6 +91,11 @@ RECORD_KEYS_V4 = {
     "eta_nnz": numbers.Integral,
 }
 
+RECORD_KEYS_V5 = {
+    "pb_conflicts": numbers.Integral,
+    "pb_propagations": numbers.Integral,
+}
+
 ATTEMPT_KEYS = {
     "ii": numbers.Integral,
     "status": str,
@@ -96,10 +112,16 @@ ATTEMPT_KEYS_V3 = {
     "cancelled": bool,
 }
 
+ATTEMPT_KEYS_V5 = {
+    "pb_conflicts": numbers.Integral,
+}
+
 STATUSES_V2 = {"solved", "timeout", "unsolved"}
 STATUSES_V3 = STATUSES_V2 | {"node_limit"}
 
 ENGINES_V4 = {"dense", "sparse_revised"}
+
+BACKENDS_V5 = {"ilp", "pb"}
 
 
 class SchemaError(Exception):
@@ -130,6 +152,8 @@ def check_record(record, where, version):
         check_keys(record, RECORD_KEYS_V3, where)
     if version >= 4:
         check_keys(record, RECORD_KEYS_V4, where)
+    if version >= 5:
+        check_keys(record, RECORD_KEYS_V5, where)
     statuses = STATUSES_V3 if version >= 3 else STATUSES_V2
     if record["status"] not in statuses:
         raise SchemaError(f"{where}.status: {record['status']!r} not in "
@@ -151,6 +175,8 @@ def check_record(record, where, version):
         check_keys(attempt, ATTEMPT_KEYS, awhere)
         if version >= 3:
             check_keys(attempt, ATTEMPT_KEYS_V3, awhere)
+        if version >= 5:
+            check_keys(attempt, ATTEMPT_KEYS_V5, awhere)
 
 
 def check_file(path):
@@ -165,8 +191,8 @@ def check_file(path):
         "record_sets": list,
     }, "$")
     version = doc["schema_version"]
-    if version not in (2, 3, 4):
-        raise SchemaError(f"$.schema_version: expected 2, 3 or 4, got "
+    if version not in (2, 3, 4, 5):
+        raise SchemaError(f"$.schema_version: expected 2, 3, 4 or 5, got "
                           f"{version}")
     if not doc["experiment"]:
         raise SchemaError("$.experiment: empty string")
@@ -179,6 +205,12 @@ def check_file(path):
             raise SchemaError(f"$.config.engine: "
                               f"{doc['config']['engine']!r} not in "
                               f"{sorted(ENGINES_V4)}")
+    if version >= 5:
+        check_keys(doc["config"], CONFIG_KEYS_V5, "$.config")
+        if doc["config"]["backend"] not in BACKENDS_V5:
+            raise SchemaError(f"$.config.backend: "
+                              f"{doc['config']['backend']!r} not in "
+                              f"{sorted(BACKENDS_V5)}")
     for key, value in doc["metrics"].items():
         if isinstance(value, bool) or not isinstance(value, numbers.Real):
             raise SchemaError(f"$.metrics[{key!r}]: expected number, got "

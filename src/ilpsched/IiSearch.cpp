@@ -39,6 +39,10 @@ void mergeSlotWork(ScheduleResult &Into, const ScheduleResult &Slot) {
   Into.WarmLpIterations += Slot.WarmLpIterations;
   Into.LpRefactorizations += Slot.LpRefactorizations;
   Into.LpEtaNonzeros += Slot.LpEtaNonzeros;
+  Into.PbConflicts += Slot.PbConflicts;
+  Into.PbPropagations += Slot.PbPropagations;
+  Into.PbRestarts += Slot.PbRestarts;
+  Into.PbLearned += Slot.PbLearned;
   for (const IiAttempt &A : Slot.Attempts) {
     Into.Attempts.push_back(A);
     if (A.Cancelled)
@@ -65,7 +69,7 @@ void SequentialIiSearch::search(const OptimalModuloScheduler &Sched,
       Result.TimedOut = true;
       break;
     }
-    if (Result.Nodes >= Opts.NodeLimit) {
+    if (Result.budgetNodes() >= Opts.NodeLimit) {
       Result.NodeLimitHit = true;
       break;
     }
@@ -117,7 +121,7 @@ void ParallelRaceIiSearch::search(const OptimalModuloScheduler &Sched,
       Result.TimedOut = true;
       break;
     }
-    if (Result.Nodes >= Opts.NodeLimit) {
+    if (Result.budgetNodes() >= Opts.NodeLimit) {
       Result.NodeLimitHit = true;
       break;
     }

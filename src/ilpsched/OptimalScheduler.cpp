@@ -3,19 +3,50 @@
 #include "ilpsched/OptimalScheduler.h"
 
 #include "ilpsched/IiSearch.h"
+#include "ilpsched/PbFormulation.h"
 #include "lp/SolveContext.h"
 #include "sched/Mii.h"
 #include "sched/Verifier.h"
 #include "support/Telemetry.h"
 #include "support/Timer.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 
 using namespace modsched;
 using namespace modsched::ilp;
+
+const char *modsched::toString(SchedulerBackend Backend) {
+  switch (Backend) {
+  case SchedulerBackend::Ilp:
+    return "ilp";
+  case SchedulerBackend::Pb:
+    return "pb";
+  }
+  return "unknown";
+}
+
+SchedulerBackend modsched::defaultSchedulerBackend() {
+  static const SchedulerBackend Cached = [] {
+    const char *Env = std::getenv("MODSCHED_BACKEND");
+    if (!Env || !*Env)
+      return SchedulerBackend::Ilp;
+    if (std::strcmp(Env, "ilp") == 0)
+      return SchedulerBackend::Ilp;
+    if (std::strcmp(Env, "pb") == 0)
+      return SchedulerBackend::Pb;
+    std::fprintf(stderr,
+                 "modsched: unrecognized MODSCHED_BACKEND='%s' "
+                 "(want ilp|pb); keeping ilp\n",
+                 Env);
+    return SchedulerBackend::Ilp;
+  }();
+  return Cached;
+}
 
 namespace {
 
@@ -67,9 +98,23 @@ OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
               int64_t(Attempt.WindowInfeasible ? 1 : 0)},
              {"cancelled", int64_t(Attempt.Cancelled ? 1 : 0)},
              {"nodes", Attempt.Nodes},
+             {"pb_conflicts", Attempt.PbConflicts},
              {"seconds", Attempt.Seconds}});
     }
   } Publish{Stats, Attempt, AttemptWatch};
+
+  if (Opts.Backend == SchedulerBackend::Pb) {
+    if (PbFormulation::supports(Opts.Formulation))
+      return schedulePbAttempt(G, II, Stats, TimeBudget, Ctx, Attempt);
+    // Unsupported formulation under the PB backend: decide it with the
+    // ILP instead of failing the loop, and say so once per process.
+    static std::atomic<bool> Warned{false};
+    if (!Warned.exchange(true))
+      std::fprintf(stderr,
+                   "modsched: PB backend does not support this formulation "
+                   "(instance mapping, MinSL, or traditional objective "
+                   "style); falling back to ILP\n");
+  }
 
   Formulation F(G, M, II, Opts.Formulation);
   Attempt.Variables = F.model().numVariables();
@@ -81,7 +126,7 @@ OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
 
   MipOptions MipOpts;
   MipOpts.TimeLimitSeconds = TimeBudget;
-  MipOpts.NodeLimit = Opts.NodeLimit - Stats.Nodes;
+  MipOpts.NodeLimit = Opts.NodeLimit - Stats.budgetNodes();
   MipOpts.Branching = Opts.Branching;
   MipOpts.StopAtFirstSolution = Opts.Formulation.Obj == Objective::None;
   MipOpts.WarmStart = Opts.WarmStart;
@@ -137,6 +182,121 @@ OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
   }
   Attempt.Scheduled = true;
   return S;
+}
+
+std::optional<ModuloSchedule> OptimalModuloScheduler::schedulePbAttempt(
+    const DependenceGraph &G, int II, ScheduleResult &Stats,
+    double TimeBudget, lp::SolveContext *Ctx, IiAttempt &Attempt) const {
+  PbFormulation F(G, M, II, Opts.Formulation);
+  Attempt.Variables = F.numVariables();
+  Attempt.Constraints = F.numConstraints();
+  if (!F.valid()) {
+    Attempt.WindowInfeasible = true;
+    return std::nullopt; // II infeasible within the window budget.
+  }
+
+  lp::SolveContext LocalCtx;
+  lp::SolveContext &C = Ctx ? *Ctx : LocalCtx;
+  lp::DeadlineScope Deadline(C, TimeBudget);
+
+  pb::Solver &S = F.solver();
+  S.DeadlineSeconds = C.DeadlineSeconds;
+  S.Cancel = C.Cancel;
+
+  // PB effort accounting on every exit path, mirroring PublishOnExit:
+  // conflicts are the backend's "nodes" and feed the shared budget.
+  struct AccountOnExit {
+    pb::Solver &S;
+    pb::SolverStats Before;
+    ScheduleResult &Stats;
+    IiAttempt &Attempt;
+    ~AccountOnExit() {
+      const pb::SolverStats &After = S.stats();
+      Attempt.PbConflicts = After.Conflicts - Before.Conflicts;
+      Attempt.PbPropagations = After.Propagations - Before.Propagations;
+      Stats.PbConflicts += Attempt.PbConflicts;
+      Stats.PbPropagations += Attempt.PbPropagations;
+      Stats.PbRestarts += After.Restarts - Before.Restarts;
+      Stats.PbLearned += After.Learned - Before.Learned;
+    }
+  } Account{S, S.stats(), Stats, Attempt};
+
+  const bool BoundedNodes = Opts.NodeLimit != INT64_MAX;
+  // Conflicts the shared node budget still allows this attempt; the II
+  // search guarantees it is positive on entry.
+  auto ConflictsLeft = [&]() {
+    int64_t Spent = S.stats().Conflicts - Account.Before.Conflicts;
+    return Opts.NodeLimit - Stats.budgetNodes() - Spent;
+  };
+
+  // Solution-improving descent: each Sat answer becomes the incumbent
+  // and tightens the (selector-gated) objective bound; Unsat with an
+  // incumbent proves it optimal. Without an objective the first model
+  // wins outright (the NoObj scheduler's StopAtFirstSolution).
+  bool HaveIncumbent = false;
+  int64_t BestObj = 0;
+  ModuloSchedule Best;
+  for (;;) {
+    if (BoundedNodes) {
+      int64_t Left = ConflictsLeft();
+      if (Left <= 0) {
+        Attempt.Status = MipStatus::Limit;
+        Stats.NodeLimitHit = true;
+        return std::nullopt;
+      }
+      S.ConflictLimit = Left;
+    }
+    pb::SolveStatus R = S.solve(F.assumptions());
+
+    if (R == pb::SolveStatus::Sat) {
+      ModuloSchedule Sched = F.decode();
+      // Every PB schedule is independently re-verified; a failure here
+      // means an encoding bug and must never be reported as a result.
+      if (std::optional<std::string> Err =
+              verifySchedule(G, M, Sched, F.maxTime())) {
+        std::fprintf(stderr,
+                     "fatal: PB backend produced an invalid schedule: %s\n",
+                     Err->c_str());
+        std::abort();
+      }
+      Best = std::move(Sched);
+      BestObj = F.evalObjective();
+      HaveIncumbent = true;
+      if (!F.hasObjective())
+        break; // Feasibility answer: done.
+      if (!F.pushObjectiveBound(BestObj - 1))
+        break; // Bound is root-level unsat: the incumbent is optimal.
+      continue;
+    }
+    if (R == pb::SolveStatus::Unsat) {
+      if (HaveIncumbent)
+        break; // No better schedule exists: the incumbent is optimal.
+      Attempt.Status = MipStatus::Infeasible;
+      return std::nullopt; // Proved infeasible at this II.
+    }
+    if (R == pb::SolveStatus::Cancelled) {
+      // Mirrors the ILP path: a cancelled solve yields no verdict, and
+      // no possibly-unproven incumbent escapes it.
+      Attempt.Status = MipStatus::Cancelled;
+      Attempt.Cancelled = true;
+      return std::nullopt;
+    }
+    // Limit: deadline or conflict budget, attributed like the ILP's
+    // HitTimeLimit / HitNodeLimit pair.
+    Attempt.Status = MipStatus::Limit;
+    if (BoundedNodes && ConflictsLeft() <= 0)
+      Stats.NodeLimitHit = true;
+    else
+      Stats.TimedOut = true;
+    return std::nullopt;
+  }
+
+  Attempt.Status = MipStatus::Optimal;
+  Stats.Variables = F.numVariables();
+  Stats.Constraints = F.numConstraints();
+  Stats.SecondaryObjective = double(BestObj);
+  Attempt.Scheduled = true;
+  return Best;
 }
 
 ScheduleResult OptimalModuloScheduler::schedule(const DependenceGraph &G) const {

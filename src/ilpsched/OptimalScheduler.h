@@ -30,6 +30,27 @@ namespace lp {
 struct SolveContext; // lp/SolveContext.h
 } // namespace lp
 
+/// Which exact engine decides each tentative II.
+enum class SchedulerBackend {
+  /// LP-relaxation branch-and-bound over lp::Model (the paper's CPLEX
+  /// stand-in) — the default.
+  Ilp,
+  /// Conflict-driven pseudo-Boolean search (pb::Solver) over the same
+  /// feasible set, encoded by ilpsched/PbFormulation. Falls back to Ilp
+  /// (with a one-time warning) for formulations the encoding does not
+  /// support; see PbFormulation::supports.
+  Pb,
+};
+
+/// Printable name of \p Backend ("ilp" / "pb").
+const char *toString(SchedulerBackend Backend);
+
+/// Backend selected by the MODSCHED_BACKEND environment variable
+/// ("ilp" | "pb"; unset or unrecognized values keep Ilp, the latter
+/// with a one-time warning). Read once and cached, like
+/// lp::defaultSimplexEngine.
+SchedulerBackend defaultSchedulerBackend();
+
 /// How the min-II search walks the tentative IIs (see
 /// ilpsched/IiSearch.h for the strategy implementations).
 enum class IiSearchKind {
@@ -46,6 +67,11 @@ enum class IiSearchKind {
 /// Budgets and knobs for one scheduling run.
 struct SchedulerOptions {
   FormulationOptions Formulation;
+  /// Exact engine deciding each tentative II. The PB backend shares the
+  /// node budget: one CDCL conflict counts as one branch-and-bound node
+  /// (both are the unit of censored search effort; see
+  /// ScheduleResult::budgetNodes).
+  SchedulerBackend Backend = defaultSchedulerBackend();
   /// Per-loop wall-clock budget, shared across all tentative IIs (the
   /// paper used 15 minutes).
   double TimeLimitSeconds = 60.0;
@@ -96,6 +122,10 @@ struct IiAttempt {
   bool Cancelled = false;
   int64_t Nodes = 0;
   int64_t SimplexIterations = 0;
+  /// PB-backend effort at this II (0 under the ILP backend; the PB
+  /// analogue of Nodes / SimplexIterations).
+  int64_t PbConflicts = 0;
+  int64_t PbPropagations = 0;
   int Variables = 0;
   int Constraints = 0;
   /// Wall-clock seconds spent on this attempt (build + solve).
@@ -145,6 +175,16 @@ struct ScheduleResult {
   /// Product-form eta nonzeros appended, summed over attempts (sparse
   /// engine only; 0 under the dense engine).
   int64_t LpEtaNonzeros = 0;
+  /// PB-backend effort summed over attempts (all 0 under the ILP
+  /// backend; see docs/OBSERVABILITY.md "pb" counters).
+  int64_t PbConflicts = 0;
+  int64_t PbPropagations = 0;
+  int64_t PbRestarts = 0;
+  int64_t PbLearned = 0;
+  /// Censored search effort against SchedulerOptions::NodeLimit: B&B
+  /// nodes plus CDCL conflicts, so the deterministic budget means the
+  /// same thing whichever backend (or mix, after a fallback) ran.
+  int64_t budgetNodes() const { return Nodes + PbConflicts; }
   /// Total wall-clock time.
   double Seconds = 0.0;
   /// One record per tentative II tried, in search order (telemetry; see
@@ -178,6 +218,16 @@ public:
   const SchedulerOptions &options() const { return Opts; }
 
 private:
+  /// The PB-backend body of scheduleAtIi: builds the PbFormulation,
+  /// runs the (possibly solution-improving) CDCL solve under \p Ctx's
+  /// deadline/cancellation, and fills \p Attempt with the verdict.
+  std::optional<ModuloSchedule> schedulePbAttempt(const DependenceGraph &G,
+                                                  int II,
+                                                  ScheduleResult &Stats,
+                                                  double TimeBudget,
+                                                  lp::SolveContext *Ctx,
+                                                  IiAttempt &Attempt) const;
+
   const MachineModel &M;
   SchedulerOptions Opts;
 };

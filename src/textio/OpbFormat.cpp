@@ -1,0 +1,216 @@
+//===- textio/OpbFormat.cpp - OPB pseudo-Boolean text I/O -----------------===//
+
+#include "textio/OpbFormat.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace modsched;
+
+namespace {
+
+/// Appends "+c xN" / "-c xN" for one normalized literal term, folding a
+/// negated literal into variable form: c * ~x == c - c * x, so the
+/// degree drops by c.
+void emitTerm(std::ostringstream &Out, pb::Lit L, int64_t Coeff,
+              int64_t &Degree) {
+  int64_t VarCoeff = Coeff;
+  if (L.negated()) {
+    VarCoeff = -Coeff;
+    Degree -= Coeff;
+  }
+  Out << (VarCoeff >= 0 ? "+" : "") << VarCoeff << " x" << (L.var() + 1)
+      << " ";
+}
+
+/// One statement's left-hand side in signed variable form: the sum of
+/// Coeff * x terms plus a folded constant (from ~x literals).
+struct SignedLhs {
+  std::vector<std::pair<pb::Var, int64_t>> Terms;
+  int64_t Constant = 0;
+};
+
+bool parseInt(const std::string &Tok, int64_t &Out) {
+  if (Tok.empty())
+    return false;
+  size_t I = 0;
+  bool Neg = false;
+  if (Tok[I] == '+' || Tok[I] == '-') {
+    Neg = Tok[I] == '-';
+    ++I;
+  }
+  if (I == Tok.size())
+    return false;
+  int64_t Val = 0;
+  for (; I < Tok.size(); ++I) {
+    if (Tok[I] < '0' || Tok[I] > '9')
+      return false;
+    Val = Val * 10 + (Tok[I] - '0');
+  }
+  Out = Neg ? -Val : Val;
+  return true;
+}
+
+} // namespace
+
+std::string modsched::writeOpbFormat(const OpbProblem &P) {
+  std::ostringstream Out;
+  Out << "* #variable= " << P.NumVars << " #constraint= " << P.Rows.size()
+      << "\n";
+  if (P.HasObjective) {
+    if (P.ObjectiveConstant != 0)
+      Out << "* objective constant " << P.ObjectiveConstant << "\n";
+    Out << "min: ";
+    int64_t Ignored = 0;
+    for (const std::pair<pb::Lit, int64_t> &T : P.Objective)
+      emitTerm(Out, T.first, T.second, Ignored);
+    Out << ";\n";
+  }
+  for (const OpbRow &Row : P.Rows) {
+    std::ostringstream Line;
+    int64_t Degree = Row.Degree;
+    for (const std::pair<pb::Lit, int64_t> &T : Row.Terms)
+      emitTerm(Line, T.first, T.second, Degree);
+    Out << Line.str() << ">= " << Degree << " ;\n";
+  }
+  return Out.str();
+}
+
+std::string modsched::writeOpbFormat(
+    const pb::Solver &S,
+    const std::vector<std::pair<pb::Lit, int64_t>> &Objective,
+    int64_t ObjectiveConstant) {
+  OpbProblem P;
+  P.NumVars = S.numVars();
+  P.HasObjective = !Objective.empty() || ObjectiveConstant != 0;
+  P.Objective = Objective;
+  P.ObjectiveConstant = ObjectiveConstant;
+  P.Rows.reserve(S.exportRows().size());
+  for (const pb::ExportRow &R : S.exportRows())
+    P.Rows.push_back({R.Terms, R.Degree});
+  return writeOpbFormat(P);
+}
+
+std::optional<OpbProblem> modsched::parseOpbFormat(const std::string &Text,
+                                                   std::string *Error) {
+  auto Fail = [Error](const std::string &Msg) -> std::optional<OpbProblem> {
+    if (Error)
+      *Error = Msg;
+    return std::nullopt;
+  };
+
+  OpbProblem P;
+  int MaxVar = 0;
+
+  // First pass over lines: recover the writer's objective-constant
+  // comment, drop every other comment, and join the remaining text so
+  // statements can span lines until their ';'.
+  std::ostringstream Joined;
+  {
+    std::istringstream Lines(Text);
+    std::string Line;
+    while (std::getline(Lines, Line)) {
+      size_t First = Line.find_first_not_of(" \t\r");
+      if (First == std::string::npos)
+        continue;
+      if (Line[First] == '*') {
+        std::istringstream Comment(Line.substr(First + 1));
+        std::string A, B;
+        int64_t C = 0;
+        std::string CTok;
+        if (Comment >> A >> B >> CTok && A == "objective" &&
+            B == "constant" && parseInt(CTok, C))
+          P.ObjectiveConstant = C;
+        continue;
+      }
+      Joined << Line << "\n";
+    }
+  }
+
+  // Statement scan: "min:" objective or "<terms> REL <rhs> ;" rows.
+  std::istringstream In(Joined.str());
+  std::string Tok;
+  while (In >> Tok) {
+    bool IsObjective = Tok == "min:";
+    if (IsObjective) {
+      if (P.HasObjective)
+        return Fail("duplicate objective line");
+      P.HasObjective = true;
+      if (!(In >> Tok))
+        return Fail("unterminated objective");
+    }
+
+    // Accumulate the statement's terms in signed variable form (a
+    // negated literal c * ~x folds into -c * x plus the constant c).
+    SignedLhs Lhs;
+    std::string Rel;
+    for (;;) {
+      if (Tok == ";" || Tok == ">=" || Tok == "=" || Tok == "<=") {
+        Rel = Tok;
+        break;
+      }
+      int64_t Coeff = 0;
+      if (!parseInt(Tok, Coeff))
+        return Fail("malformed coefficient '" + Tok + "'");
+      if (!(In >> Tok))
+        return Fail("dangling coefficient at end of input");
+      bool Negated = !Tok.empty() && Tok[0] == '~';
+      std::string Name = Negated ? Tok.substr(1) : Tok;
+      int64_t VarNum = 0;
+      if (Name.size() < 2 || Name[0] != 'x' ||
+          !parseInt(Name.substr(1), VarNum) || VarNum <= 0)
+        return Fail("malformed literal '" + Tok + "'");
+      MaxVar = std::max(MaxVar, int(VarNum));
+      if (Negated) {
+        Lhs.Terms.push_back({pb::Var(VarNum - 1), -Coeff});
+        Lhs.Constant += Coeff;
+      } else {
+        Lhs.Terms.push_back({pb::Var(VarNum - 1), Coeff});
+      }
+      if (!(In >> Tok))
+        return Fail("unterminated statement");
+    }
+
+    if (IsObjective) {
+      if (Rel != ";")
+        return Fail("objective must end with ';'");
+      for (const std::pair<pb::Var, int64_t> &T : Lhs.Terms)
+        P.Objective.push_back({pb::posLit(T.first), T.second});
+      P.ObjectiveConstant += Lhs.Constant;
+      continue;
+    }
+    if (Rel == ";")
+      return Fail("constraint without relation");
+
+    std::string RhsTok;
+    int64_t Rhs = 0;
+    if (!(In >> RhsTok) || !parseInt(RhsTok, Rhs))
+      return Fail("malformed right-hand side");
+    if (!(In >> RhsTok) || RhsTok != ";")
+      return Fail("constraint not terminated by ';'");
+
+    // Normalize into >=-rows over positive-coefficient literals:
+    // sum(c * x) >= d with c < 0 becomes |c| * ~x with d raised by |c|.
+    auto PushGe = [&](int64_t Sign) {
+      OpbRow Row;
+      Row.Degree = Sign * (Rhs - Lhs.Constant);
+      for (const std::pair<pb::Var, int64_t> &T : Lhs.Terms) {
+        int64_t C = Sign * T.second;
+        if (C >= 0) {
+          Row.Terms.push_back({pb::posLit(T.first), C});
+        } else {
+          Row.Terms.push_back({pb::negLit(T.first), -C});
+          Row.Degree += -C;
+        }
+      }
+      P.Rows.push_back(std::move(Row));
+    };
+    if (Rel == ">=" || Rel == "=")
+      PushGe(+1);
+    if (Rel == "<=" || Rel == "=")
+      PushGe(-1);
+  }
+
+  P.NumVars = std::max(P.NumVars, MaxVar);
+  return P;
+}

@@ -2,8 +2,10 @@
 
 #include "textio/DdgFormat.h"
 #include "textio/LpWriter.h"
+#include "textio/OpbFormat.h"
 
 #include "ilpsched/Formulation.h"
+#include "ilpsched/PbFormulation.h"
 #include "workloads/KernelLibrary.h"
 
 #include <gtest/gtest.h>
@@ -164,4 +166,100 @@ TEST(DdgFormat, RoundTripsAllKernels) {
     // Second round trip must be a fixpoint.
     EXPECT_EQ(printDdg(*Parsed, M), Text) << G.name();
   }
+}
+
+//===----------------------------------------------------------------------===//
+// OPB pseudo-Boolean format
+//===----------------------------------------------------------------------===//
+
+TEST(OpbFormat, EmitsHeaderObjectiveAndRows) {
+  pb::Solver S;
+  pb::Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  S.addClause({pb::posLit(A), pb::posLit(B)});
+  S.addAtLeast({pb::negLit(A), pb::negLit(B), pb::negLit(C)}, 2);
+  S.addLinear({{pb::posLit(A), 3}, {pb::posLit(C), 2}}, 4);
+  std::string Text =
+      writeOpbFormat(S, {{pb::posLit(C), 1}}, /*ObjectiveConstant=*/5);
+  EXPECT_NE(Text.find("* #variable= 3 #constraint= 3"), std::string::npos);
+  EXPECT_NE(Text.find("* objective constant 5"), std::string::npos);
+  EXPECT_NE(Text.find("min: +1 x3 ;"), std::string::npos);
+  EXPECT_NE(Text.find("+1 x1 +1 x2 >= 1 ;"), std::string::npos);
+  // Negated literals are folded into variable form: sum ~x >= 2 over
+  // three literals becomes -x1 -x2 -x3 >= -1.
+  EXPECT_NE(Text.find("-1 x1 -1 x2 -1 x3 >= -1 ;"), std::string::npos);
+  EXPECT_NE(Text.find("+3 x1 +2 x3 >= 4 ;"), std::string::npos);
+}
+
+TEST(OpbFormat, ParseNormalizesRelationsAndLiterals) {
+  std::string Error;
+  auto P = parseOpbFormat("* a comment\n"
+                          "+2 x1 -3 x2 >= 1 ;\n"
+                          "+1 ~x1 +1 x3 >= 1 ;\n"
+                          "+1 x1 +1 x2 <= 1 ;\n"
+                          "+1 x1 = 1 ;\n",
+                          &Error);
+  ASSERT_TRUE(P.has_value()) << Error;
+  EXPECT_EQ(P->NumVars, 3);
+  // ">=" with a negative coefficient: -3 x2 becomes +3 ~x2, degree 4.
+  ASSERT_EQ(P->Rows.size(), 5u); // "=" expands to two rows.
+  EXPECT_EQ(P->Rows[0].Degree, 4);
+  EXPECT_EQ(P->Rows[0].Terms[1].first, pb::negLit(1));
+  EXPECT_EQ(P->Rows[0].Terms[1].second, 3);
+  // "~x1" parses as a negated literal directly.
+  EXPECT_EQ(P->Rows[1].Terms[0].first, pb::negLit(0));
+  EXPECT_EQ(P->Rows[1].Degree, 1);
+  // "<=" flips into ">=": x1 + x2 <= 1 becomes ~x1 + ~x2 >= 1.
+  EXPECT_EQ(P->Rows[2].Degree, 1);
+  EXPECT_EQ(P->Rows[2].Terms[0].first, pb::negLit(0));
+  EXPECT_EQ(P->Rows[2].Terms[1].first, pb::negLit(1));
+}
+
+TEST(OpbFormat, ParseReportsMalformedInput) {
+  std::string Error;
+  EXPECT_FALSE(parseOpbFormat("+1 y1 >= 1 ;", &Error).has_value());
+  EXPECT_NE(Error.find("literal"), std::string::npos);
+  EXPECT_FALSE(parseOpbFormat("+1 x1 >= ;", &Error).has_value());
+  EXPECT_FALSE(parseOpbFormat("+1 x1 >= 1", &Error).has_value());
+  EXPECT_FALSE(parseOpbFormat("bogus x1 >= 1 ;", &Error).has_value());
+  EXPECT_FALSE(parseOpbFormat("+1 x1 ;", &Error).has_value());
+}
+
+TEST(OpbFormat, SchedulingModelRoundTrips) {
+  // write -> parse recovers the PB scheduling model rows exactly as
+  // pb::Solver exports them (order, literals, coefficients, degrees) —
+  // the same fixpoint contract DdgFormat::RoundTripsAllKernels checks.
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = paperExample1(M);
+  FormulationOptions Opts;
+  Opts.Obj = Objective::MinReg;
+  PbFormulation F(G, M, 2, Opts);
+  ASSERT_TRUE(F.valid());
+  std::string Text = writeOpbFormat(F.solver(), F.objectiveTerms(),
+                                    F.objectiveConstant());
+  std::string Error;
+  auto P = parseOpbFormat(Text, &Error);
+  ASSERT_TRUE(P.has_value()) << Error;
+  EXPECT_EQ(P->NumVars, F.solver().numVars());
+  EXPECT_TRUE(P->HasObjective);
+  EXPECT_EQ(P->ObjectiveConstant, F.objectiveConstant());
+  ASSERT_EQ(P->Objective.size(), F.objectiveTerms().size());
+  for (size_t I = 0; I < P->Objective.size(); ++I) {
+    EXPECT_EQ(P->Objective[I].first, F.objectiveTerms()[I].first);
+    EXPECT_EQ(P->Objective[I].second, F.objectiveTerms()[I].second);
+  }
+  const std::vector<pb::ExportRow> &Rows = F.solver().exportRows();
+  ASSERT_EQ(P->Rows.size(), Rows.size());
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    EXPECT_EQ(P->Rows[I].Degree, Rows[I].Degree) << "row " << I;
+    ASSERT_EQ(P->Rows[I].Terms.size(), Rows[I].Terms.size()) << "row " << I;
+    for (size_t J = 0; J < Rows[I].Terms.size(); ++J) {
+      EXPECT_EQ(P->Rows[I].Terms[J].first, Rows[I].Terms[J].first)
+          << "row " << I << " term " << J;
+      EXPECT_EQ(P->Rows[I].Terms[J].second, Rows[I].Terms[J].second)
+          << "row " << I << " term " << J;
+    }
+  }
+  // Writing the parsed problem again is a fixpoint.
+  OpbProblem Again = *P;
+  EXPECT_EQ(writeOpbFormat(Again), Text);
 }
