@@ -95,6 +95,9 @@ BenchConfig BenchConfig::fromEnv() {
   if (const char *E = std::getenv("MODSCHED_BENCH_JOBS"))
     if (parseEnvInt("MODSCHED_BENCH_JOBS", E, 1, 256, V))
       Config.Jobs = static_cast<int>(V);
+  if (const char *E = std::getenv("MODSCHED_BENCH_EXPLAIN"))
+    if (parseEnvInt("MODSCHED_BENCH_EXPLAIN", E, 0, 1, V))
+      Config.Explain = V != 0;
   if (const char *E = std::getenv("MODSCHED_BENCH_ENGINE")) {
     if (std::strcmp(E, "dense") == 0)
       Config.Engine = lp::SimplexEngine::Dense;
@@ -128,7 +131,8 @@ std::vector<DependenceGraph> bench::benchSuite(const MachineModel &M,
 }
 
 LoopRecord LoopRecord::fromResult(const DependenceGraph &G,
-                                  const ScheduleResult &R) {
+                                  const ScheduleResult &R,
+                                  const MachineModel *M) {
   LoopRecord Rec;
   Rec.Name = G.name();
   Rec.NumOps = G.numOperations();
@@ -151,6 +155,23 @@ LoopRecord LoopRecord::fromResult(const DependenceGraph &G,
   Rec.Seconds = R.Seconds;
   Rec.Secondary = R.SecondaryObjective;
   Rec.Attempts = R.Attempts;
+  Rec.AttemptDetails.resize(Rec.Attempts.size());
+  for (size_t I = 0; I < Rec.Attempts.size(); ++I) {
+    const IiAttempt &A = Rec.Attempts[I];
+    // An infeasible verdict is any non-cancelled attempt that neither
+    // scheduled nor censored — exactly the attempts the forensics layer
+    // promises a witness for.
+    const bool Infeasible = !A.Scheduled && !A.Cancelled &&
+                            A.Status == ilp::MipStatus::Infeasible;
+    if (Infeasible) {
+      if (A.Explain)
+        ++Rec.ExplainedAttempts;
+      else
+        ++Rec.UnexplainedAttempts;
+    }
+    if (A.Explain && M)
+      Rec.AttemptDetails[I] = describeExplanation(G, *M, A.II, *A.Explain);
+  }
   if (R.Found) {
     RegisterPressure P = computeRegisterPressure(G, R.Schedule);
     Rec.MaxLive = P.MaxLive;
@@ -172,14 +193,51 @@ bench::runOptimal(const MachineModel &M,
   Opts.WarmStart = Config.WarmStart;
   Opts.LpEngine = Config.Engine;
   Opts.Backend = Config.Backend;
+  Opts.Explain = Config.Explain;
   OptimalModuloScheduler Scheduler(M, Opts);
+
+  // One-line forensics summary after the sweep: how the infeasible II
+  // attempts were explained (the acceptance metric is <5% unexplained).
+  auto PrintExplainSummary = [&](const std::vector<LoopRecord> &Records) {
+    if (!Config.Explain)
+      return;
+    int64_t Cycle = 0, Resource = 0, Window = 0, Unexplained = 0;
+    for (const LoopRecord &R : Records) {
+      Unexplained += R.UnexplainedAttempts;
+      for (const IiAttempt &A : R.Attempts) {
+        if (!A.Explain)
+          continue;
+        switch (A.Explain->Kind) {
+        case WitnessKind::RecurrenceCycle:
+          ++Cycle;
+          break;
+        case WitnessKind::ResourceSaturation:
+          ++Resource;
+          break;
+        case WitnessKind::ScheduleWindow:
+          ++Window;
+          break;
+        case WitnessKind::None:
+          break;
+        }
+      }
+    }
+    std::printf("explanations [%s/%s]: %lld cycle, %lld resource, "
+                "%lld window, %lld unexplained\n",
+                toString(Obj), toString(Dep),
+                static_cast<long long>(Cycle),
+                static_cast<long long>(Resource),
+                static_cast<long long>(Window),
+                static_cast<long long>(Unexplained));
+  };
 
   std::vector<LoopRecord> Records(Suite.size());
   const int Jobs = std::max(1, Config.Jobs);
   if (Jobs == 1 || Suite.size() <= 1) {
     for (size_t I = 0; I < Suite.size(); ++I)
       Records[I] = LoopRecord::fromResult(Suite[I],
-                                          Scheduler.schedule(Suite[I]));
+                                          Scheduler.schedule(Suite[I]), &M);
+    PrintExplainSummary(Records);
     return Records;
   }
 
@@ -193,11 +251,12 @@ bench::runOptimal(const MachineModel &M,
   // cross-machine determinism matters.
   ThreadPool Pool(Jobs);
   for (size_t I = 0; I < Suite.size(); ++I)
-    Pool.submit([&Records, &Suite, &Scheduler, I]() {
+    Pool.submit([&Records, &Suite, &Scheduler, &M, I]() {
       Records[I] = LoopRecord::fromResult(Suite[I],
-                                          Scheduler.schedule(Suite[I]));
+                                          Scheduler.schedule(Suite[I]), &M);
     });
   Pool.wait();
+  PrintExplainSummary(Records);
   return Records;
 }
 
@@ -303,8 +362,11 @@ void emitRecord(json::JsonWriter &W, const LoopRecord &R) {
   W.key("max_live").value(R.MaxLive);
   W.key("total_lifetime").value(static_cast<int64_t>(R.TotalLifetime));
   W.key("buffers").value(static_cast<int64_t>(R.Buffers));
+  W.key("explained_attempts").value(R.ExplainedAttempts);
+  W.key("unexplained_attempts").value(R.UnexplainedAttempts);
   W.key("attempts").beginArray();
-  for (const IiAttempt &A : R.Attempts) {
+  for (size_t I = 0; I < R.Attempts.size(); ++I) {
+    const IiAttempt &A = R.Attempts[I];
     W.beginObject();
     W.key("ii").value(A.II);
     W.key("status").value(ilp::toString(A.Status));
@@ -317,6 +379,34 @@ void emitRecord(json::JsonWriter &W, const LoopRecord &R) {
     W.key("variables").value(A.Variables);
     W.key("constraints").value(A.Constraints);
     W.key("seconds").value(A.Seconds);
+    // Forensics (schema v6). Always emitted so consumers need no
+    // key-existence branching; defaults mean "no evidence".
+    W.key("witness").value(A.Explain ? witnessName(A.Explain->Kind)
+                                     : witnessName(WitnessKind::None));
+    W.key("witness_source")
+        .value(A.Explain ? sourceName(A.Explain->Source)
+                         : sourceName(ExplainSource::None));
+    W.key("witness_verified")
+        .value(A.Explain ? A.Explain->Verified : false);
+    W.key("witness_detail")
+        .value(I < R.AttemptDetails.size() ? R.AttemptDetails[I]
+                                           : std::string());
+    W.key("proof").value(A.Audit ? A.Audit->Proof : std::string());
+    W.key("gap").value(A.Audit ? A.Audit->Gap : 0.0);
+    W.key("root_bound")
+        .value(A.Audit && A.Audit->HasRootBound ? A.Audit->RootBound : 0.0);
+    W.key("trajectory").beginArray();
+    if (A.Audit)
+      for (const ilp::BoundSample &B : A.Audit->Trajectory) {
+        W.beginObject();
+        W.key("seconds").value(B.Seconds);
+        W.key("nodes").value(B.Nodes);
+        W.key("incumbent").value(B.Incumbent >= 1e300 ? 0.0 : B.Incumbent);
+        W.key("has_incumbent").value(B.Incumbent < 1e300);
+        W.key("bound").value(B.Bound <= -1e300 ? 0.0 : B.Bound);
+        W.endObject();
+      }
+    W.endArray();
     W.endObject();
   }
   W.endArray();
@@ -342,7 +432,7 @@ std::string BenchJson::write() const {
   std::string Out;
   json::JsonWriter W(Out);
   W.beginObject();
-  W.key("schema_version").value(5);
+  W.key("schema_version").value(6);
   W.key("experiment").value(Experiment);
   W.key("generated_unix")
       .value(static_cast<int64_t>(std::time(nullptr)));
@@ -356,6 +446,7 @@ std::string BenchJson::write() const {
   W.key("jobs").value(Cfg.Jobs);
   W.key("engine").value(lp::toString(Cfg.Engine));
   W.key("backend").value(toString(Cfg.Backend));
+  W.key("explain").value(Cfg.Explain);
   W.endObject();
   W.key("metrics").beginObject();
   for (const auto &[Key, Value] : Metrics)

@@ -29,6 +29,11 @@
 ///   MODSCHED_BENCH_JOBS       worker threads for the per-loop sweep
 ///                             (default 1 = serial; loops are scheduled
 ///                             concurrently, records stay in suite order)
+///   MODSCHED_BENCH_EXPLAIN    0 disables solve forensics (default 1:
+///                             every infeasible II attempt carries a
+///                             re-verified witness and every solved one
+///                             an optimality audit; see
+///                             docs/OBSERVABILITY.md)
 ///
 /// Malformed or out-of-range values are rejected with a warning on
 /// stderr and the compiled-in default is kept — "MODSCHED_BENCH_LOOPS=
@@ -86,6 +91,10 @@ struct BenchConfig {
   /// attempt under its own SolveContext, and the record vector keeps
   /// suite order regardless of completion order.
   int Jobs = 1;
+  /// Solve forensics (SchedulerOptions::Explain): infeasibility
+  /// witnesses and optimality audits on every attempt record.
+  /// MODSCHED_BENCH_EXPLAIN=0 turns it off for overhead A/B runs.
+  bool Explain = true;
 
   /// Reads the MODSCHED_BENCH_* environment overrides. Invalid values
   /// warn on stderr and keep the defaults above.
@@ -127,13 +136,23 @@ struct LoopRecord {
   long Buffers = 0;
   /// Per-tentative-II telemetry copied from ScheduleResult.
   std::vector<IiAttempt> Attempts;
+  /// Human-readable witness per attempt (parallel to Attempts; empty
+  /// when the attempt carries no witness or fromResult had no machine
+  /// model to render against).
+  std::vector<std::string> AttemptDetails;
+  /// Infeasible attempts that carry / lack a graph-level witness (the
+  /// <5%-unexplained acceptance metric; both 0 when forensics are off).
+  int ExplainedAttempts = 0;
+  int UnexplainedAttempts = 0;
 
   /// Builds the record from one scheduling run — the single place where
   /// ScheduleResult fields are copied into the bench layer, so adding a
   /// field cannot silently drift between experiment binaries. Computes
-  /// the concrete register pressure when a schedule was found.
+  /// the concrete register pressure when a schedule was found. \p M,
+  /// when non-null, lets witnesses be rendered into AttemptDetails.
   static LoopRecord fromResult(const DependenceGraph &G,
-                               const ScheduleResult &R);
+                               const ScheduleResult &R,
+                               const MachineModel *M = nullptr);
 
   /// "solved", "timeout", "node_limit", or "unsolved" (proved
   /// infeasible / gave up). A run censored by both budgets reports
@@ -180,15 +199,19 @@ commonlySolved(const std::vector<std::vector<LoopRecord>> &RecordSets);
 /// produced, and call write() before exiting. The artifact is
 ///   <dir>/BENCH_<experiment>.json
 /// with <dir> = $MODSCHED_BENCH_RESULTS_DIR or "bench_results" (created
-/// if missing). The schema (schema_version 5: adds config.backend and
-/// the per-record pb_conflicts / pb_propagations CDCL counters plus the
-/// per-attempt pb_conflicts; version 4 added config.engine and the
-/// per-record refactorizations / eta_nnz factorization counters;
-/// version 3 added config.jobs, the per-record node_limit_hit flag /
-/// "node_limit" status, and the per-attempt cancelled flag; version 2
-/// added the warm-start solve counters) is validated by
+/// if missing). The schema (schema_version 6: adds config.explain, the
+/// per-record explained_attempts / unexplained_attempts counts, and the
+/// per-attempt witness / witness_source / witness_verified /
+/// witness_detail / proof / gap / root_bound / trajectory forensics
+/// fields; version 5 added config.backend and the per-record
+/// pb_conflicts / pb_propagations CDCL counters plus the per-attempt
+/// pb_conflicts; version 4 added config.engine and the per-record
+/// refactorizations / eta_nnz factorization counters; version 3 added
+/// config.jobs, the per-record node_limit_hit flag / "node_limit"
+/// status, and the per-attempt cancelled flag; version 2 added the
+/// warm-start solve counters) is validated by
 /// scripts/check_bench_json.py — which still accepts versions 2
-/// through 4 — and documented in docs/OBSERVABILITY.md.
+/// through 5 — and documented in docs/OBSERVABILITY.md.
 class BenchJson {
 public:
   explicit BenchJson(std::string Experiment);

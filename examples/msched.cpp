@@ -13,6 +13,9 @@
 //   --heuristic                        use the Iterative Modulo Scheduler
 //   --stage-schedule                   run the stage-scheduling post-pass
 //   --time=<seconds>                   per-loop budget (default 60)
+//   --explain                          solve forensics: print a verified
+//                                      witness for every infeasible II
+//                                      and the optimality audit trail
 //   --simulate=<iterations>            run the pipeline simulator
 //   --emit-code                        emit prologue/kernel/epilogue
 //   --print-model                      dump the ILP in CPLEX LP format
@@ -57,6 +60,7 @@ struct CliOptions {
   bool StageSchedule = false;
   bool PrintModel = false;
   bool PrintDdg = false;
+  bool Explain = false;
   bool ListKernels = false;
   bool EmitCode = false;
   int SimulateIterations = 0;
@@ -120,6 +124,10 @@ std::optional<CliOptions> parseArgs(int Argc, char **Argv) {
     }
     if (!std::strcmp(Arg, "--print-ddg")) {
       Opts.PrintDdg = true;
+      continue;
+    }
+    if (!std::strcmp(Arg, "--explain")) {
+      Opts.Explain = true;
       continue;
     }
     if (!std::strcmp(Arg, "--list-kernels")) {
@@ -294,6 +302,8 @@ int main(int Argc, char **Argv) {
       : Cli.FormulationName == "loose"     ? DependenceStyle::StructuredLoose
                                            : DependenceStyle::Structured;
   Opts.Formulation.InstanceMapped = Cli.InstanceMapped;
+  if (Cli.Explain)
+    Opts.Explain = true;
 
   if (Cli.PrintModel) {
     Formulation F(*Loop, Machine, mii(*Loop, Machine), Opts.Formulation);
@@ -305,6 +315,39 @@ int main(int Argc, char **Argv) {
 
   OptimalModuloScheduler Scheduler(Machine, Opts);
   ScheduleResult R = Scheduler.schedule(*Loop);
+
+  // Solve forensics: one line per attempt — the verified witness behind
+  // every infeasible II and the optimality evidence of the solved one.
+  // Printed whenever records were collected, so MODSCHED_EXPLAIN=1
+  // works without the flag.
+  if (Opts.Explain) {
+    std::printf("\nsolve forensics:\n");
+    for (const IiAttempt &A : R.Attempts) {
+      std::printf("  II=%-3d %-10s", A.II, ilp::toString(A.Status));
+      if (A.Explain)
+        std::printf(" [%s, %s] %s", sourceName(A.Explain->Source),
+                    A.Explain->Verified ? "verified" : "UNVERIFIED",
+                    describeExplanation(*Loop, Machine, A.II,
+                                        *A.Explain).c_str());
+      else if (!A.Scheduled && !A.Cancelled &&
+               A.Status == ilp::MipStatus::Infeasible)
+        std::printf(" (unexplained)");
+      if (A.Audit) {
+        std::printf(" proof=%s objective=%g", A.Audit->Proof.c_str(),
+                    A.Audit->FinalObjective);
+        if (A.Audit->HasRootBound)
+          std::printf(" root-bound=%g gap=%g", A.Audit->RootBound,
+                      A.Audit->Gap);
+        for (const ilp::BoundSample &B : A.Audit->Trajectory)
+          if (B.Incumbent < 1e300)
+            std::printf("\n      incumbent %g at %.3fs (%lld nodes)",
+                        B.Incumbent, B.Seconds,
+                        static_cast<long long>(B.Nodes));
+      }
+      std::printf("\n");
+    }
+  }
+
   if (!R.Found) {
     std::fprintf(stderr, "no schedule within budget (%.0fs); nodes=%lld\n",
                  Cli.TimeLimit, static_cast<long long>(R.Nodes));

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Compare two bench_results directories and flag regressions.
+
+Pairs BENCH_*.json artifacts by filename (baseline dir vs candidate
+dir), matches records by (record-set label, loop name), and reports:
+
+  * coverage regressions - loops the baseline solved that the candidate
+    did not (status solved -> timeout/unsolved/node_limit);
+  * coverage improvements - the reverse (informational);
+  * solver-time regressions - solved-in-both loops whose candidate
+    seconds exceed baseline seconds by more than --threshold (default
+    20%), ignoring loops faster than --min-seconds in both runs (timer
+    noise dominates below that);
+  * artifacts present in only one directory (informational).
+
+Exits nonzero iff any coverage or solver-time regression was found, so
+CI can gate on it. Comparing a directory against itself is the CI smoke
+test: it must report nothing and exit 0.
+
+Stdlib-only. Usage:
+
+    python3 scripts/bench_compare.py BASELINE_DIR CANDIDATE_DIR \
+        [--threshold 0.20] [--min-seconds 0.05]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_records(path):
+    """Maps (record-set label, loop name) -> record for one artifact."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    records = {}
+    for record_set in doc.get("record_sets", []):
+        label = record_set.get("label", "")
+        for record in record_set.get("records", []):
+            records[(label, record.get("name", ""))] = record
+    return records
+
+
+def compare_file(name, base_path, cand_path, threshold, min_seconds):
+    """Returns (regressions, notes) line lists for one artifact pair."""
+    base = load_records(base_path)
+    cand = load_records(cand_path)
+    regressions = []
+    notes = []
+    for key in sorted(set(base) - set(cand)):
+        notes.append(f"{name} {key[0]}/{key[1]}: record dropped")
+    for key in sorted(set(cand) - set(base)):
+        notes.append(f"{name} {key[0]}/{key[1]}: record added")
+    for key in sorted(set(base) & set(cand)):
+        b, c = base[key], cand[key]
+        where = f"{name} {key[0]}/{key[1]}"
+        if b.get("solved") and not c.get("solved"):
+            regressions.append(
+                f"{where}: coverage regression (solved -> "
+                f"{c.get('status', '?')})")
+            continue
+        if not b.get("solved") and c.get("solved"):
+            notes.append(f"{where}: coverage improvement "
+                         f"({b.get('status', '?')} -> solved)")
+            continue
+        if not (b.get("solved") and c.get("solved")):
+            continue
+        bs, cs = b.get("seconds", 0.0), c.get("seconds", 0.0)
+        if bs < min_seconds and cs < min_seconds:
+            continue
+        if bs > 0 and cs > bs * (1.0 + threshold):
+            regressions.append(
+                f"{where}: solver-time regression "
+                f"{bs:.3f}s -> {cs:.3f}s (+{(cs / bs - 1.0) * 100:.0f}%)")
+    return regressions, notes
+
+
+def bench_files(directory):
+    try:
+        entries = os.listdir(directory)
+    except OSError as err:
+        raise SystemExit(f"error: cannot list {directory}: {err}")
+    return {e for e in entries
+            if e.startswith("BENCH_") and e.endswith(".json")}
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="diff two bench_results directories")
+    parser.add_argument("baseline", help="baseline bench_results directory")
+    parser.add_argument("candidate", help="candidate bench_results directory")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="relative solver-time slowdown that counts as "
+                             "a regression (default 0.20 = 20%%)")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="ignore loops faster than this in both runs "
+                             "(default 0.05)")
+    args = parser.parse_args(argv[1:])
+
+    base_files = bench_files(args.baseline)
+    cand_files = bench_files(args.candidate)
+    regressions = []
+    notes = []
+    for name in sorted(base_files - cand_files):
+        notes.append(f"{name}: only in baseline")
+    for name in sorted(cand_files - base_files):
+        notes.append(f"{name}: only in candidate")
+    for name in sorted(base_files & cand_files):
+        try:
+            file_regressions, file_notes = compare_file(
+                name, os.path.join(args.baseline, name),
+                os.path.join(args.candidate, name), args.threshold,
+                args.min_seconds)
+        except (OSError, json.JSONDecodeError) as err:
+            regressions.append(f"{name}: unreadable ({err})")
+            continue
+        regressions.extend(file_regressions)
+        notes.extend(file_notes)
+
+    for line in notes:
+        print(f"note  {line}")
+    for line in regressions:
+        print(f"REGR  {line}")
+    compared = len(base_files & cand_files)
+    print(f"compared {compared} artifact(s): {len(regressions)} "
+          f"regression(s), {len(notes)} note(s)")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,7 +1,14 @@
 #!/usr/bin/env python3
-"""Validate bench_results/BENCH_*.json artifacts (schema_version 2-5).
+"""Validate bench_results/BENCH_*.json artifacts (schema_version 2-6).
 
-Schema 5 (this version) extends schema 4 with the exact-backend fields:
+Schema 6 (this version) extends schema 5 with the solve-forensics
+fields: the config's explain flag (the MODSCHED_BENCH_EXPLAIN knob),
+per-record explained_attempts / unexplained_attempts counters, and
+per-attempt witness / witness_source / witness_verified /
+witness_detail infeasibility-explanation fields plus the proof / gap /
+root_bound / trajectory optimality-audit fields (trajectory entries
+are {seconds, nodes, incumbent, has_incumbent, bound} objects).
+Schema 5 extended schema 4 with the exact-backend fields:
 the config's backend string (the MODSCHED_BENCH_BACKEND /
 MODSCHED_BACKEND knob, "ilp" or "pb"), per-record pb_conflicts /
 pb_propagations counters (CDCL conflicts and unit propagations summed
@@ -59,6 +66,11 @@ CONFIG_KEYS_V5 = {
     "backend": str,
 }
 
+# Keys required only when schema_version >= 6.
+CONFIG_KEYS_V6 = {
+    "explain": bool,
+}
+
 RECORD_KEYS = {
     "name": str,
     "n": numbers.Integral,
@@ -96,6 +108,11 @@ RECORD_KEYS_V5 = {
     "pb_propagations": numbers.Integral,
 }
 
+RECORD_KEYS_V6 = {
+    "explained_attempts": numbers.Integral,
+    "unexplained_attempts": numbers.Integral,
+}
+
 ATTEMPT_KEYS = {
     "ii": numbers.Integral,
     "status": str,
@@ -116,12 +133,40 @@ ATTEMPT_KEYS_V5 = {
     "pb_conflicts": numbers.Integral,
 }
 
+ATTEMPT_KEYS_V6 = {
+    "witness": str,
+    "witness_source": str,
+    "witness_verified": bool,
+    "witness_detail": str,
+    "proof": str,
+    "gap": numbers.Real,
+    "root_bound": numbers.Real,
+    "trajectory": list,
+}
+
+TRAJECTORY_KEYS_V6 = {
+    "seconds": numbers.Real,
+    "nodes": numbers.Integral,
+    "incumbent": numbers.Real,
+    "has_incumbent": bool,
+    "bound": numbers.Real,
+}
+
 STATUSES_V2 = {"solved", "timeout", "unsolved"}
 STATUSES_V3 = STATUSES_V2 | {"node_limit"}
+
+# Per-attempt solver verdicts (ilp::toString(MipStatus)). Checked at
+# every schema version: the emitter has printed these strings since
+# schema 2, and an unknown verdict used to slip through unvalidated.
+ATTEMPT_STATUSES = {"optimal", "infeasible", "limit", "cancelled"}
 
 ENGINES_V4 = {"dense", "sparse_revised"}
 
 BACKENDS_V5 = {"ilp", "pb"}
+
+WITNESSES_V6 = {"cycle", "resource", "window", "none"}
+WITNESS_SOURCES_V6 = {"graph", "farkas", "core", "none"}
+PROOFS_V6 = {"", "optimal", "first_solution", "censored"}
 
 
 class SchemaError(Exception):
@@ -154,6 +199,8 @@ def check_record(record, where, version):
         check_keys(record, RECORD_KEYS_V4, where)
     if version >= 5:
         check_keys(record, RECORD_KEYS_V5, where)
+    if version >= 6:
+        check_keys(record, RECORD_KEYS_V6, where)
     statuses = STATUSES_V3 if version >= 3 else STATUSES_V2
     if record["status"] not in statuses:
         raise SchemaError(f"{where}.status: {record['status']!r} not in "
@@ -173,10 +220,34 @@ def check_record(record, where, version):
     for i, attempt in enumerate(record["attempts"]):
         awhere = f"{where}.attempts[{i}]"
         check_keys(attempt, ATTEMPT_KEYS, awhere)
+        if attempt["status"] not in ATTEMPT_STATUSES:
+            raise SchemaError(f"{awhere}.status: {attempt['status']!r} not "
+                              f"in {sorted(ATTEMPT_STATUSES)}")
         if version >= 3:
             check_keys(attempt, ATTEMPT_KEYS_V3, awhere)
         if version >= 5:
             check_keys(attempt, ATTEMPT_KEYS_V5, awhere)
+        if version >= 6:
+            check_attempt_forensics(attempt, awhere)
+
+
+def check_attempt_forensics(attempt, awhere):
+    check_keys(attempt, ATTEMPT_KEYS_V6, awhere)
+    if attempt["witness"] not in WITNESSES_V6:
+        raise SchemaError(f"{awhere}.witness: {attempt['witness']!r} not in "
+                          f"{sorted(WITNESSES_V6)}")
+    if attempt["witness_source"] not in WITNESS_SOURCES_V6:
+        raise SchemaError(f"{awhere}.witness_source: "
+                          f"{attempt['witness_source']!r} not in "
+                          f"{sorted(WITNESS_SOURCES_V6)}")
+    if attempt["proof"] not in PROOFS_V6:
+        raise SchemaError(f"{awhere}.proof: {attempt['proof']!r} not in "
+                          f"{sorted(PROOFS_V6)}")
+    if attempt["witness"] != "none" and attempt["witness_source"] == "none":
+        raise SchemaError(f"{awhere}: witness={attempt['witness']!r} but "
+                          f"witness_source='none'")
+    for t, sample in enumerate(attempt["trajectory"]):
+        check_keys(sample, TRAJECTORY_KEYS_V6, f"{awhere}.trajectory[{t}]")
 
 
 def check_file(path):
@@ -191,8 +262,8 @@ def check_file(path):
         "record_sets": list,
     }, "$")
     version = doc["schema_version"]
-    if version not in (2, 3, 4, 5):
-        raise SchemaError(f"$.schema_version: expected 2, 3, 4 or 5, got "
+    if version not in (2, 3, 4, 5, 6):
+        raise SchemaError(f"$.schema_version: expected 2 through 6, got "
                           f"{version}")
     if not doc["experiment"]:
         raise SchemaError("$.experiment: empty string")
@@ -211,6 +282,8 @@ def check_file(path):
             raise SchemaError(f"$.config.backend: "
                               f"{doc['config']['backend']!r} not in "
                               f"{sorted(BACKENDS_V5)}")
+    if version >= 6:
+        check_keys(doc["config"], CONFIG_KEYS_V6, "$.config")
     for key, value in doc["metrics"].items():
         if isinstance(value, bool) or not isinstance(value, numbers.Real):
             raise SchemaError(f"$.metrics[{key!r}]: expected number, got "

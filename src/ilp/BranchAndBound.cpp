@@ -12,6 +12,7 @@
 #include <climits>
 #include <cmath>
 #include <memory>
+#include <utility>
 
 using namespace modsched;
 using namespace modsched::ilp;
@@ -240,7 +241,14 @@ MipResult MipSolver::solve(const Model &M, lp::SolveContext &Ctx) const {
   // workspace tableau usually still realizes the parent basis and the
   // warm start skips refactorization entirely.
   lp::DeadlineScope Deadline(Ctx, Opts.TimeLimitSeconds);
-  SimplexSolver Lp(Opts.Lp);
+  lp::SimplexOptions LpOpts = Opts.Lp;
+  if (Opts.CollectFarkas)
+    LpOpts.CollectFarkas = true;
+  SimplexSolver Lp(LpOpts);
+
+  // Farkas support rows of every infeasible node LP (histogrammed into
+  // MipResult::FarkasRows on an Infeasible verdict).
+  std::vector<int> FarkasTally;
 
   std::vector<Node> Stack;
   Stack.emplace_back(); // Root: trail mark 0, no branch delta, no basis.
@@ -366,6 +374,9 @@ MipResult MipSolver::solve(const Model &M, lp::SolveContext &Ctx) const {
     if (Relax.Status == LpStatus::Infeasible) {
       ++Result.InfeasibleNodes;
       ++StatInfeasibleNodes;
+      if (Opts.CollectFarkas)
+        FarkasTally.insert(FarkasTally.end(), Relax.FarkasRows.begin(),
+                           Relax.FarkasRows.end());
       if (Monitor.active())
         Monitor.notify(MakeInfo(BbEvent::NodeInfeasible));
       if (IsRoot) {
@@ -377,10 +388,20 @@ MipResult MipSolver::solve(const Model &M, lp::SolveContext &Ctx) const {
     }
     assert(Relax.Status != LpStatus::Unbounded &&
            "scheduling MIPs are bounded; model is missing variable bounds");
-    if (IsRoot && Monitor.active()) {
-      BbEventInfo Info = MakeInfo(BbEvent::RootLpSolved);
-      Info.LpObjective = Relax.Objective;
-      Monitor.notify(Info);
+    if (IsRoot) {
+      if (Opts.CollectTrajectory) {
+        Result.HasRootBound = true;
+        // + 0.0 normalizes the -0 that rounding a tiny negative LP
+        // objective produces.
+        Result.RootBound = TightenBound(Relax.Objective) + 0.0;
+        Result.Trajectory.push_back(
+            {Watch.seconds(), Result.Nodes, Incumbent, Result.RootBound});
+      }
+      if (Monitor.active()) {
+        BbEventInfo Info = MakeInfo(BbEvent::RootLpSolved);
+        Info.LpObjective = Relax.Objective;
+        Monitor.notify(Info);
+      }
     }
     IsRoot = false;
 
@@ -409,6 +430,10 @@ MipResult MipSolver::solve(const Model &M, lp::SolveContext &Ctx) const {
         roundIntegralValues(Result.Values, Opts.IntTol);
         ++Result.Incumbents;
         ++StatIncumbents;
+        if (Opts.CollectTrajectory)
+          Result.Trajectory.push_back(
+              {Watch.seconds(), Result.Nodes, Incumbent,
+               Result.HasRootBound ? Result.RootBound : -1e300});
         if (Monitor.active()) {
           BbEventInfo Info = MakeInfo(BbEvent::IncumbentFound);
           Info.LpObjective = Obj;
@@ -479,5 +504,22 @@ MipResult MipSolver::solve(const Model &M, lp::SolveContext &Ctx) const {
   // verdict about the problem.
   if (Result.Cancelled)
     Result.Status = MipStatus::Cancelled;
+  if (Opts.CollectFarkas && Result.Status == MipStatus::Infeasible &&
+      !FarkasTally.empty()) {
+    // Histogram the tally: rows implicated by the most node LPs first.
+    std::sort(FarkasTally.begin(), FarkasTally.end());
+    std::vector<std::pair<int64_t, int>> Freq; // (-count, row)
+    for (size_t I = 0; I < FarkasTally.size();) {
+      size_t J = I;
+      while (J < FarkasTally.size() && FarkasTally[J] == FarkasTally[I])
+        ++J;
+      Freq.push_back({-int64_t(J - I), FarkasTally[I]});
+      I = J;
+    }
+    std::sort(Freq.begin(), Freq.end());
+    Result.FarkasRows.reserve(Freq.size());
+    for (const std::pair<int64_t, int> &F : Freq)
+      Result.FarkasRows.push_back(F.second);
+  }
   return Result;
 }

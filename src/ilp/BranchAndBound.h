@@ -118,10 +118,33 @@ struct MipOptions {
   /// basis-reuse effect from the allocation hoisting.
   bool WarmStart = true;
   BranchRule Branching = BranchRule::MostFractional;
+  /// Collect Farkas support rows from infeasible node LPs (forces
+  /// SimplexOptions::CollectFarkas on the node LPs) so an Infeasible
+  /// verdict comes with MipResult::FarkasRows. Forensics knob, off by
+  /// default.
+  bool CollectFarkas = false;
+  /// Record the incumbent/bound trajectory (MipResult::Trajectory) and
+  /// the root relaxation bound. Forensics knob, off by default.
+  bool CollectTrajectory = false;
   lp::SimplexOptions Lp;
   /// Optional search observer (tests / tracing / visualization). Null by
   /// default; the per-node cost when unset is a single bool test.
   BbObserver Observer;
+};
+
+/// One point of a solve's incumbent/bound trajectory (recorded under
+/// MipOptions::CollectTrajectory at the root solve and at every
+/// incumbent improvement).
+struct BoundSample {
+  /// Wall-clock seconds into the solve.
+  double Seconds = 0.0;
+  /// Nodes visited when the sample was taken.
+  int64_t Nodes = 0;
+  /// Incumbent objective, or +1e300 before the first solution.
+  double Incumbent = 1e300;
+  /// Best proved lower bound at the sample (the rounded root relaxation
+  /// bound; depth-first search does not tighten it mid-solve).
+  double Bound = -1e300;
 };
 
 /// Result of a MIP solve, including the search statistics reported in the
@@ -174,6 +197,22 @@ struct MipResult {
   /// Product-form eta nonzeros appended across all node LPs (sparse
   /// engine only; 0 under the dense engine).
   int64_t LpEtaNonzeros = 0;
+
+  // --- Forensics (see docs/OBSERVABILITY.md) ---
+  /// With MipOptions::CollectFarkas and Status == Infeasible: model rows
+  /// supporting infeasibility certificates of the node LPs, most
+  /// frequently implicated first. Empty when infeasibility was proved
+  /// without any LP (root presolve) — the caller falls back to graph
+  /// analysis.
+  std::vector<int> FarkasRows;
+  /// With MipOptions::CollectTrajectory: true once the root relaxation
+  /// solved, making RootBound a valid lower bound on any solution.
+  bool HasRootBound = false;
+  /// Rounded root relaxation objective (valid when HasRootBound).
+  double RootBound = 0.0;
+  /// Incumbent/bound trajectory (root solve + incumbent improvements),
+  /// in time order. Empty unless MipOptions::CollectTrajectory.
+  std::vector<BoundSample> Trajectory;
 };
 
 /// Depth-first branch-and-bound with best-bound pruning. Stateless

@@ -133,10 +133,16 @@ Formulation::Formulation(const DependenceGraph &DG, const MachineModel &MM,
   }
 
   buildAssignment();
-  for (const SchedEdge &E : G.schedEdges())
-    buildDependence(E);
+  for (int Edge = 0; Edge < G.numSchedEdges(); ++Edge)
+    buildDependence(Edge, G.schedEdges()[Edge]);
   buildResource();
   buildObjective();
+  assert(Origins.size() == size_t(Ilp.numConstraints()) &&
+         "provenance side table out of sync with emitted rows");
+}
+
+void Formulation::noteRows(const RowOrigin &O) {
+  Origins.resize(size_t(Ilp.numConstraints()), O);
 }
 
 void Formulation::finalizeBuildStats(double BuildSeconds) {
@@ -187,6 +193,7 @@ void Formulation::buildAssignment() {
     appendRowRange(Terms, ABase + Op * II, 0, II - 1, 1.0);
     Ilp.addConstraint(std::move(Terms), ConstraintSense::EQ, 1.0,
                       "assign_" + G.operation(Op).Name);
+    noteRows(RowOrigin::assignment(Op));
   }
 }
 
@@ -198,7 +205,8 @@ void Formulation::appendRowRange(std::vector<Term> &Terms, int RowBase,
 
 void Formulation::emitDependence(int SrcRowBase, int SrcK, int DstRowBase,
                                  int DstK, int Latency, int Distance,
-                                 const std::string &Tag) {
+                                 const std::string &Tag,
+                                 const RowOrigin &Origin) {
   if (Opts.DepStyle == DependenceStyle::Traditional) {
     // Ineq. (4): sum_r r*(a_dst - a_src) + (k_dst - k_src)*II
     //            >= latency - distance*II.
@@ -211,6 +219,7 @@ void Formulation::emitDependence(int SrcRowBase, int SrcK, int DstRowBase,
     Terms.push_back({SrcK, -double(II)});
     Ilp.addConstraint(std::move(Terms), ConstraintSense::GE,
                       Latency - double(Distance) * II, Tag);
+    noteRows(Origin);
     return;
   }
 
@@ -238,13 +247,15 @@ void Formulation::emitDependence(int SrcRowBase, int SrcK, int DstRowBase,
                       double(Distance) - F + 1,
                       Tag + "_r" + std::to_string(Row));
   }
+  noteRows(Origin);
 }
 
-void Formulation::buildDependence(const SchedEdge &E) {
+void Formulation::buildDependence(int EdgeIndex, const SchedEdge &E) {
   emitDependence(ABase + E.Src * II, kVar(E.Src), ABase + E.Dst * II,
                  kVar(E.Dst), E.Latency, E.Distance,
                  "dep_" + G.operation(E.Src).Name + "_" +
-                     G.operation(E.Dst).Name);
+                     G.operation(E.Dst).Name,
+                 RowOrigin::depEdge(EdgeIndex, E));
 }
 
 void Formulation::buildResource() {
@@ -272,6 +283,7 @@ void Formulation::buildResource() {
                         M.resource(R).Count,
                         "res_" + M.resource(R).Name + "_r" +
                             std::to_string(Row));
+      noteRows(RowOrigin::resource(R, Row));
     }
   };
 
@@ -321,6 +333,7 @@ void Formulation::buildResource() {
         Choose.push_back({WBase + Inst, 1.0});
       Ilp.addConstraint(std::move(Choose), ConstraintSense::EQ, 1.0,
                         "choose_" + OpName + "_" + ResName);
+      noteRows(RowOrigin::resource(R, -1));
 
       YBase[Op] = Ilp.numVariables();
       for (int Inst = 0; Inst < E; ++Inst)
@@ -338,6 +351,7 @@ void Formulation::buildResource() {
         Ilp.addConstraint(std::move(Terms), ConstraintSense::EQ, 0.0,
                           "ymargrow_" + OpName + "_" + ResName + "_r" +
                               std::to_string(Row));
+        noteRows(RowOrigin::resource(R, Row));
       }
       // Marginal over rows: recovers the instance choice.
       for (int Inst = 0; Inst < E; ++Inst) {
@@ -348,6 +362,7 @@ void Formulation::buildResource() {
         Ilp.addConstraint(std::move(Terms), ConstraintSense::EQ, 0.0,
                           "ymarginst_" + OpName + "_" + ResName +
                               std::to_string(Inst));
+        noteRows(RowOrigin::resource(R, -1));
       }
     }
 
@@ -364,6 +379,7 @@ void Formulation::buildResource() {
                           "inst_" + M.resource(R).Name +
                               std::to_string(Inst) + "_r" +
                               std::to_string(Row));
+        noteRows(RowOrigin::resource(R, Row));
       }
     }
   }
@@ -426,6 +442,7 @@ void Formulation::buildKillOps() {
     appendRowRange(Terms, KillRowBase[Reg], 0, II - 1, 1.0);
     Ilp.addConstraint(std::move(Terms), ConstraintSense::EQ, 1.0,
                       "assign_kill_v" + std::to_string(Reg));
+    noteRows(RowOrigin::objectiveLink(Reg));
 
     // The kill follows the definition (covers a dead value's single
     // live cycle) and every use. A use at distance w constrains
@@ -434,12 +451,13 @@ void Formulation::buildKillOps() {
     std::string TagBase = "kill_v" + std::to_string(Reg);
     emitDependence(ABase + R.Def * II, kVar(R.Def), KillRowBase[Reg],
                    KillStage[Reg], /*Latency=*/0, /*Distance=*/0,
-                   TagBase + "_def");
+                   TagBase + "_def", RowOrigin::objectiveLink(Reg));
     for (size_t UI = 0; UI < R.Uses.size(); ++UI) {
       const RegisterUse &U = R.Uses[UI];
       emitDependence(ABase + U.Consumer * II, kVar(U.Consumer),
                      KillRowBase[Reg], KillStage[Reg], /*Latency=*/0,
-                     -U.Distance, TagBase + "_use" + std::to_string(UI));
+                     -U.Distance, TagBase + "_use" + std::to_string(UI),
+                     RowOrigin::objectiveLink(Reg));
     }
   }
 }
@@ -458,6 +476,7 @@ void Formulation::buildObjective() {
       Ilp.addConstraint(std::move(Terms), ConstraintSense::LE,
                         double(Opts.RegisterLimit),
                         "reglimit_r" + std::to_string(Row));
+      noteRows(RowOrigin::objectiveLink());
     }
   }
 
@@ -483,12 +502,14 @@ void Formulation::buildObjective() {
     appendRowRange(Assign, SinkRowBase, 0, II - 1, 1.0);
     Ilp.addConstraint(std::move(Assign), ConstraintSense::EQ, 1.0,
                       "assign_sink");
+    noteRows(RowOrigin::objectiveLink());
     for (int Row = 0; Row < II; ++Row)
       Ilp.setObjective(SinkRowBase + Row, double(Row));
     for (int Op = 0; Op < G.numOperations(); ++Op)
       emitDependence(ABase + Op * II, kVar(Op), SinkRowBase, SinkStage,
                      /*Latency=*/1, /*Distance=*/0,
-                     "sink_after_" + G.operation(Op).Name);
+                     "sink_after_" + G.operation(Op).Name,
+                     RowOrigin::objectiveLink());
     return;
   }
 
@@ -530,6 +551,7 @@ void Formulation::buildObjective() {
       Terms.push_back({MaxLiveVar, -1.0});
       Ilp.addConstraint(std::move(Terms), ConstraintSense::LE, 0.0,
                         "maxlive_r" + std::to_string(Row));
+      noteRows(RowOrigin::objectiveLink());
     }
     break;
   }
@@ -563,6 +585,7 @@ void Formulation::buildObjective() {
           }
           Ilp.addConstraint(std::move(Terms), ConstraintSense::GE,
                             double(U.Distance) * II + 1.0, Tag);
+          noteRows(RowOrigin::objectiveLink(Reg));
         } else {
           // Structured ([15]-style): the span [t_def, t_use + w*II]
           // covers row r exactly
@@ -582,6 +605,7 @@ void Formulation::buildObjective() {
                               -double(U.Distance),
                               Tag + "_r" + std::to_string(Row));
           }
+          noteRows(RowOrigin::objectiveLink(Reg));
         }
       }
     }
@@ -610,6 +634,7 @@ void Formulation::buildObjective() {
         }
         Ilp.addConstraint(std::move(Terms), ConstraintSense::EQ, 1.0,
                           "life_v" + std::to_string(Reg));
+        noteRows(RowOrigin::objectiveLink(Reg));
       }
     } else {
       // Structured: no auxiliary constraints at all; the total lifetime

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +49,24 @@ SchedulerBackend modsched::defaultSchedulerBackend() {
   return Cached;
 }
 
+bool modsched::defaultExplainEnabled() {
+  static const bool Cached = [] {
+    const char *Env = std::getenv("MODSCHED_EXPLAIN");
+    if (!Env || !*Env)
+      return false;
+    if (std::strcmp(Env, "1") == 0 || std::strcmp(Env, "on") == 0)
+      return true;
+    if (std::strcmp(Env, "0") == 0 || std::strcmp(Env, "off") == 0)
+      return false;
+    std::fprintf(stderr,
+                 "modsched: unrecognized MODSCHED_EXPLAIN='%s' "
+                 "(want 0|1|on|off); keeping off\n",
+                 Env);
+    return false;
+  }();
+  return Cached;
+}
+
 namespace {
 
 telemetry::Counter StatLoops("ilpsched", "scheduler.loops",
@@ -65,6 +84,93 @@ telemetry::Counter StatNodeLimits("ilpsched", "scheduler.node_limits",
                                   "exhaustion");
 telemetry::PhaseTimer TimeSchedule("ilpsched", "scheduler.schedule",
                                    "End-to-end min-II search");
+
+telemetry::Counter StatExplainCycle("ilpsched", "explain.cycle_witnesses",
+                                    "Infeasible IIs explained by a "
+                                    "recurrence cycle");
+telemetry::Counter StatExplainResource("ilpsched",
+                                       "explain.resource_witnesses",
+                                       "Infeasible IIs explained by a "
+                                       "saturated resource");
+telemetry::Counter StatExplainWindow("ilpsched", "explain.window_witnesses",
+                                     "Infeasible IIs explained by an empty "
+                                     "schedule window");
+telemetry::Counter StatExplainNone("ilpsched", "explain.unexplained",
+                                   "Infeasible IIs with no checkable "
+                                   "witness");
+
+/// Verifies \p E against the graph/machine arithmetic, bumps the witness
+/// counters, and attaches it to \p Attempt. A nullopt (or a witness of
+/// kind None) counts as unexplained and attaches nothing.
+void attachExplanation(const DependenceGraph &G, const MachineModel &M,
+                       int II, int Slack, IiAttempt &Attempt,
+                       std::optional<Explanation> E) {
+  if (!E || E->Kind == WitnessKind::None) {
+    ++StatExplainNone;
+    return;
+  }
+  E->Verified = checkExplanation(G, M, II, Slack, *E);
+  switch (E->Kind) {
+  case WitnessKind::RecurrenceCycle:
+    ++StatExplainCycle;
+    break;
+  case WitnessKind::ResourceSaturation:
+    ++StatExplainResource;
+    break;
+  case WitnessKind::ScheduleWindow:
+    ++StatExplainWindow;
+    break;
+  case WitnessKind::None:
+    break;
+  }
+  Attempt.Explain = std::move(*E);
+}
+
+/// Builds the audit record for a solved (or censored-with-incumbent) ILP
+/// attempt from the MIP result's bound evidence.
+OptimalityAudit makeIlpAudit(MipResult &R, const char *Proof) {
+  OptimalityAudit A;
+  A.HasRootBound = R.HasRootBound;
+  A.RootBound = R.RootBound;
+  A.FinalObjective = R.Objective;
+  A.Gap = R.HasRootBound ? R.Objective - R.RootBound : 0.0;
+  if (std::abs(A.Gap) < 1e-6)
+    A.Gap = 0.0; // Strip LP round-off from a proved-tight bound.
+  A.Proof = Proof;
+  A.Trajectory = std::move(R.Trajectory);
+  return A;
+}
+
+/// PB-backend infeasibility forensics: re-encodes the attempt with every
+/// dependence edge and modeled resource gated behind a selector (the
+/// objective machinery is dropped — it cannot cause primary
+/// infeasibility — but a RegisterLimit constraint is kept), solves under
+/// the group assumptions, and maps the unsat core's origins to a
+/// witness. Falls back to pure graph analysis whenever the re-solve
+/// yields no usable core (deadline expiry, empty core, unmappable
+/// evidence).
+std::optional<Explanation> explainPbUnsat(const DependenceGraph &G,
+                                          const MachineModel &M, int II,
+                                          const FormulationOptions &FOpts,
+                                          lp::SolveContext &C) {
+  FormulationOptions ExOpts = FOpts;
+  ExOpts.Obj = Objective::None;
+  PbFormulation F(G, M, II, ExOpts, /*ExplainGroups=*/true);
+  if (F.valid()) {
+    pb::Solver &S = F.solver();
+    S.DeadlineSeconds = C.DeadlineSeconds;
+    S.Cancel = C.Cancel;
+    if (S.solve(F.explainAssumptions()) == pb::SolveStatus::Unsat) {
+      std::vector<RowOrigin> Core = F.coreOrigins();
+      if (!Core.empty())
+        if (std::optional<Explanation> E =
+                explainFromOrigins(G, M, II, FOpts.ScheduleLengthSlack, Core,
+                                   ExplainSource::UnsatCore))
+          return E;
+    }
+  }
+  return explainInfeasibleIi(G, M, II, FOpts.ScheduleLengthSlack);
+}
 
 } // namespace
 
@@ -99,7 +205,16 @@ OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
              {"cancelled", int64_t(Attempt.Cancelled ? 1 : 0)},
              {"nodes", Attempt.Nodes},
              {"pb_conflicts", Attempt.PbConflicts},
-             {"seconds", Attempt.Seconds}});
+             {"seconds", Attempt.Seconds},
+             {"witness", Attempt.Explain
+                             ? witnessName(Attempt.Explain->Kind)
+                             : witnessName(WitnessKind::None)},
+             {"witness_source", Attempt.Explain
+                                    ? sourceName(Attempt.Explain->Source)
+                                    : sourceName(ExplainSource::None)},
+             {"witness_verified",
+              int64_t(Attempt.Explain && Attempt.Explain->Verified ? 1
+                                                                   : 0)}});
     }
   } Publish{Stats, Attempt, AttemptWatch};
 
@@ -119,8 +234,12 @@ OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
   Formulation F(G, M, II, Opts.Formulation);
   Attempt.Variables = F.model().numVariables();
   Attempt.Constraints = F.model().numConstraints();
+  const int Slack = Opts.Formulation.ScheduleLengthSlack;
   if (!F.valid()) {
     Attempt.WindowInfeasible = true;
+    if (Opts.Explain)
+      attachExplanation(G, M, II, Slack, Attempt,
+                        explainInfeasibleIi(G, M, II, Slack));
     return std::nullopt; // II infeasible within the window budget.
   }
 
@@ -131,6 +250,8 @@ OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
   MipOpts.StopAtFirstSolution = Opts.Formulation.Obj == Objective::None;
   MipOpts.WarmStart = Opts.WarmStart;
   MipOpts.Lp.Engine = Opts.LpEngine;
+  MipOpts.CollectFarkas = Opts.Explain;
+  MipOpts.CollectTrajectory = Opts.Explain;
   MipSolver Solver(MipOpts);
 
   // Solve under the caller's context (parallel race slots bring their
@@ -164,10 +285,31 @@ OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
       Stats.NodeLimitHit = true;
     if (R.HitTimeLimit || !R.HitNodeLimit)
       Stats.TimedOut = true;
+    if (Opts.Explain && R.HasSolution)
+      Attempt.Audit = makeIlpAudit(R, "censored");
     return std::nullopt;
   }
-  if (!R.HasSolution)
-    return std::nullopt; // Proved infeasible at this II.
+  if (!R.HasSolution) {
+    // Proved infeasible at this II. Map the node LPs' Farkas evidence
+    // through the formulation's provenance table into a graph witness;
+    // fall back to pure graph analysis when the search never ran an LP
+    // (root presolve infeasibility) or the support does not localize.
+    if (Opts.Explain) {
+      std::vector<RowOrigin> Support;
+      const std::vector<RowOrigin> &Origins = F.rowOrigins();
+      for (int Row : R.FarkasRows)
+        if (Row >= 0 && size_t(Row) < Origins.size())
+          Support.push_back(Origins[size_t(Row)]);
+      std::optional<Explanation> E;
+      if (!Support.empty())
+        E = explainFromOrigins(G, M, II, Slack, Support,
+                               ExplainSource::FarkasRay);
+      if (!E)
+        E = explainInfeasibleIi(G, M, II, Slack);
+      attachExplanation(G, M, II, Slack, Attempt, std::move(E));
+    }
+    return std::nullopt;
+  }
 
   Stats.Variables = F.model().numVariables();
   Stats.Constraints = F.model().numConstraints();
@@ -181,6 +323,9 @@ OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
     std::abort();
   }
   Attempt.Scheduled = true;
+  if (Opts.Explain)
+    Attempt.Audit = makeIlpAudit(
+        R, MipOpts.StopAtFirstSolution ? "first_solution" : "optimal");
   return S;
 }
 
@@ -190,8 +335,12 @@ std::optional<ModuloSchedule> OptimalModuloScheduler::schedulePbAttempt(
   PbFormulation F(G, M, II, Opts.Formulation);
   Attempt.Variables = F.numVariables();
   Attempt.Constraints = F.numConstraints();
+  const int Slack = Opts.Formulation.ScheduleLengthSlack;
   if (!F.valid()) {
     Attempt.WindowInfeasible = true;
+    if (Opts.Explain)
+      attachExplanation(G, M, II, Slack, Attempt,
+                        explainInfeasibleIi(G, M, II, Slack));
     return std::nullopt; // II infeasible within the window budget.
   }
 
@@ -272,6 +421,9 @@ std::optional<ModuloSchedule> OptimalModuloScheduler::schedulePbAttempt(
       if (HaveIncumbent)
         break; // No better schedule exists: the incumbent is optimal.
       Attempt.Status = MipStatus::Infeasible;
+      if (Opts.Explain)
+        attachExplanation(G, M, II, Slack, Attempt,
+                          explainPbUnsat(G, M, II, Opts.Formulation, C));
       return std::nullopt; // Proved infeasible at this II.
     }
     if (R == pb::SolveStatus::Cancelled) {
@@ -296,6 +448,14 @@ std::optional<ModuloSchedule> OptimalModuloScheduler::schedulePbAttempt(
   Stats.Constraints = F.numConstraints();
   Stats.SecondaryObjective = double(BestObj);
   Attempt.Scheduled = true;
+  if (Opts.Explain) {
+    // The PB backend proves optimality by exhausting the bound descent;
+    // there is no numeric relaxation bound to audit against.
+    OptimalityAudit A;
+    A.FinalObjective = double(BestObj);
+    A.Proof = F.hasObjective() ? "optimal" : "first_solution";
+    Attempt.Audit = std::move(A);
+  }
   return Best;
 }
 

@@ -19,9 +19,11 @@
 
 #include "ilp/BranchAndBound.h"
 #include "ilpsched/Formulation.h"
+#include "sched/Explain.h"
 #include "sched/ModuloSchedule.h"
 
 #include <optional>
+#include <string>
 #include <vector>
 
 namespace modsched {
@@ -50,6 +52,12 @@ const char *toString(SchedulerBackend Backend);
 /// with a one-time warning). Read once and cached, like
 /// lp::defaultSimplexEngine.
 SchedulerBackend defaultSchedulerBackend();
+
+/// Default for SchedulerOptions::Explain, from the MODSCHED_EXPLAIN
+/// environment variable ("1"/"on" enables, "0"/"off" disables, unset
+/// disables; unrecognized values warn once to stderr and disable). Read
+/// once and cached.
+bool defaultExplainEnabled();
 
 /// How the min-II search walks the tentative IIs (see
 /// ilpsched/IiSearch.h for the strategy implementations).
@@ -98,6 +106,35 @@ struct SchedulerOptions {
   /// Worker threads for IiSearchKind::ParallelRace (also the II window
   /// width of one race wave); ignored by Sequential. Clamped to >= 1.
   int SearchJobs = 1;
+  /// Solve forensics (docs/OBSERVABILITY.md "Explanations & audit
+  /// records"): attach a re-verified graph-level Explanation to every
+  /// infeasible II attempt and an OptimalityAudit to every solved one.
+  /// Zero-cost when off — no Farkas scans, no trajectory samples, no
+  /// explanation re-solves.
+  bool Explain = defaultExplainEnabled();
+};
+
+/// Optimality evidence for one solved II attempt (attached under
+/// SchedulerOptions::Explain; see docs/OBSERVABILITY.md).
+struct OptimalityAudit {
+  /// True when the root LP relaxation bound is available (ILP backend
+  /// with a successful root solve; the PB backend proves optimality by
+  /// exhaustion and carries no numeric bound).
+  bool HasRootBound = false;
+  /// Rounded root relaxation bound on the secondary objective.
+  double RootBound = 0.0;
+  /// Objective value of the reported schedule.
+  double FinalObjective = 0.0;
+  /// FinalObjective - RootBound when HasRootBound (0 at proved-tight
+  /// roots), else 0.
+  double Gap = 0.0;
+  /// How optimality was established: "optimal" (bound met / search
+  /// exhausted), "first_solution" (Objective::None stops at the first
+  /// schedule), or "censored" (budget expired with an unproven
+  /// incumbent).
+  std::string Proof = "optimal";
+  /// Incumbent/bound trajectory in time order (ILP backend only).
+  std::vector<ilp::BoundSample> Trajectory;
 };
 
 /// Telemetry record of one tentative-II solve attempt (see
@@ -130,6 +167,15 @@ struct IiAttempt {
   int Constraints = 0;
   /// Wall-clock seconds spent on this attempt (build + solve).
   double Seconds = 0.0;
+  /// With SchedulerOptions::Explain, on an infeasible verdict: the
+  /// graph-level witness (checkExplanation-verified when
+  /// Explain->Verified). Absent when the attempt was not infeasible,
+  /// explanations were off, or no checkable witness was found
+  /// ("unexplained").
+  std::optional<Explanation> Explain;
+  /// With SchedulerOptions::Explain, on a scheduled verdict: the
+  /// optimality evidence trail.
+  std::optional<OptimalityAudit> Audit;
 };
 
 /// Result of scheduling one loop.

@@ -190,6 +190,9 @@ public:
   /// True when the last tryInitWarm took the rebuild-from-matrix path
   /// (counted as a basis rebuild by the caller's telemetry).
   bool didRebuildBasis() const { return DidRebuild; }
+  /// Rows supporting the infeasibility certificate of the last solve
+  /// (with SimplexOptions::CollectFarkas; may contain duplicates).
+  const std::vector<int> &farkasRows() const { return FarkasSupport; }
 
 private:
   /// Runs the primal simplex loop with the current cost row until
@@ -199,6 +202,17 @@ private:
   /// Runs the dual simplex loop until primal feasibility, infeasibility,
   /// or the iteration limit. Requires a dual-feasible basis.
   LpStatus dualIterate();
+
+  /// Records the model rows appearing in tableau row \p Row's slack
+  /// columns — the support of the Farkas certificate \p Row encodes.
+  /// No-op unless SimplexOptions::CollectFarkas is set.
+  void recordFarkasRow(int Row) {
+    if (!OptsP->CollectFarkas)
+      return;
+    for (int Col = NumStruct; Col < FirstArtificial; ++Col)
+      if (std::abs(tab(Row, Col)) > 1e-9)
+        FarkasSupport.push_back(Col - NumStruct);
+  }
 
   /// Shared per-solve bookkeeping for initCold / tryInitWarm.
   void beginSolve(const Model &M, const SimplexOptions &Opts);
@@ -283,6 +297,7 @@ private:
   std::vector<int> Basis;         ///< Basis[row] = column index.
   std::vector<double> BasicValue; ///< Current value of Basis[row].
   std::vector<int> Scratch;      ///< Refactorization work list.
+  std::vector<int> FarkasSupport; ///< Certificate rows (CollectFarkas).
   int64_t Iters = 0;
   int64_t Degenerate = 0;  ///< Pivots with ~zero step length.
   int64_t Flips = 0;       ///< Pure bound-flip pivots.
@@ -306,6 +321,7 @@ private:
 void Tableau::beginSolve(const Model &M, const SimplexOptions &Opts) {
   OptsP = &Opts;
   Iters = Degenerate = Flips = Refactors = Phase1Iters = DualIters = 0;
+  FarkasSupport.clear();
   Clock.reset();
   NumRows = M.numConstraints();
   NumStruct = M.numVariables();
@@ -898,6 +914,7 @@ LpStatus Tableau::dualIterate() {
       // No movement of any nonbasic column can repair the violated row:
       // the row itself certifies emptiness of the bound box (a Farkas
       // certificate independent of the reduced costs).
+      recordFarkasRow(LeaveRow);
       return LpStatus::Infeasible;
     }
 
@@ -956,8 +973,14 @@ LpStatus Tableau::run() {
     for (int Col = FirstArtificial; Col < NumCols; ++Col)
       if (Status[Col] == ColStatus::AtUpper) // Unbounded above: impossible.
         assert(false && "artificial nonbasic at infinite bound");
-    if (Infeasibility > 1e-6)
+    if (Infeasibility > 1e-6) {
+      // Each residual artificial's tableau row certifies infeasibility;
+      // their slack supports localize it to model rows.
+      for (int Row = 0; Row < NumRows; ++Row)
+        if (Basis[Row] >= FirstArtificial && BasicValue[Row] > 1e-6)
+          recordFarkasRow(Row);
       return LpStatus::Infeasible;
+    }
     // Pin the artificials at zero for phase 2. Basic artificials at value
     // ~zero are harmless: their [0,0] bounds block any move away from 0.
     for (int Col = FirstArtificial; Col < NumCols; ++Col) {
@@ -1117,8 +1140,16 @@ LpResult solveWithEngine(EngineT &E, const Model &M,
   StatRefactor += Result.Refactorizations;
   if (Warm)
     StatWarmIterations += Result.Iterations;
-  if (S == LpStatus::Infeasible)
+  if (S == LpStatus::Infeasible) {
     ++StatInfeasible;
+    if (Opts.CollectFarkas) {
+      Result.FarkasRows = E.farkasRows();
+      std::sort(Result.FarkasRows.begin(), Result.FarkasRows.end());
+      Result.FarkasRows.erase(
+          std::unique(Result.FarkasRows.begin(), Result.FarkasRows.end()),
+          Result.FarkasRows.end());
+    }
+  }
 
   if (S != LpStatus::Optimal) {
     if (Persistent)

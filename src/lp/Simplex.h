@@ -113,6 +113,11 @@ struct SimplexOptions {
   /// Sparse engine: refactorize early when the eta file's nonzeros
   /// exceed this multiple of (rows + LU nonzeros) — the fill guard.
   double RefactorFillFactor = 4.0;
+  /// On an Infeasible exit, record the constraint rows supporting the
+  /// infeasibility certificate (the Farkas ray's slack support) in
+  /// LpResult::FarkasRows. Off by default: the scan is cheap but not
+  /// free, and only forensics consumers want it.
+  bool CollectFarkas = false;
 };
 
 /// An exported simplex basis: the resting status of every [structural |
@@ -186,6 +191,12 @@ struct LpResult {
   /// the dual simplex (false for cold two-phase primal solves, including
   /// warm attempts that had to fall back).
   bool WarmStarted = false;
+  /// With SimplexOptions::CollectFarkas, on Status == Infeasible: the
+  /// model rows supporting the infeasibility certificate — the nonzero
+  /// slack columns of the dual simplex's terminal ray, or the residual
+  /// artificial rows' slack supports after phase 1. A subset of rows
+  /// that is itself infeasible under the solved bounds.
+  std::vector<int> FarkasRows;
   /// The optimal basis of this solve, exportable to warm-start a later
   /// solve of the same model with tightened bounds. Only populated when
   /// Status == Optimal and the solve was given a SimplexWorkspace; empty

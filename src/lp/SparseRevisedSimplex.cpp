@@ -92,6 +92,7 @@ void SparseRevisedSimplex::beginSolve(const Model &M,
   OptsP = &Opts;
   Iters = Degenerate = Flips = Refactors = Phase1Iters = DualIters = 0;
   EtaNnzTotal = 0;
+  FarkasSupport.clear();
   Clock.reset();
   NumRows = M.numConstraints();
   NumStruct = M.numVariables();
@@ -353,6 +354,16 @@ void SparseRevisedSimplex::computeAlphaRow(int LeaveRow) {
     if (Y != 0.0)
       AlphaRow.add(FirstArtificial + static_cast<int>(K), Y * ArtSign[K]);
   }
+}
+
+void SparseRevisedSimplex::recordFarkasRow(int Row) {
+  if (!OptsP->CollectFarkas)
+    return;
+  computeAlphaRow(Row);
+  for (int Col : AlphaRow.Idx)
+    if (Col >= NumStruct && Col < FirstArtificial &&
+        std::abs(AlphaRow.Val[Col]) > 1e-9)
+      FarkasSupport.push_back(Col - NumStruct);
 }
 
 bool SparseRevisedSimplex::commitPivot(int LeaveRow, int Enter) {
@@ -694,6 +705,7 @@ LpStatus SparseRevisedSimplex::dualIterate() {
     if (Enter < 0) {
       // No nonbasic movement can repair the violated row: the row is a
       // Farkas certificate of an empty bound box.
+      recordFarkasRow(LeaveRow);
       return LpStatus::Infeasible;
     }
 
@@ -755,8 +767,14 @@ LpStatus SparseRevisedSimplex::run() {
     for (int Row = 0; Row < NumRows; ++Row)
       if (BasisCol[Row] >= FirstArtificial)
         Infeasibility += std::max(0.0, XB[Row]);
-    if (Infeasibility > 1e-6)
+    if (Infeasibility > 1e-6) {
+      // Each stuck artificial pins a row the bounds cannot satisfy; the
+      // union of their tableau rows' slack supports is the certificate.
+      for (int Row = 0; Row < NumRows; ++Row)
+        if (BasisCol[Row] >= FirstArtificial && XB[Row] > 1e-6)
+          recordFarkasRow(Row);
       return LpStatus::Infeasible;
+    }
     // Pin the artificials at zero for phase 2; basic artificials at
     // value ~zero are harmless behind their [0,0] bounds.
     for (int Col = FirstArtificial; Col < NumCols; ++Col) {

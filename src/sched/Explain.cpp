@@ -1,0 +1,350 @@
+//===- sched/Explain.cpp - Infeasibility witnesses ------------------------===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/Explain.h"
+
+#include "graph/GraphAlgorithms.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace modsched {
+
+const char *witnessName(WitnessKind K) {
+  switch (K) {
+  case WitnessKind::None:
+    return "none";
+  case WitnessKind::RecurrenceCycle:
+    return "cycle";
+  case WitnessKind::ResourceSaturation:
+    return "resource";
+  case WitnessKind::ScheduleWindow:
+    return "window";
+  }
+  return "none";
+}
+
+const char *sourceName(ExplainSource S) {
+  switch (S) {
+  case ExplainSource::None:
+    return "none";
+  case ExplainSource::GraphAnalysis:
+    return "graph";
+  case ExplainSource::FarkasRay:
+    return "farkas";
+  case ExplainSource::UnsatCore:
+    return "core";
+  }
+  return "none";
+}
+
+long resourceUses(const DependenceGraph &G, const MachineModel &M,
+                  int Resource) {
+  long Uses = 0;
+  for (const Operation &Op : G.operations())
+    for (const ResourceUsage &U : M.opClass(Op.OpClass).Usages)
+      if (U.Resource == Resource)
+        ++Uses;
+  return Uses;
+}
+
+/// The formulation's schedule-length budget rule (Formulation.cpp and
+/// PbFormulation.cpp use the same arithmetic): nullopt when \p II is
+/// recurrence-infeasible, otherwise the latest admissible start time.
+static std::optional<int> windowMaxTime(const DependenceGraph &G, int II,
+                                        int Slack) {
+  std::optional<int> MinLen = minScheduleLength(G, II);
+  if (!MinLen)
+    return std::nullopt;
+  int Budget = *MinLen - 1 + Slack;
+  int StageCount = Budget / II + 1;
+  return StageCount * II - 1;
+}
+
+/// Totals a cycle described by edge indices; returns false when the
+/// indices are out of range or do not form one closed cycle.
+static bool sumCycle(const DependenceGraph &G, const std::vector<int> &Edges,
+                     long &Latency, long &Distance) {
+  if (Edges.empty())
+    return false;
+  Latency = 0;
+  Distance = 0;
+  for (size_t I = 0; I < Edges.size(); ++I) {
+    int Idx = Edges[I];
+    if (Idx < 0 || Idx >= G.numSchedEdges())
+      return false;
+    const SchedEdge &E = G.schedEdges()[Idx];
+    int NextIdx = Edges[(I + 1) % Edges.size()];
+    if (NextIdx < 0 || NextIdx >= G.numSchedEdges())
+      return false;
+    if (E.Dst != G.schedEdges()[NextIdx].Src)
+      return false;
+    Latency += E.Latency;
+    Distance += E.Distance;
+  }
+  return true;
+}
+
+/// Bellman-Ford longest-path pass over a subset of edges with weight
+/// latency - II * distance; extracts a positive-weight cycle when one
+/// exists (the standard predecessor-walk recovery).
+static std::optional<RecurrenceCycle>
+positiveCycleOnEdges(const DependenceGraph &G, int II,
+                     const std::vector<int> &EdgeIdxs) {
+  int N = G.numOperations();
+  if (N == 0 || EdgeIdxs.empty())
+    return std::nullopt;
+  std::vector<long> Dist(size_t(N), 0);
+  std::vector<int> PredEdge(size_t(N), -1);
+  int Touched = -1;
+  for (int Pass = 0; Pass <= N; ++Pass) {
+    Touched = -1;
+    for (int Idx : EdgeIdxs) {
+      const SchedEdge &E = G.schedEdges()[Idx];
+      long W = long(E.Latency) - long(II) * E.Distance;
+      if (Dist[E.Src] + W > Dist[E.Dst]) {
+        Dist[E.Dst] = Dist[E.Src] + W;
+        PredEdge[E.Dst] = Idx;
+        Touched = E.Dst;
+      }
+    }
+    if (Touched < 0)
+      return std::nullopt; // Converged: no positive cycle on this subset.
+  }
+  // Still relaxing after N passes: walk predecessors N steps to land on
+  // the cycle, then collect it.
+  int X = Touched;
+  for (int I = 0; I < N; ++I) {
+    assert(PredEdge[X] >= 0 && "relaxed vertex without predecessor");
+    X = G.schedEdges()[PredEdge[X]].Src;
+  }
+  RecurrenceCycle C;
+  int Cur = X;
+  do {
+    int Idx = PredEdge[Cur];
+    assert(Idx >= 0 && "cycle vertex without predecessor");
+    C.Edges.push_back(Idx);
+    Cur = G.schedEdges()[Idx].Src;
+  } while (Cur != X);
+  std::reverse(C.Edges.begin(), C.Edges.end());
+  long Lat = 0, DistSum = 0;
+  if (!sumCycle(G, C.Edges, Lat, DistSum) || DistSum <= 0)
+    return std::nullopt;
+  C.TotalLatency = Lat;
+  C.TotalDistance = DistSum;
+  if (C.iiBound() <= II)
+    return std::nullopt;
+  return C;
+}
+
+/// Picks the most oversubscribed resource among \p Candidates, or
+/// nullopt when none exceeds II * count.
+static std::optional<Explanation>
+saturatedResource(const DependenceGraph &G, const MachineModel &M, int II,
+                  const std::vector<int> &Candidates) {
+  std::optional<Explanation> Best;
+  double BestRatio = 0.0;
+  for (int R : Candidates) {
+    if (R < 0 || R >= M.numResources())
+      continue;
+    long Uses = resourceUses(G, M, R);
+    int Count = M.resource(R).Count;
+    if (Count <= 0 || Uses <= long(II) * Count)
+      continue;
+    double Ratio = double(Uses) / Count;
+    if (!Best || Ratio > BestRatio) {
+      Explanation E;
+      E.Kind = WitnessKind::ResourceSaturation;
+      E.Resource = R;
+      E.ResourceUses = Uses;
+      E.ResourceCount = Count;
+      Best = E;
+      BestRatio = Ratio;
+    }
+  }
+  return Best;
+}
+
+std::optional<Explanation> explainInfeasibleIi(const DependenceGraph &G,
+                                               const MachineModel &M, int II,
+                                               int ScheduleLengthSlack) {
+  assert(II >= 1 && "II must be positive");
+  if (hasZeroDistanceCycle(G))
+    return std::nullopt; // Unschedulable at any II; no finite witness.
+  // Binding recurrence first: the paper's flagship diagnostic.
+  if (std::optional<RecurrenceCycle> C = findCriticalCycle(G)) {
+    if (C->iiBound() > II) {
+      Explanation E;
+      E.Kind = WitnessKind::RecurrenceCycle;
+      E.Source = ExplainSource::GraphAnalysis;
+      E.Cycle = std::move(*C);
+      return E;
+    }
+  }
+  // Then resource saturation (covers all II < ResMII).
+  std::vector<int> All(size_t(M.numResources()));
+  for (int R = 0; R < M.numResources(); ++R)
+    All[size_t(R)] = R;
+  if (std::optional<Explanation> E = saturatedResource(G, M, II, All)) {
+    E->Source = ExplainSource::GraphAnalysis;
+    return E;
+  }
+  // Finally an empty start-time window under the stage budget.
+  std::optional<int> MaxTime = windowMaxTime(G, II, ScheduleLengthSlack);
+  if (!MaxTime)
+    return std::nullopt; // Recurrence-infeasible, handled above.
+  std::optional<std::vector<int>> Asap = asapTimes(G, II);
+  std::optional<std::vector<int>> Alap = alapTimes(G, II, *MaxTime);
+  if (!Asap)
+    return std::nullopt;
+  Explanation E;
+  E.Kind = WitnessKind::ScheduleWindow;
+  E.Source = ExplainSource::GraphAnalysis;
+  E.WindowMaxTime = *MaxTime;
+  if (!Alap) {
+    E.WindowOp = -1; // No schedule fits the budget at all.
+    return E;
+  }
+  for (int Op = 0; Op < G.numOperations(); ++Op)
+    if ((*Asap)[Op] > (*Alap)[Op]) {
+      E.WindowOp = Op;
+      return E;
+    }
+  return std::nullopt;
+}
+
+std::optional<Explanation>
+explainFromOrigins(const DependenceGraph &G, const MachineModel &M, int II,
+                   int ScheduleLengthSlack,
+                   const std::vector<RowOrigin> &Support,
+                   ExplainSource Source) {
+  std::vector<int> Edges, Resources, WindowOps;
+  for (const RowOrigin &O : Support) {
+    switch (O.Kind) {
+    case RowOriginKind::DepEdge:
+      if (O.EdgeIndex >= 0)
+        Edges.push_back(O.EdgeIndex);
+      break;
+    case RowOriginKind::Resource:
+      Resources.push_back(O.Resource);
+      break;
+    case RowOriginKind::StageWindow:
+      WindowOps.push_back(O.Op);
+      break;
+    default:
+      break;
+    }
+  }
+  std::sort(Edges.begin(), Edges.end());
+  Edges.erase(std::unique(Edges.begin(), Edges.end()), Edges.end());
+  std::sort(Resources.begin(), Resources.end());
+  Resources.erase(std::unique(Resources.begin(), Resources.end()),
+                  Resources.end());
+  // A cycle among the implicated edges is the sharpest witness.
+  if (std::optional<RecurrenceCycle> C =
+          positiveCycleOnEdges(G, II, Edges)) {
+    Explanation E;
+    E.Kind = WitnessKind::RecurrenceCycle;
+    E.Source = Source;
+    E.Cycle = std::move(*C);
+    return E;
+  }
+  if (std::optional<Explanation> E =
+          saturatedResource(G, M, II, Resources)) {
+    E->Source = Source;
+    return E;
+  }
+  std::optional<int> MaxTime = windowMaxTime(G, II, ScheduleLengthSlack);
+  if (MaxTime && !WindowOps.empty()) {
+    std::optional<std::vector<int>> Asap = asapTimes(G, II);
+    std::optional<std::vector<int>> Alap = alapTimes(G, II, *MaxTime);
+    if (Asap && Alap)
+      for (int Op : WindowOps)
+        if (Op >= 0 && Op < G.numOperations() && (*Asap)[Op] > (*Alap)[Op]) {
+          Explanation E;
+          E.Kind = WitnessKind::ScheduleWindow;
+          E.Source = Source;
+          E.WindowOp = Op;
+          E.WindowMaxTime = *MaxTime;
+          return E;
+        }
+  }
+  return std::nullopt;
+}
+
+bool checkExplanation(const DependenceGraph &G, const MachineModel &M, int II,
+                      int ScheduleLengthSlack, const Explanation &E) {
+  switch (E.Kind) {
+  case WitnessKind::None:
+    return false;
+  case WitnessKind::RecurrenceCycle: {
+    long Latency = 0, Distance = 0;
+    if (!sumCycle(G, E.Cycle.Edges, Latency, Distance))
+      return false;
+    if (Latency != E.Cycle.TotalLatency || Distance != E.Cycle.TotalDistance)
+      return false; // Record disagrees with the graph.
+    if (Distance <= 0)
+      return false;
+    // ceil(latency / distance) > II, in integer arithmetic.
+    return Latency > long(II) * Distance;
+  }
+  case WitnessKind::ResourceSaturation: {
+    if (E.Resource < 0 || E.Resource >= M.numResources())
+      return false;
+    long Uses = resourceUses(G, M, E.Resource);
+    int Count = M.resource(E.Resource).Count;
+    if (Uses != E.ResourceUses || Count != E.ResourceCount)
+      return false;
+    return Count > 0 && Uses > long(II) * Count;
+  }
+  case WitnessKind::ScheduleWindow: {
+    std::optional<int> MaxTime = windowMaxTime(G, II, ScheduleLengthSlack);
+    if (!MaxTime || *MaxTime != E.WindowMaxTime)
+      return false;
+    std::optional<std::vector<int>> Asap = asapTimes(G, II);
+    if (!Asap)
+      return false;
+    std::optional<std::vector<int>> Alap = alapTimes(G, II, *MaxTime);
+    if (!Alap)
+      return E.WindowOp == -1; // Globally infeasible budget.
+    return E.WindowOp >= 0 && E.WindowOp < G.numOperations() &&
+           (*Asap)[E.WindowOp] > (*Alap)[E.WindowOp];
+  }
+  }
+  return false;
+}
+
+std::string describeExplanation(const DependenceGraph &G,
+                                const MachineModel &M, int II,
+                                const Explanation &E) {
+  std::ostringstream OS;
+  switch (E.Kind) {
+  case WitnessKind::None:
+    OS << "unexplained (no graph-level witness)";
+    break;
+  case WitnessKind::RecurrenceCycle:
+    OS << "recurrence cycle needs II >= " << E.Cycle.iiBound()
+       << " (latency " << E.Cycle.TotalLatency << " over distance "
+       << E.Cycle.TotalDistance << "): " << describeCycle(G, E.Cycle);
+    break;
+  case WitnessKind::ResourceSaturation:
+    OS << "resource '" << M.resource(E.Resource).Name << "' saturated: "
+       << E.ResourceUses << " uses/iteration > II(" << II << ") x "
+       << E.ResourceCount << " instances";
+    break;
+  case WitnessKind::ScheduleWindow:
+    if (E.WindowOp >= 0)
+      OS << "empty start window for '" << G.operation(E.WindowOp).Name
+         << "' within schedule length bound " << (E.WindowMaxTime + 1);
+    else
+      OS << "no schedule fits length bound " << (E.WindowMaxTime + 1);
+    break;
+  }
+  return OS.str();
+}
+
+} // namespace modsched

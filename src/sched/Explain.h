@@ -1,0 +1,205 @@
+//===- sched/Explain.h - Infeasibility witnesses and provenance -*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Solve forensics: typed constraint provenance and graph-level
+/// infeasibility witnesses.
+///
+/// The ILP/PB formulations tag every emitted row with a RowOrigin (which
+/// dependence edge, resource slot, or objective gadget produced it). When
+/// an II attempt comes back infeasible, the solver's evidence — the
+/// support of a Farkas ray (LP engine) or an unsat core (PB engine) — is
+/// mapped through those origins into a graph-level witness a compiler
+/// engineer can act on: a recurrence cycle with ceil(latency/distance)
+/// greater than II, a resource with more uses than II * count, or an
+/// operation whose ASAP/ALAP window is empty.
+///
+/// Witnesses are never trusted as produced: checkExplanation() re-derives
+/// the infeasibility arithmetically from the dependence graph and machine
+/// model alone, matching the repo's rule that schedulers self-verify.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_SCHED_EXPLAIN_H
+#define MODSCHED_SCHED_EXPLAIN_H
+
+#include "graph/DependenceGraph.h"
+#include "machine/MachineModel.h"
+#include "sched/CriticalCycle.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace modsched {
+
+/// What kind of formulation row an origin describes.
+enum class RowOriginKind : unsigned char {
+  Unknown,       ///< Not tagged (should not appear after a full build).
+  Assignment,    ///< "Op issues exactly once" row (Eq. 1).
+  DepEdge,       ///< Dependence row(s) for one scheduling edge (Ineq. 4/19).
+  Resource,      ///< Resource counting row for one (resource, MRT slot).
+  StageWindow,   ///< Stage-variable window encoding (PB monotonicity rows).
+  ObjectiveLink, ///< Objective machinery (kill ops, maxlive, buffers...).
+};
+
+/// Typed origin of one formulation row, stored in a side table keyed by
+/// row id (constraint index for lp::Model, export-row index for
+/// pb::Solver). POD so the tables stay cheap to build unconditionally.
+struct RowOrigin {
+  RowOriginKind Kind = RowOriginKind::Unknown;
+  /// DepEdge: source / destination operations, latency, distance.
+  int Src = -1;
+  int Dst = -1;
+  int Latency = 0;
+  int Distance = 0;
+  /// DepEdge: index into DependenceGraph::schedEdges(), or -1 for
+  /// synthetic edges (kill-op and sink links) that have no graph edge.
+  int EdgeIndex = -1;
+  /// Resource: resource type index and MRT row slot (-1 when the row is
+  /// not slot-specific, e.g. instance-mapping glue).
+  int Resource = -1;
+  int Slot = -1;
+  /// Assignment / StageWindow: the operation. ObjectiveLink: the virtual
+  /// register involved, or -1.
+  int Op = -1;
+
+  static RowOrigin assignment(int Op) {
+    RowOrigin O;
+    O.Kind = RowOriginKind::Assignment;
+    O.Op = Op;
+    return O;
+  }
+  static RowOrigin depEdge(int EdgeIndex, const SchedEdge &E) {
+    RowOrigin O;
+    O.Kind = RowOriginKind::DepEdge;
+    O.Src = E.Src;
+    O.Dst = E.Dst;
+    O.Latency = E.Latency;
+    O.Distance = E.Distance;
+    O.EdgeIndex = EdgeIndex;
+    return O;
+  }
+  static RowOrigin syntheticEdge(int Src, int Dst, int Latency,
+                                 int Distance) {
+    RowOrigin O;
+    O.Kind = RowOriginKind::DepEdge;
+    O.Src = Src;
+    O.Dst = Dst;
+    O.Latency = Latency;
+    O.Distance = Distance;
+    return O;
+  }
+  static RowOrigin resource(int Resource, int Slot) {
+    RowOrigin O;
+    O.Kind = RowOriginKind::Resource;
+    O.Resource = Resource;
+    O.Slot = Slot;
+    return O;
+  }
+  static RowOrigin stageWindow(int Op) {
+    RowOrigin O;
+    O.Kind = RowOriginKind::StageWindow;
+    O.Op = Op;
+    return O;
+  }
+  static RowOrigin objectiveLink(int Reg = -1) {
+    RowOrigin O;
+    O.Kind = RowOriginKind::ObjectiveLink;
+    O.Op = Reg;
+    return O;
+  }
+};
+
+/// The shape of a graph-level infeasibility witness.
+enum class WitnessKind : unsigned char {
+  None,               ///< No witness found ("unexplained").
+  RecurrenceCycle,    ///< A cycle with ceil(latency/distance) > II.
+  ResourceSaturation, ///< A resource with uses > II * count.
+  ScheduleWindow,     ///< An operation with an empty ASAP/ALAP window.
+};
+
+/// Where the witness evidence came from.
+enum class ExplainSource : unsigned char {
+  None,          ///< No explanation attempted / available.
+  GraphAnalysis, ///< Pure DDG analysis (no solver involved).
+  FarkasRay,     ///< LP engine: support rows of a Farkas certificate.
+  UnsatCore,     ///< PB engine: assumption core over selector groups.
+};
+
+/// A graph-level explanation of one infeasible II attempt. Exactly the
+/// fields of the active WitnessKind are meaningful; Verified is set by
+/// the caller from checkExplanation() and must never be assumed.
+struct Explanation {
+  WitnessKind Kind = WitnessKind::None;
+  ExplainSource Source = ExplainSource::None;
+  /// True once checkExplanation() confirmed the witness arithmetically.
+  bool Verified = false;
+  /// RecurrenceCycle: the offending cycle (edge indices + totals).
+  RecurrenceCycle Cycle;
+  /// ResourceSaturation: resource index, total uses, instance count.
+  int Resource = -1;
+  long ResourceUses = 0;
+  int ResourceCount = 0;
+  /// ScheduleWindow: the windowless operation (-1 = whole graph) and the
+  /// schedule-length bound the window was computed against.
+  int WindowOp = -1;
+  int WindowMaxTime = -1;
+};
+
+/// Short lowercase tag for bench JSON / trace args ("cycle", "resource",
+/// "window", "none").
+const char *witnessName(WitnessKind K);
+
+/// Short lowercase tag for the evidence source ("graph", "farkas",
+/// "core", "none").
+const char *sourceName(ExplainSource S);
+
+/// Total cycles of \p Resource demanded per iteration (the numerator of
+/// ResMII for that resource).
+long resourceUses(const DependenceGraph &G, const MachineModel &M,
+                  int Resource);
+
+/// Explains an infeasible II from the graph and machine alone: binding
+/// recurrence cycle if RecMII > II, most oversubscribed resource if
+/// ResMII > II, else an empty ASAP/ALAP window under the stage budget
+/// derived from \p ScheduleLengthSlack (the formulation's window rule).
+/// Returns nullopt when none of those conditions hold — i.e. the
+/// infeasibility, if real, needs solver evidence to localize.
+std::optional<Explanation> explainInfeasibleIi(const DependenceGraph &G,
+                                               const MachineModel &M, int II,
+                                               int ScheduleLengthSlack);
+
+/// Maps solver evidence (the origins of a Farkas support or unsat core)
+/// to a witness: searches for a positive-weight cycle restricted to the
+/// implicated dependence edges, then checks implicated resources for
+/// saturation and implicated stage windows for emptiness. \p Source
+/// labels the resulting explanation. Returns nullopt when the evidence
+/// does not yield a checkable witness.
+std::optional<Explanation>
+explainFromOrigins(const DependenceGraph &G, const MachineModel &M, int II,
+                   int ScheduleLengthSlack,
+                   const std::vector<RowOrigin> &Support,
+                   ExplainSource Source);
+
+/// Independent arithmetic check of a witness against the DDG and machine
+/// model only — no solver state. A RecurrenceCycle must be a closed
+/// in-range cycle whose recomputed totals match the record and imply
+/// ceil(latency/distance) > II; a ResourceSaturation must satisfy the
+/// recounted uses > II * count; a ScheduleWindow must have an empty
+/// recomputed window. WitnessKind::None never verifies.
+bool checkExplanation(const DependenceGraph &G, const MachineModel &M, int II,
+                      int ScheduleLengthSlack, const Explanation &E);
+
+/// Renders the witness for humans, e.g.
+/// "recurrence cycle needs II >= 4: add -(1,0)-> mul -(3,1)-> add".
+std::string describeExplanation(const DependenceGraph &G,
+                                const MachineModel &M, int II,
+                                const Explanation &E);
+
+} // namespace modsched
+
+#endif // MODSCHED_SCHED_EXPLAIN_H
