@@ -22,10 +22,12 @@
 ///                             default, also "sparse_revised") or "dense"
 ///                             — the knob behind sparse-vs-dense A/B runs
 ///   MODSCHED_BENCH_BACKEND    exact engine behind every attempt: "ilp"
-///                             (LP-based branch-and-bound) or "pb" (CDCL
-///                             pseudo-Boolean) — the knob behind
-///                             PB-vs-ILP A/B runs; the compiled-in
-///                             default follows MODSCHED_BACKEND
+///                             (LP-based branch-and-bound), "pb" (CDCL
+///                             pseudo-Boolean), or "portfolio" (both
+///                             raced per II with cross-engine bound
+///                             sharing) — the knob behind backend A/B
+///                             runs; the compiled-in default follows
+///                             MODSCHED_BACKEND
 ///   MODSCHED_BENCH_JOBS       worker threads for the per-loop sweep
 ///                             (default 1 = serial; loops are scheduled
 ///                             concurrently, records stay in suite order)
@@ -80,9 +82,10 @@ struct BenchConfig {
   /// compiled-in default follows MODSCHED_LP_ENGINE (lp/Simplex.h).
   lp::SimplexEngine Engine = lp::defaultSimplexEngine();
   /// Exact engine behind every attempt (SchedulerOptions::Backend):
-  /// ILP branch-and-bound or the CDCL pseudo-Boolean solver.
-  /// MODSCHED_BENCH_BACKEND=ilp|pb overrides for A/B runs; the
-  /// compiled-in default follows MODSCHED_BACKEND (ilpsched/
+  /// ILP branch-and-bound, the CDCL pseudo-Boolean solver, or the
+  /// portfolio racing both with cross-engine bound sharing.
+  /// MODSCHED_BENCH_BACKEND=ilp|pb|portfolio overrides for A/B runs;
+  /// the compiled-in default follows MODSCHED_BACKEND (ilpsched/
   /// OptimalScheduler.h). Formulations the PB backend cannot encode
   /// fall back to ILP per attempt with a one-time warning.
   SchedulerBackend Backend = defaultSchedulerBackend();
@@ -188,6 +191,14 @@ void printPaperTableBlock(const std::string &SchedulerName,
 /// Number of solved records.
 int countSolved(const std::vector<LoopRecord> &Records);
 
+/// Engine win tally of one record set under the portfolio backend:
+/// counts conclusive attempts committed by each engine plus the total
+/// cross-engine bound exchanges, and prints one summary line. Silent
+/// when no attempt carries a winner (single-engine backends), so the
+/// experiment binaries call it unconditionally.
+void printPortfolioSummary(const std::string &Label,
+                           const std::vector<LoopRecord> &Records);
+
 /// Indices of loops solved in every record set.
 std::vector<int>
 commonlySolved(const std::vector<std::vector<LoopRecord>> &RecordSets);
@@ -199,7 +210,10 @@ commonlySolved(const std::vector<std::vector<LoopRecord>> &RecordSets);
 /// produced, and call write() before exiting. The artifact is
 ///   <dir>/BENCH_<experiment>.json
 /// with <dir> = $MODSCHED_BENCH_RESULTS_DIR or "bench_results" (created
-/// if missing). The schema (schema_version 6: adds config.explain, the
+/// if missing). The schema (schema_version 7: adds "portfolio" as a
+/// config.backend value and the per-attempt winner ("ilp" / "pb",
+/// empty on non-conclusive attempts and under single-engine backends)
+/// and bound_exchanges fields; version 6 added config.explain, the
 /// per-record explained_attempts / unexplained_attempts counts, and the
 /// per-attempt witness / witness_source / witness_verified /
 /// witness_detail / proof / gap / root_bound / trajectory forensics
@@ -211,7 +225,7 @@ commonlySolved(const std::vector<std::vector<LoopRecord>> &RecordSets);
 /// status, and the per-attempt cancelled flag; version 2 added the
 /// warm-start solve counters) is validated by
 /// scripts/check_bench_json.py — which still accepts versions 2
-/// through 5 — and documented in docs/OBSERVABILITY.md.
+/// through 6 — and documented in docs/OBSERVABILITY.md.
 class BenchJson {
 public:
   explicit BenchJson(std::string Experiment);

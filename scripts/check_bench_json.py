@@ -1,7 +1,14 @@
 #!/usr/bin/env python3
-"""Validate bench_results/BENCH_*.json artifacts (schema_version 2-6).
+"""Validate bench_results/BENCH_*.json artifacts (schema_version 2-7).
 
-Schema 6 (this version) extends schema 5 with the solve-forensics
+Schema 7 (this version) extends schema 6 with the portfolio-backend
+fields: "portfolio" joins the accepted config.backend strings (the
+MODSCHED_BENCH_BACKEND / MODSCHED_BACKEND knob) and every attempt
+carries a winner string ("ilp" or "pb" for a conclusive verdict
+committed by that engine; empty on censored/cancelled attempts and
+under single-engine backends — anything else is rejected) plus a
+bound_exchanges count of cross-engine incumbent exchanges.
+Schema 6 extended schema 5 with the solve-forensics
 fields: the config's explain flag (the MODSCHED_BENCH_EXPLAIN knob),
 per-record explained_attempts / unexplained_attempts counters, and
 per-attempt witness / witness_source / witness_verified /
@@ -144,6 +151,11 @@ ATTEMPT_KEYS_V6 = {
     "trajectory": list,
 }
 
+ATTEMPT_KEYS_V7 = {
+    "winner": str,
+    "bound_exchanges": numbers.Integral,
+}
+
 TRAJECTORY_KEYS_V6 = {
     "seconds": numbers.Real,
     "nodes": numbers.Integral,
@@ -163,6 +175,11 @@ ATTEMPT_STATUSES = {"optimal", "infeasible", "limit", "cancelled"}
 ENGINES_V4 = {"dense", "sparse_revised"}
 
 BACKENDS_V5 = {"ilp", "pb"}
+BACKENDS_V7 = BACKENDS_V5 | {"portfolio"}
+
+# Per-attempt committed engine under the portfolio backend; empty means
+# "no conclusive verdict" or a single-engine backend.
+WINNERS_V7 = {"", "ilp", "pb"}
 
 WITNESSES_V6 = {"cycle", "resource", "window", "none"}
 WITNESS_SOURCES_V6 = {"graph", "farkas", "core", "none"}
@@ -229,6 +246,15 @@ def check_record(record, where, version):
             check_keys(attempt, ATTEMPT_KEYS_V5, awhere)
         if version >= 6:
             check_attempt_forensics(attempt, awhere)
+        if version >= 7:
+            check_keys(attempt, ATTEMPT_KEYS_V7, awhere)
+            if attempt["winner"] not in WINNERS_V7:
+                raise SchemaError(f"{awhere}.winner: "
+                                  f"{attempt['winner']!r} not in "
+                                  f"{sorted(WINNERS_V7)}")
+            if attempt["winner"] and attempt["cancelled"]:
+                raise SchemaError(f"{awhere}: cancelled attempt claims "
+                                  f"winner={attempt['winner']!r}")
 
 
 def check_attempt_forensics(attempt, awhere):
@@ -262,8 +288,8 @@ def check_file(path):
         "record_sets": list,
     }, "$")
     version = doc["schema_version"]
-    if version not in (2, 3, 4, 5, 6):
-        raise SchemaError(f"$.schema_version: expected 2 through 6, got "
+    if version not in (2, 3, 4, 5, 6, 7):
+        raise SchemaError(f"$.schema_version: expected 2 through 7, got "
                           f"{version}")
     if not doc["experiment"]:
         raise SchemaError("$.experiment: empty string")
@@ -278,10 +304,11 @@ def check_file(path):
                               f"{sorted(ENGINES_V4)}")
     if version >= 5:
         check_keys(doc["config"], CONFIG_KEYS_V5, "$.config")
-        if doc["config"]["backend"] not in BACKENDS_V5:
+        backends = BACKENDS_V7 if version >= 7 else BACKENDS_V5
+        if doc["config"]["backend"] not in backends:
             raise SchemaError(f"$.config.backend: "
                               f"{doc['config']['backend']!r} not in "
-                              f"{sorted(BACKENDS_V5)}")
+                              f"{sorted(backends)}")
     if version >= 6:
         check_keys(doc["config"], CONFIG_KEYS_V6, "$.config")
     for key, value in doc["metrics"].items():

@@ -2,6 +2,7 @@
 
 #include "ilpsched/IiSearch.h"
 
+#include "ilpsched/PortfolioAttempt.h"
 #include "lp/SolveContext.h"
 #include "support/Cancellation.h"
 #include "support/Telemetry.h"
@@ -63,6 +64,11 @@ void SequentialIiSearch::search(const OptimalModuloScheduler &Sched,
                                 ScheduleResult &Result) const {
   const SchedulerOptions &Opts = Sched.options();
   Stopwatch Watch;
+  // Portfolio backend: one race state for the whole II ladder, so the
+  // persistent PB session and phase hints carry across attempts.
+  std::unique_ptr<PortfolioState> Portfolio;
+  if (Opts.Backend == SchedulerBackend::Portfolio)
+    Portfolio = std::make_unique<PortfolioState>();
   for (int II = Result.Mii; II <= Result.Mii + Opts.MaxIiIncrease; ++II) {
     double Remaining = Opts.TimeLimitSeconds - Watch.seconds();
     if (Remaining <= 0) {
@@ -73,8 +79,8 @@ void SequentialIiSearch::search(const OptimalModuloScheduler &Sched,
       Result.NodeLimitHit = true;
       break;
     }
-    std::optional<ModuloSchedule> S =
-        Sched.scheduleAtIi(G, II, Result, Remaining);
+    std::optional<ModuloSchedule> S = Sched.scheduleAtIi(
+        G, II, Result, Remaining, /*Ctx=*/nullptr, Portfolio.get());
     if (Result.TimedOut || Result.NodeLimitHit)
       break;
     if (S) {
@@ -115,6 +121,16 @@ void ParallelRaceIiSearch::search(const OptimalModuloScheduler &Sched,
   ThreadPool Pool(Jobs);
   const int MaxII = Result.Mii + Opts.MaxIiIncrease;
 
+  // Portfolio backend: one race state per slot index, reused across
+  // waves (the Pool.wait() barrier serializes accesses), so each slot
+  // lane keeps a persistent PB session for the IIs it walks.
+  std::vector<std::unique_ptr<PortfolioState>> PortfolioStates;
+  if (Opts.Backend == SchedulerBackend::Portfolio) {
+    PortfolioStates.resize(size_t(Jobs));
+    for (std::unique_ptr<PortfolioState> &P : PortfolioStates)
+      P = std::make_unique<PortfolioState>();
+  }
+
   for (int Base = Result.Mii; Base <= MaxII;) {
     double Remaining = Opts.TimeLimitSeconds - Watch.seconds();
     if (Remaining <= 0) {
@@ -144,12 +160,14 @@ void ParallelRaceIiSearch::search(const OptimalModuloScheduler &Sched,
 
     for (int I = 0; I < NumSlots; ++I) {
       RaceSlot &Slot = Slots[I];
+      PortfolioState *Portfolio =
+          PortfolioStates.empty() ? nullptr : PortfolioStates[size_t(I)].get();
       Pool.submit([&Sched, &G, &Slots, &Slot, &WinnerMutex, &WinnerII,
-                   Remaining, Base, NumSlots]() {
+                   Remaining, Base, NumSlots, Portfolio]() {
         lp::SolveContext Ctx;
         Ctx.Cancel = Slot.Cancel.token();
-        Slot.Schedule =
-            Sched.scheduleAtIi(G, Slot.II, Slot.Stats, Remaining, &Ctx);
+        Slot.Schedule = Sched.scheduleAtIi(G, Slot.II, Slot.Stats, Remaining,
+                                           &Ctx, Portfolio);
         if (!Slot.Schedule)
           return;
         std::lock_guard<std::mutex> Lock(WinnerMutex);

@@ -4,6 +4,7 @@
 
 #include "ilpsched/IiSearch.h"
 #include "ilpsched/PbFormulation.h"
+#include "ilpsched/PortfolioAttempt.h"
 #include "lp/SolveContext.h"
 #include "sched/Mii.h"
 #include "sched/Verifier.h"
@@ -27,6 +28,8 @@ const char *modsched::toString(SchedulerBackend Backend) {
     return "ilp";
   case SchedulerBackend::Pb:
     return "pb";
+  case SchedulerBackend::Portfolio:
+    return "portfolio";
   }
   return "unknown";
 }
@@ -40,9 +43,11 @@ SchedulerBackend modsched::defaultSchedulerBackend() {
       return SchedulerBackend::Ilp;
     if (std::strcmp(Env, "pb") == 0)
       return SchedulerBackend::Pb;
+    if (std::strcmp(Env, "portfolio") == 0)
+      return SchedulerBackend::Portfolio;
     std::fprintf(stderr,
                  "modsched: unrecognized MODSCHED_BACKEND='%s' "
-                 "(want ilp|pb); keeping ilp\n",
+                 "(want ilp|pb|portfolio); keeping ilp\n",
                  Env);
     return SchedulerBackend::Ilp;
   }();
@@ -178,7 +183,8 @@ std::optional<ModuloSchedule>
 OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
                                      ScheduleResult &Stats,
                                      double TimeBudget,
-                                     lp::SolveContext *Ctx) const {
+                                     lp::SolveContext *Ctx,
+                                     PortfolioState *Portfolio) const {
   ++StatAttempts;
   Stopwatch AttemptWatch;
   telemetry::SpanScope Span("ilpsched", "scheduler.attempt", {{"ii", II}});
@@ -214,7 +220,10 @@ OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
                                     : sourceName(ExplainSource::None)},
              {"witness_verified",
               int64_t(Attempt.Explain && Attempt.Explain->Verified ? 1
-                                                                   : 0)}});
+                                                                   : 0)},
+             {"winner",
+              Attempt.Winner.empty() ? "-" : Attempt.Winner.c_str()},
+             {"bound_exchanges", Attempt.BoundExchanges}});
     }
   } Publish{Stats, Attempt, AttemptWatch};
 
@@ -231,6 +240,24 @@ OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
                    "style); falling back to ILP\n");
   }
 
+  if (Opts.Backend == SchedulerBackend::Portfolio) {
+    if (Portfolio)
+      return schedulePortfolioAttempt(G, II, Stats, TimeBudget, Ctx, Attempt,
+                                      *Portfolio);
+    // Direct calls without loop-level race state still race both engines
+    // correctly; only cross-II solver reuse and phase hints are lost.
+    PortfolioState Transient;
+    return schedulePortfolioAttempt(G, II, Stats, TimeBudget, Ctx, Attempt,
+                                    Transient);
+  }
+
+  return scheduleIlpAttempt(G, II, Stats, TimeBudget, Ctx, Attempt);
+}
+
+std::optional<ModuloSchedule> OptimalModuloScheduler::scheduleIlpAttempt(
+    const DependenceGraph &G, int II, ScheduleResult &Stats,
+    double TimeBudget, lp::SolveContext *Ctx, IiAttempt &Attempt,
+    PortfolioEngineHooks *Hooks) const {
   Formulation F(G, M, II, Opts.Formulation);
   Attempt.Variables = F.model().numVariables();
   Attempt.Constraints = F.model().numConstraints();
@@ -252,6 +279,27 @@ OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
   MipOpts.Lp.Engine = Opts.LpEngine;
   MipOpts.CollectFarkas = Opts.Explain;
   MipOpts.CollectTrajectory = Opts.Explain;
+  if (Hooks) {
+    // Portfolio wiring: prune against the cross-engine incumbent cell,
+    // and publish every verified incumbent the moment it is accepted so
+    // the PB worker can tighten its own search mid-race.
+    MipOpts.ExternalBound = Hooks->ExternalBound;
+    if (Hooks->OnIncumbent)
+      MipOpts.Observer = [&](const BbEventInfo &Info) {
+        if (Info.Kind != BbEvent::IncumbentFound || !Info.Values)
+          return;
+        ModuloSchedule Inc = F.decode(*Info.Values);
+        if (std::optional<std::string> Err =
+                verifySchedule(G, M, Inc, F.maxTime())) {
+          std::fprintf(stderr,
+                       "fatal: ILP produced an invalid incumbent: %s\n",
+                       Err->c_str());
+          std::abort();
+        }
+        Hooks->OnIncumbent(int64_t(std::llround(Info.Incumbent)),
+                           std::move(Inc));
+      };
+  }
   MipSolver Solver(MipOpts);
 
   // Solve under the caller's context (parallel race slots bring their
@@ -269,6 +317,8 @@ OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
   Attempt.Status = R.Status;
   Attempt.Nodes = R.Nodes;
   Attempt.SimplexIterations = R.SimplexIterations;
+  if (Hooks && R.UsedExternalBound)
+    ++Hooks->BoundExchanges;
 
   if (R.Status == MipStatus::Cancelled) {
     // The caller's token stopped the search (e.g. a lower-II sibling in
@@ -290,6 +340,14 @@ OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
     return std::nullopt;
   }
   if (!R.HasSolution) {
+    if (Hooks && R.UsedExternalBound) {
+      // Pruning against the shared cell means only "no solution strictly
+      // better than the other engine's incumbent" was proved, not model
+      // infeasibility — the coordinator commits that incumbent as the
+      // optimum. No infeasibility witness applies.
+      Hooks->RefutedBelowExternal = true;
+      return std::nullopt;
+    }
     // Proved infeasible at this II. Map the node LPs' Farkas evidence
     // through the formulation's provenance table into a graph witness;
     // fall back to pure graph analysis when the search never ran an LP
@@ -309,6 +367,20 @@ OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
       attachExplanation(G, M, II, Slack, Attempt, std::move(E));
     }
     return std::nullopt;
+  }
+  if (Hooks && Hooks->ExternalBound && R.UsedExternalBound) {
+    // The search pruned subtrees against the other engine's incumbent
+    // cell, so exhausting the tree proved "nothing strictly better than
+    // min(own incumbent, shared cell)" — NOT that this solve's own
+    // incumbent is the optimum. When the cell is strictly better, the
+    // shared schedule wins: every prune used a cutoff no smaller than
+    // the cell's final value (it only tightens), so no pruned subtree
+    // can hide anything below it.
+    int64_t K = Hooks->ExternalBound->load(std::memory_order_acquire);
+    if (K != INT64_MAX && double(K) < R.Objective - 1e-9) {
+      Hooks->RefutedBelowExternal = true;
+      return std::nullopt;
+    }
   }
 
   Stats.Variables = F.model().numVariables();
@@ -331,8 +403,11 @@ OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
 
 std::optional<ModuloSchedule> OptimalModuloScheduler::schedulePbAttempt(
     const DependenceGraph &G, int II, ScheduleResult &Stats,
-    double TimeBudget, lp::SolveContext *Ctx, IiAttempt &Attempt) const {
-  PbFormulation F(G, M, II, Opts.Formulation);
+    double TimeBudget, lp::SolveContext *Ctx, IiAttempt &Attempt,
+    PortfolioEngineHooks *Hooks) const {
+  pb::AttemptSession *Session = Hooks ? Hooks->Session : nullptr;
+  PbFormulation F(G, M, II, Opts.Formulation, /*ExplainGroups=*/false,
+                  Session);
   Attempt.Variables = F.numVariables();
   Attempt.Constraints = F.numConstraints();
   const int Slack = Opts.Formulation.ScheduleLengthSlack;
@@ -343,6 +418,8 @@ std::optional<ModuloSchedule> OptimalModuloScheduler::schedulePbAttempt(
                         explainInfeasibleIi(G, M, II, Slack));
     return std::nullopt; // II infeasible within the window budget.
   }
+  if (Hooks && Hooks->PhaseHint)
+    F.seedPhases(*Hooks->PhaseHint);
 
   lp::SolveContext LocalCtx;
   lp::SolveContext &C = Ctx ? *Ctx : LocalCtx;
@@ -351,6 +428,20 @@ std::optional<ModuloSchedule> OptimalModuloScheduler::schedulePbAttempt(
   pb::Solver &S = F.solver();
   S.DeadlineSeconds = C.DeadlineSeconds;
   S.Cancel = C.Cancel;
+
+  // Retire the session attempt (hardening its gate so learned clauses
+  // stay sound for the next II) and unhook the restart callback on
+  // every exit path — the persistent solver must never carry another
+  // attempt's wiring.
+  struct RetireOnExit {
+    pb::Solver &S;
+    pb::AttemptSession *Session;
+    ~RetireOnExit() {
+      S.OnRestart = nullptr;
+      if (Session && Session->attemptOpen())
+        Session->endAttempt();
+    }
+  } Retire{S, Session};
 
   // PB effort accounting on every exit path, mirroring PublishOnExit:
   // conflicts are the backend's "nodes" and feed the shared budget.
@@ -385,6 +476,22 @@ std::optional<ModuloSchedule> OptimalModuloScheduler::schedulePbAttempt(
   bool HaveIncumbent = false;
   int64_t BestObj = 0;
   ModuloSchedule Best;
+  // Cross-engine exchange: at every restart (the solver's root level)
+  // poll the shared cell and, when the other engine's incumbent beats
+  // everything seen here, inject "objective <= k - 1" so the descent
+  // skips straight past it. LastInjected tracks the tightest applied
+  // cutoff; an Unsat answer with one pending and no better incumbent of
+  // our own refutes "below k", not the model.
+  int64_t LastInjected = INT64_MAX;
+  if (Hooks && Hooks->ExternalBound && F.hasObjective())
+    S.OnRestart = [&] {
+      int64_t K = Hooks->ExternalBound->load(std::memory_order_acquire);
+      if (K >= LastInjected || (HaveIncumbent && K >= BestObj))
+        return;
+      LastInjected = K;
+      ++Hooks->BoundExchanges;
+      F.injectObjectiveBound(K - 1);
+    };
   for (;;) {
     if (BoundedNodes) {
       int64_t Left = ConflictsLeft();
@@ -411,6 +518,8 @@ std::optional<ModuloSchedule> OptimalModuloScheduler::schedulePbAttempt(
       Best = std::move(Sched);
       BestObj = F.evalObjective();
       HaveIncumbent = true;
+      if (Hooks && Hooks->OnIncumbent)
+        Hooks->OnIncumbent(BestObj, Best);
       if (!F.hasObjective())
         break; // Feasibility answer: done.
       if (!F.pushObjectiveBound(BestObj - 1))
@@ -418,8 +527,16 @@ std::optional<ModuloSchedule> OptimalModuloScheduler::schedulePbAttempt(
       continue;
     }
     if (R == pb::SolveStatus::Unsat) {
-      if (HaveIncumbent)
+      if (HaveIncumbent && LastInjected >= BestObj)
         break; // No better schedule exists: the incumbent is optimal.
+      if (LastInjected != INT64_MAX) {
+        // An injected cross-engine cutoff tighter than any incumbent of
+        // ours is what was refuted: the shared incumbent is the optimum
+        // and the coordinator commits it. Not an infeasible II.
+        Hooks->RefutedBelowExternal = true;
+        Attempt.Status = MipStatus::Infeasible;
+        return std::nullopt;
+      }
       Attempt.Status = MipStatus::Infeasible;
       if (Opts.Explain)
         attachExplanation(G, M, II, Slack, Attempt,

@@ -22,6 +22,9 @@
 #include "sched/Explain.h"
 #include "sched/ModuloSchedule.h"
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -31,6 +34,12 @@ namespace modsched {
 namespace lp {
 struct SolveContext; // lp/SolveContext.h
 } // namespace lp
+
+namespace pb {
+class AttemptSession; // pb/Incremental.h
+} // namespace pb
+
+struct PortfolioState; // ilpsched/PortfolioAttempt.h
 
 /// Which exact engine decides each tentative II.
 enum class SchedulerBackend {
@@ -42,14 +51,22 @@ enum class SchedulerBackend {
   /// (with a one-time warning) for formulations the encoding does not
   /// support; see PbFormulation::supports.
   Pb,
+  /// Race both exact engines per II attempt on a two-worker pool: the
+  /// first conclusive verdict wins and cancels the loser, incumbent
+  /// objective bounds flow between the engines through a shared atomic
+  /// cell, and one persistent pb::AttemptSession carries CDCL state
+  /// across the loop's II ladder. Verdicts (II and objective) are
+  /// bit-exact vs Ilp regardless of race timing; see
+  /// ilpsched/PortfolioAttempt.h.
+  Portfolio,
 };
 
-/// Printable name of \p Backend ("ilp" / "pb").
+/// Printable name of \p Backend ("ilp" / "pb" / "portfolio").
 const char *toString(SchedulerBackend Backend);
 
 /// Backend selected by the MODSCHED_BACKEND environment variable
-/// ("ilp" | "pb"; unset or unrecognized values keep Ilp, the latter
-/// with a one-time warning). Read once and cached, like
+/// ("ilp" | "pb" | "portfolio"; unset or unrecognized values keep Ilp,
+/// the latter with a one-time warning). Read once and cached, like
 /// lp::defaultSimplexEngine.
 SchedulerBackend defaultSchedulerBackend();
 
@@ -112,6 +129,23 @@ struct SchedulerOptions {
   /// Zero-cost when off — no Farkas scans, no trajectory samples, no
   /// explanation re-solves.
   bool Explain = defaultExplainEnabled();
+
+  // --- Portfolio backend knobs (Backend == SchedulerBackend::Portfolio,
+  //     ignored otherwise; see ilpsched/PortfolioAttempt.h) ---
+  /// Reuse one persistent pb::AttemptSession across the loop's II
+  /// attempts (learned clauses / activity / phases carry over). Off =
+  /// a fresh PB solver per attempt; A/B knob for EXPERIMENTS.md E12.
+  bool PortfolioPersistentPb = true;
+  /// PB sits out MinLife attempts whose maximum objective coefficient
+  /// (which scales with II) exceeds this width — E11 measured the CDCL
+  /// engine losing badly on wide-coefficient MinLife rows. Counted in
+  /// portfolio/pb_ineligible.
+  int PortfolioPbCoeffLimit = 24;
+  /// ILP sits out NoObj attempts whose PB row-assignment encoding has at
+  /// most this many variables (ops * II): E11 measured the CDCL engine
+  /// deciding tiny feasibility instances 66x faster, so racing the ILP
+  /// only burns a worker. 0 disables the heuristic.
+  int PortfolioIlpMinPbVars = 64;
 };
 
 /// Optimality evidence for one solved II attempt (attached under
@@ -176,6 +210,43 @@ struct IiAttempt {
   /// With SchedulerOptions::Explain, on a scheduled verdict: the
   /// optimality evidence trail.
   std::optional<OptimalityAudit> Audit;
+  /// Portfolio backend only: the engine whose verdict was committed for
+  /// this II ("ilp" / "pb"; ILP fallbacks report "ilp"). Empty under the
+  /// single-engine backends.
+  std::string Winner;
+  /// Portfolio backend only: cross-engine incumbent bounds actually
+  /// applied during this attempt (PB rows injected at restarts + ILP
+  /// prunes against the shared cell).
+  int64_t BoundExchanges = 0;
+};
+
+/// Cross-engine wiring handed to one portfolio worker (see
+/// ilpsched/PortfolioAttempt.h for the coordinator that owns it). The
+/// single-engine paths pass null and behave exactly as before.
+struct PortfolioEngineHooks {
+  /// Shared objective-cutoff cell, polled at B&B nodes (ILP) and CDCL
+  /// restart boundaries (PB). INT64_MAX = no incumbent yet; the cell
+  /// only tightens.
+  const std::atomic<int64_t> *ExternalBound = nullptr;
+  /// Invoked with every verified incumbent (objective value, schedule)
+  /// the worker finds, so the coordinator can publish it to the other
+  /// engine. May be called from the worker's thread; must be
+  /// thread-safe. Null = no exchange (feasibility races).
+  std::function<void(int64_t, const ModuloSchedule &)> OnIncumbent;
+  /// PB worker only: persistent per-loop solver session. Null = fresh
+  /// solver per attempt (the A/B baseline).
+  pb::AttemptSession *Session = nullptr;
+  /// PB worker only: schedule times from an earlier attempt used to
+  /// seed branching phases (PbFormulation::seedPhases). Null = no hint.
+  const std::vector<int> *PhaseHint = nullptr;
+  /// Out: the worker only refuted "objective < ExternalBound", not the
+  /// model — the true verdict at this II is the shared incumbent, which
+  /// the coordinator commits as optimal.
+  bool RefutedBelowExternal = false;
+  /// Out: cross-engine bounds this worker actually applied (PB rows
+  /// injected at restarts; 1 for an ILP solve that pruned against the
+  /// cell).
+  int64_t BoundExchanges = 0;
 };
 
 /// Result of scheduling one loop.
@@ -254,25 +325,53 @@ public:
   /// solve environment — workspace, deadline, cancellation token — for
   /// this attempt (lp/SolveContext.h); a fresh local context is used
   /// otherwise. Reentrant: concurrent calls on one scheduler are safe
-  /// as long as each uses its own \p Stats and \p Ctx.
+  /// as long as each uses its own \p Stats and \p Ctx. Under
+  /// SchedulerBackend::Portfolio, \p Portfolio carries the loop-level
+  /// race state (persistent PB session, worker pool, phase hints); a
+  /// transient state is created when null, sacrificing only cross-II
+  /// reuse.
   std::optional<ModuloSchedule> scheduleAtIi(const DependenceGraph &G,
                                              int II, ScheduleResult &Stats,
                                              double TimeBudget,
-                                             lp::SolveContext *Ctx =
+                                             lp::SolveContext *Ctx = nullptr,
+                                             PortfolioState *Portfolio =
                                                  nullptr) const;
 
   const SchedulerOptions &options() const { return Opts; }
 
 private:
+  /// The ILP-backend body of scheduleAtIi: builds the Formulation, runs
+  /// branch-and-bound under \p Ctx's deadline/cancellation, and fills
+  /// \p Attempt with the verdict. \p Hooks, when non-null, wires the
+  /// solve into a portfolio race (external cutoff + incumbent
+  /// publication).
+  std::optional<ModuloSchedule>
+  scheduleIlpAttempt(const DependenceGraph &G, int II, ScheduleResult &Stats,
+                     double TimeBudget, lp::SolveContext *Ctx,
+                     IiAttempt &Attempt,
+                     PortfolioEngineHooks *Hooks = nullptr) const;
+
   /// The PB-backend body of scheduleAtIi: builds the PbFormulation,
   /// runs the (possibly solution-improving) CDCL solve under \p Ctx's
   /// deadline/cancellation, and fills \p Attempt with the verdict.
-  std::optional<ModuloSchedule> schedulePbAttempt(const DependenceGraph &G,
-                                                  int II,
-                                                  ScheduleResult &Stats,
-                                                  double TimeBudget,
-                                                  lp::SolveContext *Ctx,
-                                                  IiAttempt &Attempt) const;
+  /// \p Hooks, when non-null, wires the solve into a portfolio race
+  /// (persistent session, phase hints, restart-time bound injection,
+  /// incumbent publication).
+  std::optional<ModuloSchedule>
+  schedulePbAttempt(const DependenceGraph &G, int II, ScheduleResult &Stats,
+                    double TimeBudget, lp::SolveContext *Ctx,
+                    IiAttempt &Attempt,
+                    PortfolioEngineHooks *Hooks = nullptr) const;
+
+  /// The portfolio body of scheduleAtIi (ilpsched/PortfolioAttempt.cpp):
+  /// eligibility-checks both engines, races the eligible ones on
+  /// \p State's worker pool with cross-engine bound exchange, commits
+  /// the first conclusive verdict, and cancels the loser.
+  std::optional<ModuloSchedule>
+  schedulePortfolioAttempt(const DependenceGraph &G, int II,
+                           ScheduleResult &Stats, double TimeBudget,
+                           lp::SolveContext *Ctx, IiAttempt &Attempt,
+                           PortfolioState &State) const;
 
   const MachineModel &M;
   SchedulerOptions Opts;

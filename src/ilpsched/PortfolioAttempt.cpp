@@ -1,0 +1,373 @@
+//===- ilpsched/PortfolioAttempt.cpp - ILP/PB race coordination -----------===//
+
+#include "ilpsched/PortfolioAttempt.h"
+
+#include "ilpsched/OptimalScheduler.h"
+#include "ilpsched/PbFormulation.h"
+#include "lp/SolveContext.h"
+#include "support/Telemetry.h"
+
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+using namespace modsched;
+using namespace modsched::ilp;
+
+void SharedIncumbent::publish(int64_t K, const ModuloSchedule &S,
+                              const char *Src) {
+  (void)Src;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (K < Obj) {
+      Obj = K;
+      Schedule = S;
+    }
+  }
+  // Tighten the lock-free cell monotonically; a stale larger value must
+  // never overwrite a tighter one published concurrently.
+  int64_t Cur = Bound.load(std::memory_order_acquire);
+  while (K < Cur &&
+         !Bound.compare_exchange_weak(Cur, K, std::memory_order_acq_rel)) {
+  }
+}
+
+std::optional<ModuloSchedule> SharedIncumbent::best(int64_t &K) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  K = Obj;
+  return Schedule;
+}
+
+namespace {
+
+telemetry::Counter StatRaces("ilpsched", "portfolio.races",
+                             "II attempts raced by both engines");
+telemetry::Counter StatWinnerIlp("ilpsched", "portfolio.winner_ilp",
+                                 "Attempts committed from the ILP engine");
+telemetry::Counter StatWinnerPb("ilpsched", "portfolio.winner_pb",
+                                "Attempts committed from the PB engine");
+telemetry::Counter StatBoundExchanges("ilpsched",
+                                      "portfolio.bound_exchanges",
+                                      "Cross-engine incumbent bounds "
+                                      "applied (ILP prunes + PB "
+                                      "injections)");
+telemetry::Counter StatClausesKept("ilpsched", "portfolio.clauses_kept",
+                                   "Learned clauses retained in the "
+                                   "persistent PB session at attempt "
+                                   "retirement");
+telemetry::Counter StatPbIneligible("ilpsched", "portfolio.pb_ineligible",
+                                    "Attempts where PB sat out "
+                                    "(wide-coefficient MinLife or "
+                                    "unsupported formulation)");
+
+/// Everything one racing engine produces: its verdict-bearing attempt
+/// record, its scratch statistics (seeded with the loop's budget spend
+/// so the shared node budget means the same thing it does
+/// sequentially), and its schedule, if any.
+struct WorkerResult {
+  std::optional<ModuloSchedule> Schedule;
+  IiAttempt Attempt;
+  ScheduleResult Scratch;
+  bool Done = false; ///< Guarded by the coordinator latch mutex.
+};
+
+/// A worker's verdict is conclusive when it decides the II: a verified
+/// optimal schedule, a genuine infeasibility proof, or a refutation of
+/// everything below the shared incumbent (which, combined with that
+/// incumbent, proves it optimal). Budget expiry and cancellation decide
+/// nothing.
+bool conclusive(const WorkerResult &W, const PortfolioEngineHooks &H) {
+  if (W.Attempt.Cancelled)
+    return false;
+  if (W.Attempt.Scheduled || H.RefutedBelowExternal)
+    return true;
+  return W.Attempt.Status == MipStatus::Infeasible;
+}
+
+} // namespace
+
+std::optional<ModuloSchedule>
+OptimalModuloScheduler::schedulePortfolioAttempt(
+    const DependenceGraph &G, int II, ScheduleResult &Stats,
+    double TimeBudget, lp::SolveContext *Ctx, IiAttempt &Attempt,
+    PortfolioState &State) const {
+  const Objective Obj = Opts.Formulation.Obj;
+  const int64_t KeptBefore = State.Session.stats().ClausesKept;
+
+  // --- Eligibility: which engines contest this attempt. ---
+  bool PbEligible = PbFormulation::supports(Opts.Formulation);
+  if (PbEligible && Obj == Objective::MinLife &&
+      II > Opts.PortfolioPbCoeffLimit) {
+    // MinLife rows carry objective/lifetime coefficients that scale
+    // with II; past the width threshold the CDCL engine's cardinality
+    // reasoning degrades into slow generic PB arithmetic and it never
+    // wins the race — don't burn a worker on it.
+    PbEligible = false;
+  }
+  if (!PbEligible) {
+    ++StatPbIneligible;
+    std::optional<ModuloSchedule> S =
+        scheduleIlpAttempt(G, II, Stats, TimeBudget, Ctx, Attempt);
+    if (S || (!Attempt.Cancelled &&
+              Attempt.Status == MipStatus::Infeasible)) {
+      Attempt.Winner = "ilp";
+      ++StatWinnerIlp;
+    }
+    return S;
+  }
+  if (Obj == Objective::None && Opts.PortfolioIlpMinPbVars > 0 &&
+      G.numOperations() * II <= Opts.PortfolioIlpMinPbVars) {
+    // Tiny feasibility instance: the CDCL engine decides these orders
+    // of magnitude faster than a B&B warm-up (EXPERIMENTS.md E11), so
+    // the ILP sits out and PB runs inline.
+    PortfolioEngineHooks Hooks;
+    if (Opts.PortfolioPersistentPb)
+      Hooks.Session = &State.Session;
+    if (!State.PhaseHint.empty())
+      Hooks.PhaseHint = &State.PhaseHint;
+    std::optional<ModuloSchedule> S =
+        schedulePbAttempt(G, II, Stats, TimeBudget, Ctx, Attempt, &Hooks);
+    StatClausesKept += State.Session.stats().ClausesKept - KeptBefore;
+    if (S || (!Attempt.Cancelled &&
+              Attempt.Status == MipStatus::Infeasible)) {
+      Attempt.Winner = "pb";
+      ++StatWinnerPb;
+    }
+    if (S)
+      State.PhaseHint = S->times();
+    return S;
+  }
+
+  // --- Race both engines. ---
+  ++StatRaces;
+  if (!State.Pool)
+    State.Pool = std::make_unique<ThreadPool>(2);
+
+  lp::SolveContext LocalCtx;
+  lp::SolveContext &Parent = Ctx ? *Ctx : LocalCtx;
+
+  SharedIncumbent Shared;
+  const bool Exchange = Obj != Objective::None;
+
+  CancellationSource IlpCancel, PbCancel;
+  lp::SolveContext IlpCtx, PbCtx;
+  IlpCtx.DeadlineSeconds = Parent.DeadlineSeconds;
+  IlpCtx.Cancel = IlpCancel.token();
+  PbCtx.DeadlineSeconds = Parent.DeadlineSeconds;
+  PbCtx.Cancel = PbCancel.token();
+
+  PortfolioEngineHooks IlpHooks, PbHooks;
+  if (Exchange) {
+    IlpHooks.ExternalBound = &Shared.Bound;
+    IlpHooks.OnIncumbent = [&Shared](int64_t K, const ModuloSchedule &S) {
+      Shared.publish(K, S, "ilp");
+    };
+    PbHooks.ExternalBound = &Shared.Bound;
+    PbHooks.OnIncumbent = [&Shared](int64_t K, const ModuloSchedule &S) {
+      Shared.publish(K, S, "pb");
+    };
+  }
+  if (Opts.PortfolioPersistentPb)
+    PbHooks.Session = &State.Session;
+  if (!State.PhaseHint.empty())
+    PbHooks.PhaseHint = &State.PhaseHint;
+
+  WorkerResult Ilp, Pb;
+  const int64_t SeedNodes = Stats.Nodes;
+  const int64_t SeedConflicts = Stats.PbConflicts;
+  // Each worker sees the loop's budget spend so far (like ParallelRace
+  // slots, the budget is granted to each independently — they cannot
+  // see each other's spend without racing on it).
+  for (WorkerResult *W : {&Ilp, &Pb}) {
+    W->Attempt.II = II;
+    W->Scratch.Nodes = SeedNodes;
+    W->Scratch.PbConflicts = SeedConflicts;
+  }
+
+  std::mutex Mu;
+  std::condition_variable Cv;
+  State.Pool->submit([&] {
+    Ilp.Schedule = scheduleIlpAttempt(G, II, Ilp.Scratch, TimeBudget,
+                                      &IlpCtx, Ilp.Attempt, &IlpHooks);
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Ilp.Done = true;
+    }
+    Cv.notify_all();
+  });
+  State.Pool->submit([&] {
+    Pb.Schedule = schedulePbAttempt(G, II, Pb.Scratch, TimeBudget, &PbCtx,
+                                    Pb.Attempt, &PbHooks);
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Pb.Done = true;
+    }
+    Cv.notify_all();
+  });
+
+  // Latch: wake on worker completion (or every millisecond to poll the
+  // parent's token — CancellationToken has no chaining API). The first
+  // conclusive verdict cancels the loser; both workers must terminate
+  // before the coordinator touches their results, since everything they
+  // reference lives on this frame.
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    bool FiredCancel = false;
+    while (!(Ilp.Done && Pb.Done)) {
+      if (!FiredCancel &&
+          (Parent.cancelled() ||
+           (Ilp.Done && conclusive(Ilp, IlpHooks)) ||
+           (Pb.Done && conclusive(Pb, PbHooks)))) {
+        IlpCancel.cancel();
+        PbCancel.cancel();
+        FiredCancel = true;
+      }
+      Cv.wait_for(Lock, std::chrono::milliseconds(1));
+    }
+  }
+
+  StatClausesKept += State.Session.stats().ClausesKept - KeptBefore;
+  StatBoundExchanges += IlpHooks.BoundExchanges + PbHooks.BoundExchanges;
+
+  // --- Merge both engines' effort into the loop statistics (truthful
+  // telemetry: racing costs two engines' work, and budgetNodes() must
+  // reflect it). ---
+  for (WorkerResult *W : {&Ilp, &Pb}) {
+    Stats.Nodes += W->Scratch.Nodes - SeedNodes;
+    Stats.PbConflicts += W->Scratch.PbConflicts - SeedConflicts;
+    Stats.SimplexIterations += W->Scratch.SimplexIterations;
+    Stats.WarmLpSolves += W->Scratch.WarmLpSolves;
+    Stats.ColdLpSolves += W->Scratch.ColdLpSolves;
+    Stats.WarmLpIterations += W->Scratch.WarmLpIterations;
+    Stats.LpRefactorizations += W->Scratch.LpRefactorizations;
+    Stats.LpEtaNonzeros += W->Scratch.LpEtaNonzeros;
+    Stats.PbPropagations += W->Scratch.PbPropagations;
+    Stats.PbRestarts += W->Scratch.PbRestarts;
+    Stats.PbLearned += W->Scratch.PbLearned;
+  }
+  Attempt.Nodes = Ilp.Attempt.Nodes + Pb.Attempt.Nodes;
+  Attempt.SimplexIterations =
+      Ilp.Attempt.SimplexIterations + Pb.Attempt.SimplexIterations;
+  Attempt.PbConflicts = Ilp.Attempt.PbConflicts + Pb.Attempt.PbConflicts;
+  Attempt.PbPropagations =
+      Ilp.Attempt.PbPropagations + Pb.Attempt.PbPropagations;
+  Attempt.BoundExchanges = IlpHooks.BoundExchanges + PbHooks.BoundExchanges;
+
+  // --- Resolve verdicts. A refutation below the shared cell commits
+  // the shared incumbent (the other engine's schedule) as optimal. ---
+  struct Verdict {
+    bool Valid = false;
+    bool Infeasible = false;
+    std::optional<ModuloSchedule> Schedule;
+    int64_t ObjVal = 0;
+  };
+  auto Resolve = [&](WorkerResult &W,
+                     const PortfolioEngineHooks &H) -> Verdict {
+    Verdict V;
+    if (!conclusive(W, H))
+      return V;
+    V.Valid = true;
+    if (W.Schedule) {
+      V.Schedule = std::move(W.Schedule);
+      V.ObjVal = int64_t(std::llround(W.Scratch.SecondaryObjective));
+      return V;
+    }
+    if (H.RefutedBelowExternal) {
+      int64_t K = INT64_MAX;
+      V.Schedule = Shared.best(K);
+      V.ObjVal = K;
+      if (!V.Schedule) {
+        std::fprintf(stderr,
+                     "fatal: portfolio refuted below a shared bound "
+                     "with no shared incumbent at II=%d\n",
+                     II);
+        std::abort();
+      }
+      return V;
+    }
+    V.Infeasible = true;
+    return V;
+  };
+  Verdict VIlp = Resolve(Ilp, IlpHooks);
+  Verdict VPb = Resolve(Pb, PbHooks);
+
+  if (VIlp.Valid && VPb.Valid) {
+    // Both finished before the cancellation landed: their verdicts are
+    // independent exact answers and must agree — a mismatch is an
+    // engine bug, never a result.
+    const bool Agree = VIlp.Infeasible == VPb.Infeasible &&
+                       (VIlp.Infeasible || VIlp.ObjVal == VPb.ObjVal);
+    if (!Agree) {
+      std::fprintf(stderr,
+                   "fatal: portfolio engines disagree at II=%d: "
+                   "ilp={infeasible=%d obj=%lld} "
+                   "pb={infeasible=%d obj=%lld}\n",
+                   II, VIlp.Infeasible ? 1 : 0,
+                   (long long)VIlp.ObjVal, VPb.Infeasible ? 1 : 0,
+                   (long long)VPb.ObjVal);
+      std::abort();
+    }
+  }
+
+  // Fixed engine preference: when both are conclusive the ILP verdict
+  // is committed, so the attempt record (and any explanation/audit
+  // attached to it) is deterministic regardless of race timing.
+  const bool UseIlp = VIlp.Valid;
+  Verdict &V = UseIlp ? VIlp : VPb;
+  WorkerResult &W = UseIlp ? Ilp : Pb;
+
+  if (!V.Valid) {
+    // Neither engine decided the II: the parent cancelled the race, or
+    // both engines were censored by their budgets.
+    if (Parent.cancelled()) {
+      Attempt.Status = MipStatus::Cancelled;
+      Attempt.Cancelled = true;
+      return std::nullopt;
+    }
+    Attempt.Status = MipStatus::Limit;
+    Stats.TimedOut |= Ilp.Scratch.TimedOut || Pb.Scratch.TimedOut;
+    Stats.NodeLimitHit |=
+        Ilp.Scratch.NodeLimitHit || Pb.Scratch.NodeLimitHit;
+    if (Ilp.Attempt.Audit)
+      Attempt.Audit = std::move(Ilp.Attempt.Audit); // Censored incumbent.
+    return std::nullopt;
+  }
+
+  Attempt.Winner = UseIlp ? "ilp" : "pb";
+  if (UseIlp)
+    ++StatWinnerIlp;
+  else
+    ++StatWinnerPb;
+  Attempt.Variables = W.Attempt.Variables;
+  Attempt.Constraints = W.Attempt.Constraints;
+  Attempt.Explain = std::move(W.Attempt.Explain);
+  Attempt.Audit = std::move(W.Attempt.Audit);
+
+  if (V.Infeasible) {
+    Attempt.Status = MipStatus::Infeasible;
+    Attempt.WindowInfeasible = W.Attempt.WindowInfeasible;
+    return std::nullopt;
+  }
+
+  Attempt.Status = MipStatus::Optimal;
+  Attempt.Scheduled = true;
+  if (Opts.Explain && !Attempt.Audit) {
+    // Optimality proved by the refutation half of a split verdict (one
+    // engine found the schedule, the other exhausted everything
+    // better); there is no relaxation bound to audit against.
+    OptimalityAudit A;
+    A.FinalObjective = double(V.ObjVal);
+    A.Proof = "optimal";
+    Attempt.Audit = std::move(A);
+  }
+  Stats.Variables = W.Attempt.Variables;
+  Stats.Constraints = W.Attempt.Constraints;
+  Stats.SecondaryObjective = double(V.ObjVal);
+  State.PhaseHint = V.Schedule->times();
+  return std::move(V.Schedule);
+}

@@ -1,0 +1,104 @@
+//===- ilpsched/PortfolioAttempt.h - ILP/PB race coordination ---*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop-level state of the portfolio backend
+/// (SchedulerBackend::Portfolio): each tentative II dispatches the ILP
+/// and PB engines onto a dedicated two-worker pool, the first conclusive
+/// verdict wins and cancels the loser, and two hybridization layers make
+/// the race more than the sum of its engines:
+///
+///   * Cross-engine incumbent exchange — whichever engine verifies a
+///     schedule of objective k publishes it to a SharedIncumbent; the
+///     ILP prunes nodes against the atomic cell (MipOptions::
+///     ExternalBound) and the PB injects "objective <= k-1" rows at its
+///     restart boundaries (PbFormulation::injectObjectiveBound). An
+///     engine that then refutes "anything below k" has, combined with
+///     the shared schedule, proved k optimal.
+///
+///   * A persistent pb::AttemptSession — one CDCL solver survives the
+///     loop's whole II ladder; each attempt is encoded behind a fresh
+///     gate (retired when the attempt ends), so learned clauses,
+///     activity, and saved phases carry across II attempts and descent
+///     steps instead of being rebuilt from scratch.
+///
+/// Verdict determinism: every conclusive path yields the true optimum
+/// (or true infeasibility) at its II, and a fixed ILP-preference
+/// tie-break resolves double finishes, so committed II / objective
+/// verdicts are bit-exact with the sequential ILP backend regardless of
+/// race timing. Only the committed schedule (one of several equally
+/// optimal ones) and the censoring wall-clock may differ.
+///
+/// The II search owns one PortfolioState per loop (Sequential) or per
+/// racing slot (ParallelRace, reused across waves — the wave barrier
+/// serializes accesses) and threads it through
+/// OptimalModuloScheduler::scheduleAtIi.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_ILPSCHED_PORTFOLIOATTEMPT_H
+#define MODSCHED_ILPSCHED_PORTFOLIOATTEMPT_H
+
+#include "pb/Incremental.h"
+#include "sched/ModuloSchedule.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace modsched {
+
+/// The cross-engine incumbent of one racing II attempt: a lock-free
+/// objective cell (polled at every B&B node and CDCL restart) plus the
+/// mutex-guarded schedule that achieved it. Both engines publish every
+/// verified incumbent here the moment it is accepted.
+struct SharedIncumbent {
+  /// Best objective any engine has verified so far; INT64_MAX = none.
+  /// Only ever tightens (decreases), which is what makes it a sound
+  /// pruning cutoff for both engines.
+  std::atomic<int64_t> Bound{INT64_MAX};
+
+  /// Records schedule \p S with verified objective \p K found by engine
+  /// \p Src, if it improves on the best recorded one. Thread-safe.
+  void publish(int64_t K, const ModuloSchedule &S, const char *Src);
+
+  /// Snapshot of the best recorded schedule and its objective (nullopt
+  /// when nothing was published). Thread-safe.
+  std::optional<ModuloSchedule> best(int64_t &K) const;
+
+private:
+  mutable std::mutex Mu;
+  int64_t Obj = INT64_MAX;                ///< Guarded by Mu.
+  std::optional<ModuloSchedule> Schedule; ///< Guarded by Mu.
+};
+
+/// Per-loop race state of the portfolio backend. Created by the II
+/// search before the first attempt and reused across the loop's whole
+/// II ladder; accessed by one attempt at a time.
+struct PortfolioState {
+  /// Dedicated two-worker pool the engines race on; created on the
+  /// first racing attempt (eligibility short-circuits never pay for
+  /// threads) and reused afterwards.
+  std::unique_ptr<ThreadPool> Pool;
+
+  /// Persistent incremental PB solver carrying learned clauses,
+  /// activity, and phases across II attempts. Unused when
+  /// SchedulerOptions::PortfolioPersistentPb is off.
+  pb::AttemptSession Session;
+
+  /// Schedule times of the last committed schedule, used to seed the
+  /// next PB attempt's branching phases (PbFormulation::seedPhases).
+  /// Empty = no hint yet.
+  std::vector<int> PhaseHint;
+};
+
+} // namespace modsched
+
+#endif // MODSCHED_ILPSCHED_PORTFOLIOATTEMPT_H

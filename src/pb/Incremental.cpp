@@ -1,0 +1,81 @@
+//===- pb/Incremental.cpp - Persistent multi-attempt PB sessions ----------===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pb/Incremental.h"
+
+#include <algorithm>
+
+namespace modsched {
+namespace pb {
+
+void AttemptSession::beginAttempt() {
+  assert(Gate < 0 && "previous attempt not retired");
+  Gate = S.newVar();
+  Copies.clear();
+  ++Stat.Attempts;
+}
+
+void AttemptSession::endAttempt() {
+  assert(Gate >= 0 && "no open attempt");
+  Stat.ClausesKept += S.numLearnts();
+  S.addClause({posLit(Gate)});
+  Gate = -1;
+  Copies.clear();
+}
+
+Var AttemptSession::gateCopy(size_t I) {
+  while (Copies.size() <= I) {
+    Var C = S.newVar();
+    // c == g, clause form: g -> c and c -> g.
+    S.addClause({negLit(Gate), posLit(C)});
+    S.addClause({negLit(C), posLit(Gate)});
+    Copies.push_back(C);
+    ++Stat.GateCopies;
+  }
+  return Copies[I];
+}
+
+bool AttemptSession::addClause(std::vector<Lit> Lits) {
+  assert(Gate >= 0 && "gated add outside an attempt");
+  Lits.push_back(posLit(Gate));
+  return S.addClause(std::move(Lits));
+}
+
+bool AttemptSession::addAtLeast(std::vector<Lit> Lits, int64_t Degree) {
+  assert(Gate >= 0 && "gated add outside an attempt");
+  if (Degree <= 1) {
+    // Degree <= 0 is a tautology the solver discards; degree 1 is a
+    // plain clause — one gate literal suffices either way.
+    Lits.push_back(posLit(Gate));
+    return S.addAtLeast(std::move(Lits), Degree);
+  }
+  // Unit gate copies keep the row in the watched-literal Card class:
+  // with g true all copies are true and the row is satisfied; under !g
+  // all copies are false and the row is exactly the original. Degree
+  // copies are conservative against duplicate-literal merging during
+  // normalization (extra copies only over-satisfy the retired row).
+  for (int64_t I = 0; I < Degree; ++I)
+    Lits.push_back(posLit(gateCopy(size_t(I))));
+  return S.addAtLeast(std::move(Lits), Degree);
+}
+
+bool AttemptSession::addLinear(std::vector<std::pair<Lit, int64_t>> Terms,
+                               int64_t Degree) {
+  assert(Gate >= 0 && "gated add outside an attempt");
+  // The gate weight must cover the degree even when every negative-
+  // coefficient term fires: with g true the row needs at most
+  // Degree - NegSum from the gate (same scheme as the explanation-group
+  // selectors in ilpsched/PbFormulation).
+  int64_t NegSum = 0;
+  for (const std::pair<Lit, int64_t> &T : Terms)
+    NegSum += std::min<int64_t>(T.second, 0);
+  int64_t Weight = std::max<int64_t>(Degree - NegSum, 1);
+  Terms.push_back({posLit(Gate), Weight});
+  return S.addLinear(std::move(Terms), Degree);
+}
+
+} // namespace pb
+} // namespace modsched

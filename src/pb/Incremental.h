@@ -1,0 +1,114 @@
+//===- pb/Incremental.h - Persistent multi-attempt PB sessions --*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent pseudo-Boolean solving session that survives a sequence
+/// of related solve attempts — the modulo scheduler's II ladder, where
+/// each candidate II re-encodes the same loop with a different modulus.
+/// The underlying pb::Solver never supports constraint deletion, so
+/// attempt-scoped rows are *gated*: every structural constraint of an
+/// attempt carries the attempt's gate variable g such that the row is
+/// exact under the assumption !g and trivially satisfied once g is
+/// forced true. Retiring an attempt is a single unit clause (g), which
+/// keeps the database satisfiable forever and funnels every UNSAT
+/// verdict through the assumption-core path — learned clauses, VSIDS
+/// activity, and saved phases all carry over to the next attempt
+/// (SAT-MapIt's incremental trick, transplanted to PB).
+///
+/// Gating is propagation-aware: clauses get the gate literal appended
+/// (still a clause), cardinality rows get unit *copies* of the gate from
+/// a shared per-attempt pool so they stay in the watched-literal Card
+/// class, and only genuinely weighted rows pay the counter-propagated
+/// Linear gate term.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_PB_INCREMENTAL_H
+#define MODSCHED_PB_INCREMENTAL_H
+
+#include "pb/PbSolver.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace modsched {
+namespace pb {
+
+/// Cumulative bookkeeping for one AttemptSession.
+struct SessionStats {
+  int64_t Attempts = 0;    ///< beginAttempt() calls.
+  int64_t ClausesKept = 0; ///< Learned clauses alive at attempt retirement.
+  int64_t GateCopies = 0;  ///< Unary gate copies allocated for Card rows.
+};
+
+/// A pb::Solver wrapped in attempt lifecycle management. One session per
+/// loop; one attempt per (II, encoding) pair. All constraint
+/// construction between beginAttempt() and endAttempt() must go through
+/// the gated add methods below; solve with attemptAssumption() in the
+/// assumption set.
+class AttemptSession {
+public:
+  AttemptSession() = default;
+  AttemptSession(const AttemptSession &) = delete;
+  AttemptSession &operator=(const AttemptSession &) = delete;
+
+  /// The shared solver. Callers may create variables and tune budgets /
+  /// cancellation / OnRestart directly; attempt-scoped *constraints*
+  /// must use the gated adds.
+  Solver &solver() { return S; }
+  const Solver &solver() const { return S; }
+
+  /// True while an attempt is open (between begin and end).
+  bool attemptOpen() const { return Gate >= 0; }
+
+  /// Opens a new attempt: allocates a fresh gate variable. Requires the
+  /// previous attempt to have been retired.
+  void beginAttempt();
+
+  /// Retires the open attempt by hardening its gate to true — every
+  /// gated row becomes permanently satisfied, so the database stays
+  /// consistent for the next attempt.
+  void endAttempt();
+
+  /// The assumption literal (!g) that activates the open attempt's rows.
+  Lit attemptAssumption() const {
+    assert(Gate >= 0 && "no open attempt");
+    return negLit(Gate);
+  }
+
+  /// Gated clause: exact under !g, satisfied once g is hardened.
+  bool addClause(std::vector<Lit> Lits);
+
+  /// Gated cardinality row sum(Lits) >= Degree. Stays in the Card
+  /// propagation class via unit gate copies.
+  bool addAtLeast(std::vector<Lit> Lits, int64_t Degree);
+
+  /// Gated general linear row sum(Coeff * Lit) >= Degree; the gate term
+  /// weight covers the degree even against negative coefficients.
+  bool addLinear(std::vector<std::pair<Lit, int64_t>> Terms, int64_t Degree);
+
+  /// Seeds the branching polarity of \p V (phase-hint transfer from a
+  /// previous attempt's model onto this attempt's fresh variables).
+  void seedPhase(Var V, bool Phase) { S.setPhase(V, Phase); }
+
+  const SessionStats &stats() const { return Stat; }
+
+private:
+  /// Lazily extends the per-attempt pool of unit gate copies c_i with
+  /// c_i == g enforced by two binary clauses, and returns copy \p I.
+  Var gateCopy(size_t I);
+
+  Solver S;
+  Var Gate = -1;          ///< Open attempt's gate, -1 between attempts.
+  std::vector<Var> Copies; ///< Unit copies of Gate, shared across rows.
+  SessionStats Stat;
+};
+
+} // namespace pb
+} // namespace modsched
+
+#endif // MODSCHED_PB_INCREMENTAL_H

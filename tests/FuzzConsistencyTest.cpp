@@ -128,3 +128,59 @@ TEST_P(BackendDifferentialTest, PbAndIlpAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BackendDifferentialTest,
                          ::testing::Range<uint64_t>(0, 25));
+
+//===----------------------------------------------------------------------===//
+// Portfolio-vs-ILP differential fuzz
+//===----------------------------------------------------------------------===//
+
+class PortfolioDifferentialTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(PortfolioDifferentialTest, PortfolioAndIlpAgree) {
+  // The portfolio backend races both exact engines per II with
+  // cross-engine bound sharing; its committed verdicts must stay
+  // bit-exact with the sequential ILP regardless of race timing. Two
+  // loops per seed x 10 seeds (the race time-slices on small hosts, so
+  // this leg stays lighter than the PB one above); loop 0 additionally
+  // runs the MinBuff descent so the incumbent-exchange path is fuzzed,
+  // not just feasibility.
+  MachineModel M = MachineModel::cydraLike();
+  Rng R(GetParam() * 197 + 3);
+  SyntheticOptions Gen;
+  Gen.MinOps = 3;
+  Gen.MaxOps = 10;
+  for (int LoopIdx = 0; LoopIdx < 2; ++LoopIdx) {
+    DependenceGraph G = generateLoop(M, R, Gen);
+    for (Objective Obj : {Objective::None, Objective::MinBuff}) {
+      if (Obj == Objective::MinBuff && LoopIdx != 0)
+        continue;
+      SchedulerOptions IlpOpts, PortOpts;
+      IlpOpts.Backend = SchedulerBackend::Ilp;
+      PortOpts.Backend = SchedulerBackend::Portfolio;
+      IlpOpts.Formulation.Obj = PortOpts.Formulation.Obj = Obj;
+      IlpOpts.TimeLimitSeconds = PortOpts.TimeLimitSeconds = 20.0;
+      ScheduleResult A = OptimalModuloScheduler(M, IlpOpts).schedule(G);
+      ScheduleResult B = OptimalModuloScheduler(M, PortOpts).schedule(G);
+      if (A.TimedOut || A.NodeLimitHit || B.TimedOut || B.NodeLimitHit)
+        continue; // Censored solves prove nothing; skip, don't fail.
+      ASSERT_EQ(A.Found, B.Found)
+          << toString(Obj) << " loop " << LoopIdx << "\n" << G.toString();
+      if (!A.Found)
+        continue;
+      EXPECT_EQ(A.II, B.II)
+          << toString(Obj) << " loop " << LoopIdx << "\n" << G.toString();
+      EXPECT_NEAR(A.SecondaryObjective, B.SecondaryObjective, 1e-6)
+          << toString(Obj) << " loop " << LoopIdx << "\n" << G.toString();
+      // The portfolio schedule passes both independent checkers.
+      EXPECT_FALSE(verifySchedule(G, M, B.Schedule).has_value())
+          << G.toString();
+      EXPECT_FALSE(simulateSchedule(G, M, B.Schedule,
+                                    enoughIterations(B.Schedule))
+                       .Violation.has_value())
+          << G.toString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PortfolioDifferentialTest,
+                         ::testing::Range<uint64_t>(0, 10));
