@@ -7,6 +7,7 @@
 #include "support/Format.h"
 #include "support/Json.h"
 #include "support/Statistics.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include "workloads/SyntheticGenerator.h"
 
@@ -98,6 +99,9 @@ BenchConfig BenchConfig::fromEnv() {
   if (const char *E = std::getenv("MODSCHED_BENCH_EXPLAIN"))
     if (parseEnvInt("MODSCHED_BENCH_EXPLAIN", E, 0, 1, V))
       Config.Explain = V != 0;
+  if (const char *E = std::getenv("MODSCHED_BENCH_CACHE"))
+    if (parseEnvInt("MODSCHED_BENCH_CACHE", E, 0, 1, V))
+      Config.Cache = V != 0;
   if (const char *E = std::getenv("MODSCHED_BENCH_ENGINE")) {
     if (std::strcmp(E, "dense") == 0)
       Config.Engine = lp::SimplexEngine::Dense;
@@ -141,6 +145,7 @@ LoopRecord LoopRecord::fromResult(const DependenceGraph &G,
   Rec.Solved = R.Found;
   Rec.TimedOut = R.TimedOut;
   Rec.NodeLimitHit = R.NodeLimitHit;
+  Rec.CacheHit = R.CacheHit;
   Rec.II = R.II;
   Rec.Mii = R.Mii;
   Rec.Nodes = R.Nodes;
@@ -196,6 +201,7 @@ bench::runOptimal(const MachineModel &M,
   Opts.LpEngine = Config.Engine;
   Opts.Backend = Config.Backend;
   Opts.Explain = Config.Explain;
+  Opts.Cache = Config.Cache;
   OptimalModuloScheduler Scheduler(M, Opts);
 
   // One-line forensics summary after the sweep: how the infeasible II
@@ -368,6 +374,7 @@ void emitRecord(json::JsonWriter &W, const LoopRecord &R) {
   W.key("solved").value(R.Solved);
   W.key("timed_out").value(R.TimedOut);
   W.key("node_limit_hit").value(R.NodeLimitHit);
+  W.key("cache_hit").value(R.CacheHit);
   W.key("status").value(R.status());
   W.key("ii").value(R.II);
   W.key("mii").value(R.Mii);
@@ -463,7 +470,7 @@ std::string BenchJson::write() const {
   std::string Out;
   json::JsonWriter W(Out);
   W.beginObject();
-  W.key("schema_version").value(7);
+  W.key("schema_version").value(8);
   W.key("experiment").value(Experiment);
   W.key("generated_unix")
       .value(static_cast<int64_t>(std::time(nullptr)));
@@ -478,6 +485,17 @@ std::string BenchJson::write() const {
   W.key("engine").value(lp::toString(Cfg.Engine));
   W.key("backend").value(toString(Cfg.Backend));
   W.key("explain").value(Cfg.Explain);
+  W.key("cache").value(Cfg.Cache);
+  W.endObject();
+  // Solution-cache counter snapshot (schema v8): process-lifetime
+  // ilpsched/cache.* telemetry at write time. All zero in cache-off
+  // runs; a second identical sweep in one process shows the hits.
+  W.key("cache_counters").beginObject();
+  for (const char *Name : {"hits", "misses", "inserts", "evictions"}) {
+    telemetry::Counter *C =
+        telemetry::findCounter(std::string("ilpsched/cache.") + Name);
+    W.key(Name).value(C ? C->value() : int64_t(0));
+  }
   W.endObject();
   W.key("metrics").beginObject();
   for (const auto &[Key, Value] : Metrics)

@@ -36,6 +36,10 @@
 ///                             re-verified witness and every solved one
 ///                             an optimality audit; see
 ///                             docs/OBSERVABILITY.md)
+///   MODSCHED_BENCH_CACHE      1 enables the content-addressed solution
+///                             cache (default 0 so effort columns
+///                             measure the solver; the compiled-in
+///                             default follows MODSCHED_CACHE)
 ///
 /// Malformed or out-of-range values are rejected with a warning on
 /// stderr and the compiled-in default is kept — "MODSCHED_BENCH_LOOPS=
@@ -98,6 +102,13 @@ struct BenchConfig {
   /// witnesses and optimality audits on every attempt record.
   /// MODSCHED_BENCH_EXPLAIN=0 turns it off for overhead A/B runs.
   bool Explain = true;
+  /// Content-addressed solution cache (SchedulerOptions::Cache). Off by
+  /// default so effort columns (nodes, iterations, conflicts) measure
+  /// the solver, not cache replay; MODSCHED_BENCH_CACHE=1 turns it on
+  /// (the compiled-in default follows MODSCHED_CACHE). Cache-served
+  /// records report cache_hit=true with zero solver effort and are
+  /// excluded from solver-time comparisons by scripts/bench_compare.py.
+  bool Cache = defaultCacheEnabled();
 
   /// Reads the MODSCHED_BENCH_* environment overrides. Invalid values
   /// warn on stderr and keep the defaults above.
@@ -113,6 +124,10 @@ struct LoopRecord {
   /// Node budget exhausted (deterministic censoring, distinct from the
   /// machine-dependent wall-clock timeout; both can be set).
   bool NodeLimitHit = false;
+  /// Served from the solution cache: the schedule was replayed from a
+  /// previous verified solve of a canonically identical problem; every
+  /// solver-effort field below is 0 and Attempts is empty.
+  bool CacheHit = false;
   int II = 0;
   int Mii = 0;
   int64_t Nodes = 0;
@@ -210,7 +225,12 @@ commonlySolved(const std::vector<std::vector<LoopRecord>> &RecordSets);
 /// produced, and call write() before exiting. The artifact is
 ///   <dir>/BENCH_<experiment>.json
 /// with <dir> = $MODSCHED_BENCH_RESULTS_DIR or "bench_results" (created
-/// if missing). The schema (schema_version 7: adds "portfolio" as a
+/// if missing). The schema (schema_version 8: adds config.cache, the
+/// per-record cache_hit flag (true = schedule replayed from the
+/// solution cache, zero solver effort, empty attempts), and the
+/// top-level cache counter object {hits, misses, inserts, evictions}
+/// snapshotted from the ilpsched/cache.* telemetry at write time;
+/// version 7 added "portfolio" as a
 /// config.backend value and the per-attempt winner ("ilp" / "pb",
 /// empty on non-conclusive attempts and under single-engine backends)
 /// and bound_exchanges fields; version 6 added config.explain, the
@@ -225,7 +245,7 @@ commonlySolved(const std::vector<std::vector<LoopRecord>> &RecordSets);
 /// status, and the per-attempt cancelled flag; version 2 added the
 /// warm-start solve counters) is validated by
 /// scripts/check_bench_json.py — which still accepts versions 2
-/// through 6 — and documented in docs/OBSERVABILITY.md.
+/// through 7 — and documented in docs/OBSERVABILITY.md.
 class BenchJson {
 public:
   explicit BenchJson(std::string Experiment);

@@ -1,0 +1,126 @@
+//===- bench/cache_smoke.cpp - Solution-cache end-to-end smoke ------------===//
+//
+// Runs the Table 1 structured sweep TWICE in one process with the
+// content-addressed solution cache enabled and checks that the second
+// sweep is served from the cache: nonzero ilpsched/cache.hits, every
+// cleanly solved loop of the first sweep replayed (cache_hit=true, zero
+// solver effort) with bit-identical II and secondary-objective columns,
+// and >= 90% of the first sweep's clean solves cache-served. Exits
+// nonzero on any violation — this is the CI gate for the cache, not a
+// measurement binary.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "support/Telemetry.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace modsched;
+using namespace modsched::bench;
+
+namespace {
+
+int64_t cacheCounter(const char *Name) {
+  telemetry::Counter *C =
+      telemetry::findCounter(std::string("ilpsched/cache.") + Name);
+  return C ? C->value() : 0;
+}
+
+int Failures = 0;
+
+void check(bool Ok, const std::string &What) {
+  if (Ok)
+    return;
+  ++Failures;
+  std::fprintf(stderr, "cache_smoke FAIL: %s\n", What.c_str());
+}
+
+std::string loopTag(const char *Sweep, size_t Loop) {
+  return std::string("[") + Sweep + "] loop " + std::to_string(Loop);
+}
+
+} // namespace
+
+int main() {
+  BenchConfig Config = BenchConfig::fromEnv();
+  // Smoke-sized default; the usual MODSCHED_BENCH_* knobs still win.
+  if (!std::getenv("MODSCHED_BENCH_LOOPS"))
+    Config.SyntheticLoops = 24;
+  Config.Cache = true;
+
+  MachineModel M = MachineModel::cydraLike();
+  std::vector<DependenceGraph> Suite = benchSuite(M, Config);
+  std::printf("cache smoke: %zu loops, %.1fs/loop, backend=%s, "
+              "cache=on\n",
+              Suite.size(), Config.TimeLimitSeconds,
+              toString(Config.Backend));
+
+  // Both an objective-free and a secondary-objective sweep, so cached
+  // replay of the SecondaryObjective column is exercised too.
+  const Objective Objs[] = {Objective::None, Objective::MinBuff};
+  const char *Names[] = {"NoObj", "MinBuff"};
+
+  BenchJson Json("cache_smoke");
+  Json.setConfig(Config);
+
+  int64_t CleanTotal = 0, HitTotal = 0;
+  for (int O = 0; O < 2; ++O) {
+    const int64_t Hits0 = cacheCounter("hits");
+    std::vector<LoopRecord> First =
+        runOptimal(M, Suite, Objs[O], DependenceStyle::Structured, Config);
+    std::vector<LoopRecord> Second =
+        runOptimal(M, Suite, Objs[O], DependenceStyle::Structured, Config);
+    const int64_t Hits = cacheCounter("hits") - Hits0;
+    check(Hits > 0, std::string("[") + Names[O] +
+                        "] second sweep recorded no cache hits");
+
+    for (size_t I = 0; I < Suite.size(); ++I) {
+      const LoopRecord &A = First[I];
+      const LoopRecord &B = Second[I];
+      // Only clean conclusive solves are cacheable; censored or
+      // unsolved loops legitimately re-run the solver.
+      if (!A.Solved || A.TimedOut || A.NodeLimitHit)
+        continue;
+      ++CleanTotal;
+      if (!B.CacheHit) {
+        check(false, loopTag(Names[O], I) +
+                         " solved cleanly but re-ran the solver");
+        continue;
+      }
+      ++HitTotal;
+      check(B.II == A.II, loopTag(Names[O], I) + " II drifted under " +
+                              "replay: " + std::to_string(B.II) + " vs " +
+                              std::to_string(A.II));
+      check(B.Secondary == A.Secondary,
+            loopTag(Names[O], I) + " secondary objective drifted");
+      check(B.Nodes == 0 && B.PbConflicts == 0 && B.Attempts.empty(),
+            loopTag(Names[O], I) + " cache hit reports solver effort");
+    }
+    Json.addRecordSet(std::string(Names[O]) + " first", std::move(First));
+    Json.addRecordSet(std::string(Names[O]) + " second", std::move(Second));
+  }
+
+  check(CleanTotal > 0,
+        "no loop solved cleanly — smoke proves nothing; raise the budget");
+  // The headline acceptance bar: >= 90% of the clean solves replayed.
+  check(HitTotal * 10 >= CleanTotal * 9,
+        "only " + std::to_string(HitTotal) + " of " +
+            std::to_string(CleanTotal) +
+            " clean solves were cache-served (< 90%)");
+
+  Json.addMetric("clean_solves", static_cast<double>(CleanTotal));
+  Json.addMetric("cache_served", static_cast<double>(HitTotal));
+  Json.write();
+
+  std::printf("cache smoke: %lld/%lld clean solves cache-served, "
+              "%lld total hits, %s\n",
+              static_cast<long long>(HitTotal),
+              static_cast<long long>(CleanTotal),
+              static_cast<long long>(cacheCounter("hits")),
+              Failures == 0 ? "PASS" : "FAIL");
+  return Failures == 0 ? 0 : 1;
+}

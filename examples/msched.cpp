@@ -16,6 +16,9 @@
 //   --explain                          solve forensics: print a verified
 //                                      witness for every infeasible II
 //                                      and the optimality audit trail
+//   --cache                            consult the content-addressed
+//                                      solution cache before solving
+//                                      (equivalent to MODSCHED_CACHE=1)
 //   --simulate=<iterations>            run the pipeline simulator
 //   --emit-code                        emit prologue/kernel/epilogue
 //   --print-model                      dump the ILP in CPLEX LP format
@@ -61,6 +64,7 @@ struct CliOptions {
   bool PrintModel = false;
   bool PrintDdg = false;
   bool Explain = false;
+  bool Cache = false;
   bool ListKernels = false;
   bool EmitCode = false;
   int SimulateIterations = 0;
@@ -128,6 +132,10 @@ std::optional<CliOptions> parseArgs(int Argc, char **Argv) {
     }
     if (!std::strcmp(Arg, "--explain")) {
       Opts.Explain = true;
+      continue;
+    }
+    if (!std::strcmp(Arg, "--cache")) {
+      Opts.Cache = true;
       continue;
     }
     if (!std::strcmp(Arg, "--list-kernels")) {
@@ -304,6 +312,8 @@ int main(int Argc, char **Argv) {
   Opts.Formulation.InstanceMapped = Cli.InstanceMapped;
   if (Cli.Explain)
     Opts.Explain = true;
+  if (Cli.Cache)
+    Opts.Cache = true;
 
   if (Cli.PrintModel) {
     Formulation F(*Loop, Machine, mii(*Loop, Machine), Opts.Formulation);
@@ -358,12 +368,14 @@ int main(int Argc, char **Argv) {
                  Cli.TimeLimit, static_cast<long long>(R.Nodes));
     return 1;
   }
-  std::printf("optimal %s schedule (%s formulation): II=%d, secondary=%g\n"
+  std::printf("optimal %s schedule (%s formulation): II=%d, secondary=%g%s\n"
               "nodes=%lld simplex-iterations=%lld vars=%d cons=%d "
               "time=%.2fs\n",
               toString(Opts.Formulation.Obj),
               toString(Opts.Formulation.DepStyle), R.II,
-              R.SecondaryObjective, static_cast<long long>(R.Nodes),
+              R.SecondaryObjective,
+              R.CacheHit ? " [solution cache]" : "",
+              static_cast<long long>(R.Nodes),
               static_cast<long long>(R.SimplexIterations), R.Variables,
               R.Constraints, R.Seconds);
   printSchedule(*Loop, Machine, R.Schedule);

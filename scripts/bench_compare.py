@@ -10,7 +10,10 @@ dir), matches records by (record-set label, loop name), and reports:
   * solver-time regressions - solved-in-both loops whose candidate
     seconds exceed baseline seconds by more than --threshold (default
     20%), ignoring loops faster than --min-seconds in both runs (timer
-    noise dominates below that);
+    noise dominates below that) and loops served from the solution
+    cache in either run (cache_hit=true, schema 8: replay time
+    measures the cache, not the solver, so such pairs say nothing
+    about solver speed);
   * artifacts present in only one directory (informational).
 
 Exits nonzero iff any coverage or solver-time regression was found, so
@@ -64,6 +67,10 @@ def compare_file(name, base_path, cand_path, threshold, min_seconds):
                          f"({b.get('status', '?')} -> solved)")
             continue
         if not (b.get("solved") and c.get("solved")):
+            continue
+        if b.get("cache_hit") or c.get("cache_hit"):
+            # Cache-served records (schema 8) report replay time, not
+            # solver time; comparing them would grade the wrong thing.
             continue
         bs, cs = b.get("seconds", 0.0), c.get("seconds", 0.0)
         if bs < min_seconds and cs < min_seconds:

@@ -1,7 +1,15 @@
 #!/usr/bin/env python3
-"""Validate bench_results/BENCH_*.json artifacts (schema_version 2-7).
+"""Validate bench_results/BENCH_*.json artifacts (schema_version 2-8).
 
-Schema 7 (this version) extends schema 6 with the portfolio-backend
+Schema 8 (this version) extends schema 7 with the solution-cache
+fields: the config's cache flag (the MODSCHED_BENCH_CACHE /
+MODSCHED_CACHE knob), a per-record cache_hit flag (true = the schedule
+was replayed from the content-addressed solution cache; such a record
+must be solved and must report ZERO solver effort — no attempts, no
+nodes, no iterations, no PB conflicts — anything else is rejected),
+and a top-level cache_counters object with the hits / misses / inserts
+/ evictions ilpsched/cache.* telemetry snapshot.
+Schema 7 extended schema 6 with the portfolio-backend
 fields: "portfolio" joins the accepted config.backend strings (the
 MODSCHED_BENCH_BACKEND / MODSCHED_BACKEND knob) and every attempt
 carries a winner string ("ilp" or "pb" for a conclusive verdict
@@ -78,6 +86,11 @@ CONFIG_KEYS_V6 = {
     "explain": bool,
 }
 
+# Keys required only when schema_version >= 8.
+CONFIG_KEYS_V8 = {
+    "cache": bool,
+}
+
 RECORD_KEYS = {
     "name": str,
     "n": numbers.Integral,
@@ -118,6 +131,18 @@ RECORD_KEYS_V5 = {
 RECORD_KEYS_V6 = {
     "explained_attempts": numbers.Integral,
     "unexplained_attempts": numbers.Integral,
+}
+
+RECORD_KEYS_V8 = {
+    "cache_hit": bool,
+}
+
+# Snapshot of the ilpsched/cache.* telemetry counters at write time.
+CACHE_COUNTER_KEYS_V8 = {
+    "hits": numbers.Integral,
+    "misses": numbers.Integral,
+    "inserts": numbers.Integral,
+    "evictions": numbers.Integral,
 }
 
 ATTEMPT_KEYS = {
@@ -218,6 +243,23 @@ def check_record(record, where, version):
         check_keys(record, RECORD_KEYS_V5, where)
     if version >= 6:
         check_keys(record, RECORD_KEYS_V6, where)
+    if version >= 8:
+        check_keys(record, RECORD_KEYS_V8, where)
+        if record["cache_hit"]:
+            # A cache-served record replays a previous verified solve;
+            # it must never masquerade as solver work.
+            if not record["solved"]:
+                raise SchemaError(f"{where}: cache_hit=true but "
+                                  f"solved=false")
+            if record["attempts"]:
+                raise SchemaError(f"{where}: cache_hit=true but "
+                                  f"{len(record['attempts'])} solver "
+                                  f"attempt(s) reported")
+            for effort in ("nodes", "iterations", "pb_conflicts",
+                           "pb_propagations"):
+                if record[effort]:
+                    raise SchemaError(f"{where}: cache_hit=true but "
+                                      f"{effort}={record[effort]}")
     statuses = STATUSES_V3 if version >= 3 else STATUSES_V2
     if record["status"] not in statuses:
         raise SchemaError(f"{where}.status: {record['status']!r} not in "
@@ -288,8 +330,8 @@ def check_file(path):
         "record_sets": list,
     }, "$")
     version = doc["schema_version"]
-    if version not in (2, 3, 4, 5, 6, 7):
-        raise SchemaError(f"$.schema_version: expected 2 through 7, got "
+    if version not in (2, 3, 4, 5, 6, 7, 8):
+        raise SchemaError(f"$.schema_version: expected 2 through 8, got "
                           f"{version}")
     if not doc["experiment"]:
         raise SchemaError("$.experiment: empty string")
@@ -311,6 +353,11 @@ def check_file(path):
                               f"{sorted(backends)}")
     if version >= 6:
         check_keys(doc["config"], CONFIG_KEYS_V6, "$.config")
+    if version >= 8:
+        check_keys(doc["config"], CONFIG_KEYS_V8, "$.config")
+        check_keys(doc, {"cache_counters": dict}, "$")
+        check_keys(doc["cache_counters"], CACHE_COUNTER_KEYS_V8,
+                   "$.cache_counters")
     for key, value in doc["metrics"].items():
         if isinstance(value, bool) or not isinstance(value, numbers.Real):
             raise SchemaError(f"$.metrics[{key!r}]: expected number, got "

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Enforce the library layering of src/ by scanning #include edges.
+
+The layering (see CLAUDE.md and DESIGN.md) is:
+
+    tier 0: support
+    tier 1: lp, graph, machine, pb
+    tier 2: ilp, sched
+    tier 3: ilpsched, heuristic, codegen, workloads, textio, frontend
+
+A file in library L may include headers of its own library and of any
+library in a strictly LOWER tier — never a higher tier and never a
+sibling library in the same tier. tests/, bench/, and examples/ sit
+above every library and may include anything, so they are not scanned.
+
+Only project-relative quoted includes ("lib/Header.h") are checked;
+system includes and non-library quoted includes (e.g. bench's own
+"Harness.h") are ignored. An include of an UNKNOWN library directory is
+an error too — it means a new library was added without a tier
+assignment here, which is exactly the drift this lint exists to catch.
+
+Stdlib-only. Usage:
+
+    python3 scripts/check_layering.py [SRC_DIR]      # default: src/
+    python3 scripts/check_layering.py --self-check   # negative test
+
+--self-check writes a synthetic upward include (support -> ilpsched)
+into a temporary tree and verifies the checker rejects it, then checks
+a legal edge passes; CI runs it before the real scan so a silently
+broken checker cannot wave violations through.
+
+Exits 0 iff no violation was found, printing one line per violation.
+"""
+
+import os
+import re
+import sys
+import tempfile
+
+TIERS = {
+    "support": 0,
+    "lp": 1,
+    "graph": 1,
+    "machine": 1,
+    "pb": 1,
+    "ilp": 2,
+    "sched": 2,
+    "ilpsched": 3,
+    "heuristic": 3,
+    "codegen": 3,
+    "workloads": 3,
+    "textio": 3,
+    "frontend": 3,
+}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+SOURCE_SUFFIXES = (".h", ".hpp", ".cpp", ".cc")
+
+
+def scan_tree(src_dir):
+    """Returns a list of violation strings for one src/ tree."""
+    violations = []
+    for root, _dirs, files in os.walk(src_dir):
+        rel_root = os.path.relpath(root, src_dir)
+        lib = rel_root.split(os.sep)[0]
+        if lib in (".", ""):
+            continue  # files directly under src/ (CMakeLists.txt)
+        if lib not in TIERS:
+            violations.append(f"{os.path.join(rel_root)}: library "
+                              f"{lib!r} has no tier assignment in "
+                              f"scripts/check_layering.py")
+            continue
+        for name in sorted(files):
+            if not name.endswith(SOURCE_SUFFIXES):
+                continue
+            path = os.path.join(root, name)
+            rel_path = os.path.relpath(path, src_dir)
+            with open(path, "r", encoding="utf-8", errors="replace") as f:
+                for lineno, line in enumerate(f, 1):
+                    match = INCLUDE_RE.match(line)
+                    if not match:
+                        continue
+                    target = match.group(1).split("/")[0]
+                    if "/" not in match.group(1):
+                        continue  # non-library include ("Harness.h")
+                    if target not in TIERS:
+                        violations.append(
+                            f"{rel_path}:{lineno}: include of unknown "
+                            f"library {target!r} (assign it a tier in "
+                            f"scripts/check_layering.py)")
+                        continue
+                    if target == lib:
+                        continue
+                    if TIERS[target] >= TIERS[lib]:
+                        kind = ("upward" if TIERS[target] > TIERS[lib]
+                                else "same-tier")
+                        violations.append(
+                            f"{rel_path}:{lineno}: {kind} include "
+                            f"{lib!r} (tier {TIERS[lib]}) -> {target!r} "
+                            f"(tier {TIERS[target]})")
+    return violations
+
+
+def self_check():
+    """Verifies the checker flags a synthetic upward include."""
+    with tempfile.TemporaryDirectory() as tmp:
+        bad_dir = os.path.join(tmp, "support")
+        os.makedirs(bad_dir)
+        with open(os.path.join(bad_dir, "Bad.h"), "w",
+                  encoding="utf-8") as f:
+            f.write('#include "ilpsched/OptimalScheduler.h"\n')
+        violations = scan_tree(tmp)
+        if len(violations) != 1 or "upward include" not in violations[0]:
+            print("self-check FAIL: synthetic upward include not "
+                  "flagged exactly once:", violations)
+            return 1
+        with open(os.path.join(bad_dir, "Bad.h"), "w",
+                  encoding="utf-8") as f:
+            f.write('#include "support/Hash.h"\n#include <vector>\n')
+        violations = scan_tree(tmp)
+        if violations:
+            print("self-check FAIL: legal include flagged:", violations)
+            return 1
+    print("self-check ok: upward include flagged, legal include passed")
+    return 0
+
+
+def main(argv):
+    if "--self-check" in argv[1:]:
+        return self_check()
+    src_dir = argv[1] if len(argv) > 1 else "src"
+    if not os.path.isdir(src_dir):
+        print(f"error: {src_dir} is not a directory", file=sys.stderr)
+        return 2
+    violations = scan_tree(src_dir)
+    for line in violations:
+        print(f"LAYER {line}")
+    n_files = sum(
+        1 for root, _d, files in os.walk(src_dir)
+        for f in files if f.endswith(SOURCE_SUFFIXES))
+    print(f"checked {n_files} file(s): {len(violations)} violation(s)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

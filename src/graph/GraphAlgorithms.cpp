@@ -2,7 +2,10 @@
 
 #include "graph/GraphAlgorithms.h"
 
+#include "support/Hash.h"
+
 #include <algorithm>
+#include <array>
 #include <cassert>
 
 using namespace modsched;
@@ -180,4 +183,242 @@ std::optional<int> modsched::minScheduleLength(const DependenceGraph &G,
   for (int T : *Asap)
     Max = std::max(Max, T);
   return Max + 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical labeling
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Shared refinement state: adjacency in CSR-ish form plus the WL loop.
+class CanonicalSearch {
+public:
+  CanonicalSearch(int NumNodes, const std::vector<uint64_t> &NodeColors,
+                  const std::vector<CanonicalEdge> &Edges,
+                  int64_t StepBudget)
+      : N(NumNodes), NodeColors(NodeColors), Edges(Edges),
+        Budget(StepBudget) {
+    Out.resize(N);
+    In.resize(N);
+    for (int E = 0; E < static_cast<int>(Edges.size()); ++E) {
+      Out[Edges[E].Src].push_back(E);
+      In[Edges[E].Dst].push_back(E);
+    }
+  }
+
+  CanonicalLabeling run() {
+    CanonicalLabeling Result;
+    Result.CanonicalIndex.assign(N, 0);
+    if (N == 0) {
+      Result.InvariantHash = hashMix(0x63616e6fu); // "cano"
+      return Result;
+    }
+
+    // Initial partition from the caller's node colors, then refine.
+    std::vector<uint64_t> Sig(NodeColors);
+    std::vector<int> Ids = denseIds(Sig);
+    refine(Ids);
+
+    // The invariant hash depends only on the stable color multiset plus
+    // the (edge color, endpoint color) multiset — never on the tie-break
+    // search below, so it stays relabeling-invariant even when the
+    // budget trips.
+    uint64_t NodeAcc = 0;
+    for (int V = 0; V < N; ++V)
+      NodeAcc = hashUnordered(NodeAcc, hashMix(Ids[V] + 1));
+    uint64_t EdgeAcc = 0;
+    for (const CanonicalEdge &E : Edges) {
+      uint64_t H = hashMix(0x65646765u); // "edge"
+      H = hashCombine(H, E.Color);
+      H = hashCombine(H, Ids[E.Src] + 1);
+      H = hashCombine(H, Ids[E.Dst] + 1);
+      EdgeAcc = hashUnordered(EdgeAcc, H);
+    }
+    uint64_t Inv = hashMix(0x63616e6fu); // "cano"
+    Inv = hashCombine(Inv, static_cast<uint64_t>(N));
+    Inv = hashCombine(Inv, NodeAcc);
+    Inv = hashCombine(Inv, EdgeAcc);
+    Result.InvariantHash = Inv;
+
+    // Individualization-refinement: explore every way of splitting the
+    // first non-singleton class and keep the lexicographically smallest
+    // complete form. Correct without automorphism pruning (min over all
+    // leaves); the step budget bounds the worst case.
+    dfs(Ids);
+
+    if (!BestOrder.empty()) {
+      for (int Pos = 0; Pos < N; ++Pos)
+        Result.CanonicalIndex[BestOrder[Pos]] = Pos;
+      Result.Exact = !Exhausted;
+    } else {
+      // Budget died before any leaf: deterministic fallback order (by
+      // refined color, then original index). Never relabeling-invariant.
+      std::vector<int> Order(N);
+      for (int V = 0; V < N; ++V)
+        Order[V] = V;
+      std::sort(Order.begin(), Order.end(), [&](int A, int B) {
+        return std::make_pair(Ids[A], A) < std::make_pair(Ids[B], B);
+      });
+      for (int Pos = 0; Pos < N; ++Pos)
+        Result.CanonicalIndex[Order[Pos]] = Pos;
+      Result.Exact = false;
+    }
+    return Result;
+  }
+
+private:
+  /// Renumbers arbitrary 64-bit signatures to dense ids by sorted hash
+  /// value — rank by value, not first occurrence, so the numbering is
+  /// relabeling-invariant.
+  std::vector<int> denseIds(const std::vector<uint64_t> &Sig) {
+    std::vector<uint64_t> Sorted(Sig);
+    std::sort(Sorted.begin(), Sorted.end());
+    Sorted.erase(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
+    std::vector<int> Ids(N);
+    for (int V = 0; V < N; ++V)
+      Ids[V] = static_cast<int>(
+          std::lower_bound(Sorted.begin(), Sorted.end(), Sig[V]) -
+          Sorted.begin());
+    return Ids;
+  }
+
+  static int numClasses(const std::vector<int> &Ids) {
+    return Ids.empty() ? 0 : *std::max_element(Ids.begin(), Ids.end()) + 1;
+  }
+
+  /// One WL refinement to fixpoint over \p Ids. Densifies first: dfs()
+  /// individualizes by mapping class c to 2c+1 (2c for the singled-out
+  /// node), so incoming ids may be sparse, and everything downstream —
+  /// numClasses, the per-class counts, and the discrete-leaf
+  /// Order[Ids[V]] write — indexes by id value. Value-ranking keeps the
+  /// densification relabeling-invariant.
+  void refine(std::vector<int> &Ids) {
+    {
+      std::vector<uint64_t> AsSig(Ids.begin(), Ids.end());
+      Ids = denseIds(AsSig);
+    }
+    int Classes = numClasses(Ids);
+    std::vector<uint64_t> Sig(N);
+    for (int Round = 0; Round < N && Classes < N; ++Round) {
+      Budget -= N + static_cast<int64_t>(Edges.size());
+      if (Budget < 0) {
+        Exhausted = true;
+        return;
+      }
+      for (int V = 0; V < N; ++V) {
+        uint64_t OutAcc = 0, InAcc = 0;
+        for (int E : Out[V])
+          OutAcc = hashUnordered(
+              OutAcc, hashCombine(Edges[E].Color, Ids[Edges[E].Dst] + 1));
+        for (int E : In[V])
+          InAcc = hashUnordered(
+              InAcc, hashCombine(Edges[E].Color, Ids[Edges[E].Src] + 1));
+        uint64_t H = hashMix(Ids[V] + 1);
+        H = hashCombine(H, OutAcc);
+        H = hashCombine(H, InAcc);
+        Sig[V] = H;
+      }
+      std::vector<int> Next = denseIds(Sig);
+      int NextClasses = numClasses(Next);
+      Ids = std::move(Next);
+      if (NextClasses == Classes)
+        return; // Stable partition.
+      Classes = NextClasses;
+    }
+  }
+
+  /// Complete form of a discrete (all-singleton) coloring: node colors in
+  /// canonical order, then sorted edge tuples in canonical index space.
+  std::vector<uint64_t> leafForm(const std::vector<int> &Order) const {
+    std::vector<int> Pos(N);
+    for (int P = 0; P < N; ++P)
+      Pos[Order[P]] = P;
+    std::vector<uint64_t> Form;
+    Form.reserve(N + 3 * Edges.size() + 1);
+    Form.push_back(static_cast<uint64_t>(N));
+    for (int P = 0; P < N; ++P)
+      Form.push_back(NodeColors[Order[P]]);
+    std::vector<std::array<uint64_t, 3>> Tuples;
+    Tuples.reserve(Edges.size());
+    for (const CanonicalEdge &E : Edges)
+      Tuples.push_back({static_cast<uint64_t>(Pos[E.Src]),
+                        static_cast<uint64_t>(Pos[E.Dst]), E.Color});
+    std::sort(Tuples.begin(), Tuples.end());
+    for (const auto &T : Tuples) {
+      Form.push_back(T[0]);
+      Form.push_back(T[1]);
+      Form.push_back(T[2]);
+    }
+    return Form;
+  }
+
+  void dfs(std::vector<int> Ids) {
+    refine(Ids);
+    if (Exhausted && !BestOrder.empty())
+      return; // Keep the first complete leaf found before exhaustion.
+
+    // Find the smallest non-singleton color class.
+    int Classes = numClasses(Ids);
+    std::vector<int> Count(Classes, 0);
+    for (int V = 0; V < N; ++V)
+      ++Count[Ids[V]];
+    int Target = -1;
+    for (int C = 0; C < Classes; ++C)
+      if (Count[C] > 1) {
+        Target = C;
+        break;
+      }
+
+    if (Target < 0) {
+      // Discrete: a complete candidate labeling.
+      std::vector<int> Order(N);
+      for (int V = 0; V < N; ++V)
+        Order[Ids[V]] = V;
+      std::vector<uint64_t> Form = leafForm(Order);
+      if (BestOrder.empty() || Form < BestForm) {
+        BestForm = std::move(Form);
+        BestOrder = std::move(Order);
+      }
+      return;
+    }
+    if (Exhausted)
+      return;
+
+    // Individualize each member of the target class in turn: move it to
+    // a fresh class just below its old class (Ids doubled, member odd).
+    for (int V = 0; V < N && !Exhausted; ++V) {
+      if (Ids[V] != Target)
+        continue;
+      std::vector<int> Child(N);
+      for (int W = 0; W < N; ++W)
+        Child[W] = 2 * Ids[W] + 1;
+      Child[V] = 2 * Target;
+      dfs(std::move(Child));
+    }
+  }
+
+  const int N;
+  const std::vector<uint64_t> &NodeColors;
+  const std::vector<CanonicalEdge> &Edges;
+  std::vector<std::vector<int>> Out, In;
+  int64_t Budget;
+  bool Exhausted = false;
+  std::vector<uint64_t> BestForm;
+  std::vector<int> BestOrder;
+};
+
+} // namespace
+
+CanonicalLabeling modsched::canonicalLabeling(
+    int NumNodes, const std::vector<uint64_t> &NodeColors,
+    const std::vector<CanonicalEdge> &Edges, int64_t StepBudget) {
+  assert(static_cast<int>(NodeColors.size()) == NumNodes &&
+         "one color per node required");
+  for (const CanonicalEdge &E : Edges) {
+    assert(E.Src >= 0 && E.Src < NumNodes && E.Dst >= 0 &&
+           E.Dst < NumNodes && "canonical edge endpoint out of range");
+    (void)E;
+  }
+  return CanonicalSearch(NumNodes, NodeColors, Edges, StepBudget).run();
 }

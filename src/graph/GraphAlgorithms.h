@@ -20,6 +20,7 @@
 
 #include "graph/DependenceGraph.h"
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -55,6 +56,50 @@ std::optional<std::vector<int>> alapTimes(const DependenceGraph &G, int II,
 /// Minimum schedule length (1 + latest ASAP start) at \p II, or nullopt
 /// when II is recurrence-infeasible.
 std::optional<int> minScheduleLength(const DependenceGraph &G, int II);
+
+//===----------------------------------------------------------------------===//
+// Canonical labeling (for content-addressed problem hashing)
+//===----------------------------------------------------------------------===//
+
+/// A directed, colored edge fed to canonicalLabeling(). The color encodes
+/// every scheduling-relevant edge attribute (e.g. a hash of latency and
+/// distance, or of a register-use distance) so that two edges are
+/// interchangeable iff their colors match.
+struct CanonicalEdge {
+  int Src = 0;
+  int Dst = 0;
+  uint64_t Color = 0;
+};
+
+/// Result of canonicalLabeling().
+struct CanonicalLabeling {
+  /// CanonicalIndex[node] = the node's position in the canonical order; a
+  /// permutation of [0, N). When Exact, isomorphic relabelings of the
+  /// same colored graph map to the same canonical form (node colors +
+  /// edge tuples rewritten through CanonicalIndex compare equal).
+  std::vector<int> CanonicalIndex;
+  /// Relabeling-invariant hash of the stable WL color multiset. Invariant
+  /// even when Exact is false (it never depends on the tie-break search).
+  uint64_t InvariantHash = 0;
+  /// False when the individualization-refinement search exhausted its
+  /// step budget: CanonicalIndex is still a deterministic permutation,
+  /// but is NOT guaranteed relabeling-invariant and must not be used for
+  /// content-addressed caching.
+  bool Exact = true;
+};
+
+/// Computes a canonical node order for a colored directed multigraph:
+/// iterative Weisfeiler-Leman color refinement over (node color, in/out
+/// edge-color x neighbor-color multisets), then individualization-
+/// refinement over the remaining symmetric orbits, keeping the
+/// lexicographically smallest complete form. \p StepBudget bounds the
+/// total refinement work (roughly node-visits); graphs whose symmetry
+/// exhausts it come back with Exact == false. Deterministic for a fixed
+/// input; invariant under node relabeling when Exact.
+CanonicalLabeling canonicalLabeling(int NumNodes,
+                                    const std::vector<uint64_t> &NodeColors,
+                                    const std::vector<CanonicalEdge> &Edges,
+                                    int64_t StepBudget = 1 << 20);
 
 } // namespace modsched
 

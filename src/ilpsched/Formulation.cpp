@@ -14,34 +14,6 @@
 using namespace modsched;
 using namespace modsched::lp;
 
-const char *modsched::toString(Objective Obj) {
-  switch (Obj) {
-  case Objective::None:
-    return "NoObj";
-  case Objective::MinReg:
-    return "MinReg";
-  case Objective::MinBuff:
-    return "MinBuff";
-  case Objective::MinLife:
-    return "MinLife";
-  case Objective::MinSL:
-    return "MinSL";
-  }
-  return "unknown";
-}
-
-const char *modsched::toString(DependenceStyle Style) {
-  switch (Style) {
-  case DependenceStyle::Traditional:
-    return "traditional";
-  case DependenceStyle::Structured:
-    return "structured";
-  case DependenceStyle::StructuredLoose:
-    return "structured-loose";
-  }
-  return "unknown";
-}
-
 namespace {
 
 /// Floored integer division (C++ '/' truncates toward zero).

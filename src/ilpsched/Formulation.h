@@ -49,6 +49,7 @@
 #include "machine/MachineModel.h"
 #include "sched/Explain.h"
 #include "sched/ModuloSchedule.h"
+#include "sched/Problem.h"
 
 #include <optional>
 #include <string>
@@ -56,58 +57,9 @@
 
 namespace modsched {
 
-/// Secondary objective minimized among all schedules at the chosen II.
-enum class Objective {
-  None,    ///< Feasibility only (the paper's NoObj scheduler).
-  MinReg,  ///< Exact MaxLive (register requirement).
-  MinBuff, ///< Buffers: sum of ceil(lifetime / II).
-  MinLife, ///< Cumulative lifetime in cycles.
-  MinSL,   ///< Schedule length of one iteration (transient performance;
-           ///< listed among the classic objectives in the paper's Sec. 1).
-};
-
-const char *toString(Objective Obj);
-
-/// How the dependence constraints are emitted.
-enum class DependenceStyle {
-  Traditional,       ///< Paper Ineq. (4): coefficients r and II.
-  Structured,        ///< Paper Ineq. (20): 0-1-structured + tightening.
-  StructuredLoose,   ///< Paper Ineq. (19): structured, no Chaudhuri
-                     ///< tightening (ablation).
-};
-
-const char *toString(DependenceStyle Style);
-
-/// How the secondary-objective machinery is emitted.
-enum class ObjectiveStyle {
-  Traditional, ///< Coefficient-II constraints ([7]/[16] style).
-  Structured,  ///< 0-1-structured reformulation.
-};
-
-/// Options shared by all formulations.
-struct FormulationOptions {
-  Objective Obj = Objective::None;
-  DependenceStyle DepStyle = DependenceStyle::Structured;
-  ObjectiveStyle ObjStyle = ObjectiveStyle::Structured;
-  /// Schedule-length budget beyond the minimum (paper: 20 cycles).
-  int ScheduleLengthSlack = 20;
-  /// Derive per-operation stage bounds from ASAP/ALAP windows. Applied
-  /// identically to both formulations.
-  bool TightenStageBounds = true;
-  /// Map every operation to a specific resource INSTANCE it holds for
-  /// its whole usage pattern (Altman et al. [5]), instead of the
-  /// counting constraints of Ineq. (5). Strictly stronger on machines
-  /// where a multi-cycle pattern must stay on one instance: counting can
-  /// accept IIs for which no consistent instance assignment exists.
-  bool InstanceMapped = false;
-  /// When >= 0: register-CONSTRAINED scheduling — every MRT row's live
-  /// count must not exceed this register-file size (a hard constraint
-  /// rather than the MinReg objective). Combine with Objective::None to
-  /// find the minimum II fitting a given rotating file, the practical
-  /// question on a real machine (the Cydra 5 had 64 rotating registers).
-  /// Not combinable with Objective::MinReg (asserted).
-  int RegisterLimit = -1;
-};
+// Objective, DependenceStyle, ObjectiveStyle, and FormulationOptions
+// live in sched/Problem.h (the sched layer owns the problem statement;
+// this layer owns the ILP encodings of it).
 
 /// Build telemetry for one formulation (see docs/OBSERVABILITY.md):
 /// wall time and model shape, overall and per constraint family. A

@@ -60,7 +60,7 @@ IiSearchStrategy::~IiSearchStrategy() = default;
 //===----------------------------------------------------------------------===//
 
 void SequentialIiSearch::search(const OptimalModuloScheduler &Sched,
-                                const DependenceGraph &G,
+                                const Problem &P,
                                 ScheduleResult &Result) const {
   const SchedulerOptions &Opts = Sched.options();
   Stopwatch Watch;
@@ -80,7 +80,7 @@ void SequentialIiSearch::search(const OptimalModuloScheduler &Sched,
       break;
     }
     std::optional<ModuloSchedule> S = Sched.scheduleAtIi(
-        G, II, Result, Remaining, /*Ctx=*/nullptr, Portfolio.get());
+        P, II, Result, Remaining, /*Ctx=*/nullptr, Portfolio.get());
     if (Result.TimedOut || Result.NodeLimitHit)
       break;
     if (S) {
@@ -114,7 +114,7 @@ struct RaceSlot {
 } // namespace
 
 void ParallelRaceIiSearch::search(const OptimalModuloScheduler &Sched,
-                                  const DependenceGraph &G,
+                                  const Problem &P,
                                   ScheduleResult &Result) const {
   const SchedulerOptions &Opts = Sched.options();
   Stopwatch Watch;
@@ -162,11 +162,11 @@ void ParallelRaceIiSearch::search(const OptimalModuloScheduler &Sched,
       RaceSlot &Slot = Slots[I];
       PortfolioState *Portfolio =
           PortfolioStates.empty() ? nullptr : PortfolioStates[size_t(I)].get();
-      Pool.submit([&Sched, &G, &Slots, &Slot, &WinnerMutex, &WinnerII,
+      Pool.submit([&Sched, &P, &Slots, &Slot, &WinnerMutex, &WinnerII,
                    Remaining, Base, NumSlots, Portfolio]() {
         lp::SolveContext Ctx;
         Ctx.Cancel = Slot.Cancel.token();
-        Slot.Schedule = Sched.scheduleAtIi(G, Slot.II, Slot.Stats, Remaining,
+        Slot.Schedule = Sched.scheduleAtIi(P, Slot.II, Slot.Stats, Remaining,
                                            &Ctx, Portfolio);
         if (!Slot.Schedule)
           return;

@@ -40,10 +40,10 @@ public:
   /// Printable strategy name ("sequential" / "parallel-race").
   virtual const char *name() const = 0;
 
-  /// Runs the search. \p Result.Mii must already hold the MII lower
-  /// bound; everything else starts default-initialized.
-  virtual void search(const OptimalModuloScheduler &Sched,
-                      const DependenceGraph &G,
+  /// Runs the search over Problem \p P. \p Result.Mii must already
+  /// hold the MII lower bound; everything else starts
+  /// default-initialized.
+  virtual void search(const OptimalModuloScheduler &Sched, const Problem &P,
                       ScheduleResult &Result) const = 0;
 };
 
@@ -51,7 +51,7 @@ public:
 class SequentialIiSearch : public IiSearchStrategy {
 public:
   const char *name() const override { return "sequential"; }
-  void search(const OptimalModuloScheduler &Sched, const DependenceGraph &G,
+  void search(const OptimalModuloScheduler &Sched, const Problem &P,
               ScheduleResult &Result) const override;
 };
 
@@ -65,7 +65,7 @@ public:
   explicit ParallelRaceIiSearch(int Jobs);
 
   const char *name() const override { return "parallel-race"; }
-  void search(const OptimalModuloScheduler &Sched, const DependenceGraph &G,
+  void search(const OptimalModuloScheduler &Sched, const Problem &P,
               ScheduleResult &Result) const override;
 
 private:

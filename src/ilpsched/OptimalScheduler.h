@@ -25,6 +25,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -39,7 +40,11 @@ namespace pb {
 class AttemptSession; // pb/Incremental.h
 } // namespace pb
 
-struct PortfolioState; // ilpsched/PortfolioAttempt.h
+struct PortfolioState;  // ilpsched/PortfolioAttempt.h
+class AttemptEngine;    // ilpsched/AttemptEngine.h
+class IlpEngine;        // ilpsched/AttemptEngine.h
+class PbEngine;         // ilpsched/AttemptEngine.h
+class PortfolioEngine;  // ilpsched/AttemptEngine.h
 
 /// Which exact engine decides each tentative II.
 enum class SchedulerBackend {
@@ -75,6 +80,12 @@ SchedulerBackend defaultSchedulerBackend();
 /// disables; unrecognized values warn once to stderr and disable). Read
 /// once and cached.
 bool defaultExplainEnabled();
+
+/// Default for SchedulerOptions::Cache, from the MODSCHED_CACHE
+/// environment variable ("1"/"on" enables, "0"/"off" disables, unset
+/// disables; unrecognized values warn once to stderr and disable). Read
+/// once and cached.
+bool defaultCacheEnabled();
 
 /// How the min-II search walks the tentative IIs (see
 /// ilpsched/IiSearch.h for the strategy implementations).
@@ -129,6 +140,14 @@ struct SchedulerOptions {
   /// Zero-cost when off — no Farkas scans, no trajectory samples, no
   /// explanation re-solves.
   bool Explain = defaultExplainEnabled();
+  /// Consult the process-wide content-addressed SolutionCache
+  /// (ilpsched/SolutionCache.h) before running the II ladder, and
+  /// insert clean solves afterwards. Hits are keyed on the canonical
+  /// Problem hash — loops identical up to node renumbering and
+  /// resource renaming share entries — and every hit is re-verified
+  /// through sched/Verifier before being reported. Off by default so
+  /// benchmark effort numbers mean what they say.
+  bool Cache = defaultCacheEnabled();
 
   // --- Portfolio backend knobs (Backend == SchedulerBackend::Portfolio,
   //     ignored otherwise; see ilpsched/PortfolioAttempt.h) ---
@@ -304,32 +323,57 @@ struct ScheduleResult {
   int64_t budgetNodes() const { return Nodes + PbConflicts; }
   /// Total wall-clock time.
   double Seconds = 0.0;
+  /// True when this result was served from the SolutionCache instead of
+  /// a fresh solve: the II and SecondaryObjective are those of the
+  /// cached (verifier-re-checked) solve, and every solver-effort field
+  /// above is 0 with Attempts empty — cache hits never masquerade as
+  /// solver work.
+  bool CacheHit = false;
   /// One record per tentative II tried, in search order (telemetry; see
   /// docs/OBSERVABILITY.md).
   std::vector<IiAttempt> Attempts;
 };
 
-/// The optimal scheduler driver.
+/// The optimal scheduler driver. Owns one instance of each registered
+/// AttemptEngine (ilpsched/AttemptEngine.h); scheduleAtIi is pure
+/// strategy selection — pick the engine the configured backend names,
+/// let supports() veto it, run the attempt, and re-verify the result
+/// through sched/Verifier as the uniform gate.
 class OptimalModuloScheduler {
 public:
-  OptimalModuloScheduler(const MachineModel &M, SchedulerOptions Options)
-      : M(M), Opts(Options) {}
+  OptimalModuloScheduler(const MachineModel &M, SchedulerOptions Options);
+  ~OptimalModuloScheduler();
+  OptimalModuloScheduler(const OptimalModuloScheduler &) = delete;
+  OptimalModuloScheduler &operator=(const OptimalModuloScheduler &) = delete;
 
   /// Schedules \p G for minimum II (and minimum secondary objective among
-  /// all min-II schedules) using the configured IiSearchKind.
+  /// all min-II schedules) using the configured IiSearchKind. With
+  /// SchedulerOptions::Cache, consults the SolutionCache first and
+  /// inserts clean solves afterwards.
   ScheduleResult schedule(const DependenceGraph &G) const;
 
-  /// Solves a single tentative \p II. Returns nullopt when the ILP is
-  /// infeasible at this II (or the attempt was censored / cancelled);
-  /// fills \p Stats regardless. \p Ctx, when non-null, supplies the
-  /// solve environment — workspace, deadline, cancellation token — for
-  /// this attempt (lp/SolveContext.h); a fresh local context is used
-  /// otherwise. Reentrant: concurrent calls on one scheduler are safe
-  /// as long as each uses its own \p Stats and \p Ctx. Under
-  /// SchedulerBackend::Portfolio, \p Portfolio carries the loop-level
-  /// race state (persistent PB session, worker pool, phase hints); a
-  /// transient state is created when null, sacrificing only cross-II
-  /// reuse.
+  /// Solves a single tentative \p II of \p P. Returns nullopt when the
+  /// problem is infeasible at this II (or the attempt was censored /
+  /// cancelled); fills \p Stats regardless. \p Ctx, when non-null,
+  /// supplies the solve environment — workspace, deadline, cancellation
+  /// token — for this attempt (lp/SolveContext.h); a fresh local
+  /// context is used otherwise. Reentrant: concurrent calls on one
+  /// scheduler are safe as long as each uses its own \p Stats and
+  /// \p Ctx. Under SchedulerBackend::Portfolio, \p Portfolio carries
+  /// the loop-level race state (persistent PB session, worker pool,
+  /// phase hints); a transient state is created when null, sacrificing
+  /// only cross-II reuse.
+  std::optional<ModuloSchedule> scheduleAtIi(const Problem &P, int II,
+                                             ScheduleResult &Stats,
+                                             double TimeBudget,
+                                             lp::SolveContext *Ctx = nullptr,
+                                             PortfolioState *Portfolio =
+                                                 nullptr) const;
+
+  /// Convenience overload wrapping \p G (with this scheduler's machine
+  /// and formulation options) in a transient Problem. Prefer the
+  /// Problem overload when attempting several IIs of one loop — it
+  /// shares the canonicalization and the once-per-Problem diagnostics.
   std::optional<ModuloSchedule> scheduleAtIi(const DependenceGraph &G,
                                              int II, ScheduleResult &Stats,
                                              double TimeBudget,
@@ -340,41 +384,16 @@ public:
   const SchedulerOptions &options() const { return Opts; }
 
 private:
-  /// The ILP-backend body of scheduleAtIi: builds the Formulation, runs
-  /// branch-and-bound under \p Ctx's deadline/cancellation, and fills
-  /// \p Attempt with the verdict. \p Hooks, when non-null, wires the
-  /// solve into a portfolio race (external cutoff + incumbent
-  /// publication).
-  std::optional<ModuloSchedule>
-  scheduleIlpAttempt(const DependenceGraph &G, int II, ScheduleResult &Stats,
-                     double TimeBudget, lp::SolveContext *Ctx,
-                     IiAttempt &Attempt,
-                     PortfolioEngineHooks *Hooks = nullptr) const;
-
-  /// The PB-backend body of scheduleAtIi: builds the PbFormulation,
-  /// runs the (possibly solution-improving) CDCL solve under \p Ctx's
-  /// deadline/cancellation, and fills \p Attempt with the verdict.
-  /// \p Hooks, when non-null, wires the solve into a portfolio race
-  /// (persistent session, phase hints, restart-time bound injection,
-  /// incumbent publication).
-  std::optional<ModuloSchedule>
-  schedulePbAttempt(const DependenceGraph &G, int II, ScheduleResult &Stats,
-                    double TimeBudget, lp::SolveContext *Ctx,
-                    IiAttempt &Attempt,
-                    PortfolioEngineHooks *Hooks = nullptr) const;
-
-  /// The portfolio body of scheduleAtIi (ilpsched/PortfolioAttempt.cpp):
-  /// eligibility-checks both engines, races the eligible ones on
-  /// \p State's worker pool with cross-engine bound exchange, commits
-  /// the first conclusive verdict, and cancels the loser.
-  std::optional<ModuloSchedule>
-  schedulePortfolioAttempt(const DependenceGraph &G, int II,
-                           ScheduleResult &Stats, double TimeBudget,
-                           lp::SolveContext *Ctx, IiAttempt &Attempt,
-                           PortfolioState &State) const;
+  /// Backend dispatch: the engine that must decide (\p P, \p II) under
+  /// the configured SchedulerBackend, after supports() vetoes (the PB
+  /// backend falls back to the ILP engine, warning once per Problem).
+  const AttemptEngine *selectEngine(const Problem &P, int II) const;
 
   const MachineModel &M;
   SchedulerOptions Opts;
+  std::unique_ptr<IlpEngine> IlpE;
+  std::unique_ptr<PbEngine> PbE;
+  std::unique_ptr<PortfolioEngine> PortfolioE;
 };
 
 } // namespace modsched

@@ -1,9 +1,9 @@
-//===- ilpsched/PortfolioAttempt.cpp - ILP/PB race coordination -----------===//
+//===- ilpsched/PortfolioAttempt.cpp - Engine race coordination -----------===//
 
 #include "ilpsched/PortfolioAttempt.h"
 
+#include "ilpsched/AttemptEngine.h"
 #include "ilpsched/OptimalScheduler.h"
-#include "ilpsched/PbFormulation.h"
 #include "lp/SolveContext.h"
 #include "support/Telemetry.h"
 
@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <utility>
 
 using namespace modsched;
@@ -46,7 +47,7 @@ std::optional<ModuloSchedule> SharedIncumbent::best(int64_t &K) const {
 namespace {
 
 telemetry::Counter StatRaces("ilpsched", "portfolio.races",
-                             "II attempts raced by both engines");
+                             "II attempts raced by several engines");
 telemetry::Counter StatWinnerIlp("ilpsched", "portfolio.winner_ilp",
                                  "Attempts committed from the ILP engine");
 telemetry::Counter StatWinnerPb("ilpsched", "portfolio.winner_pb",
@@ -64,6 +65,13 @@ telemetry::Counter StatPbIneligible("ilpsched", "portfolio.pb_ineligible",
                                     "Attempts where PB sat out "
                                     "(wide-coefficient MinLife or "
                                     "unsupported formulation)");
+
+void bumpWinner(const char *Name) {
+  if (std::strcmp(Name, "ilp") == 0)
+    ++StatWinnerIlp;
+  else if (std::strcmp(Name, "pb") == 0)
+    ++StatWinnerPb;
+}
 
 /// Everything one racing engine produces: its verdict-bearing attempt
 /// record, its scratch statistics (seeded with the loop's budget spend
@@ -89,142 +97,173 @@ bool conclusive(const WorkerResult &W, const PortfolioEngineHooks &H) {
   return W.Attempt.Status == MipStatus::Infeasible;
 }
 
+/// One lane of a portfolio race: the child engine plus all the
+/// per-worker state it solves under. Everything lives on the
+/// coordinator's frame; the latch guarantees workers terminate before
+/// it unwinds.
+struct Racer {
+  const AttemptEngine *E = nullptr;
+  CancellationSource Cancel;
+  lp::SolveContext Ctx;
+  PortfolioEngineHooks Hooks;
+  WorkerResult W;
+};
+
 } // namespace
 
+bool PortfolioEngine::supports(const Problem &P, int II) const {
+  for (const AttemptEngine *E : Children)
+    if (E->supports(P, II))
+      return true;
+  return false;
+}
+
 std::optional<ModuloSchedule>
-OptimalModuloScheduler::schedulePortfolioAttempt(
-    const DependenceGraph &G, int II, ScheduleResult &Stats,
-    double TimeBudget, lp::SolveContext *Ctx, IiAttempt &Attempt,
-    PortfolioState &State) const {
-  const Objective Obj = Opts.Formulation.Obj;
+PortfolioEngine::solveAttempt(AttemptContext &C) const {
+  assert(C.State && "portfolio attempts need loop-level race state");
+  PortfolioState &State = *C.State;
+  const Objective Obj = C.P.options().Obj;
   const int64_t KeptBefore = State.Session.stats().ClausesKept;
 
-  // --- Eligibility: which engines contest this attempt. ---
-  bool PbEligible = PbFormulation::supports(Opts.Formulation);
-  if (PbEligible && Obj == Objective::MinLife &&
-      II > Opts.PortfolioPbCoeffLimit) {
-    // MinLife rows carry objective/lifetime coefficients that scale
-    // with II; past the width threshold the CDCL engine's cardinality
-    // reasoning degrades into slow generic PB arithmetic and it never
-    // wins the race — don't burn a worker on it.
-    PbEligible = false;
+  // --- Eligibility: which registered engines contest this attempt.
+  // supports() is the hard capability filter; worthRacing() then thins a
+  // multi-engine field down to the engines worth a worker (unless that
+  // would empty it — somebody has to decide the II). ---
+  std::vector<const AttemptEngine *> Contestants;
+  for (const AttemptEngine *E : Children)
+    if (E->supports(C.P, C.II))
+      Contestants.push_back(E);
+  assert(!Contestants.empty() &&
+         "portfolio dispatched an attempt no registered engine supports");
+  if (Contestants.size() > 1) {
+    std::vector<const AttemptEngine *> Worth;
+    for (const AttemptEngine *E : Contestants)
+      if (E->worthRacing(C.P, C.II))
+        Worth.push_back(E);
+    if (!Worth.empty())
+      Contestants = std::move(Worth);
   }
-  if (!PbEligible) {
+  const auto contesting = [&](const char *Name) {
+    for (const AttemptEngine *E : Contestants)
+      if (std::strcmp(E->name(), Name) == 0)
+        return true;
+    return false;
+  };
+  bool PbRegistered = false;
+  for (const AttemptEngine *E : Children)
+    PbRegistered |= std::strcmp(E->name(), "pb") == 0;
+  if (PbRegistered && !contesting("pb"))
     ++StatPbIneligible;
-    std::optional<ModuloSchedule> S =
-        scheduleIlpAttempt(G, II, Stats, TimeBudget, Ctx, Attempt);
-    if (S || (!Attempt.Cancelled &&
-              Attempt.Status == MipStatus::Infeasible)) {
-      Attempt.Winner = "ilp";
-      ++StatWinnerIlp;
-    }
-    return S;
-  }
-  if (Obj == Objective::None && Opts.PortfolioIlpMinPbVars > 0 &&
-      G.numOperations() * II <= Opts.PortfolioIlpMinPbVars) {
-    // Tiny feasibility instance: the CDCL engine decides these orders
-    // of magnitude faster than a B&B warm-up (EXPERIMENTS.md E11), so
-    // the ILP sits out and PB runs inline.
+
+  if (Contestants.size() == 1) {
+    // A lone contestant runs inline on the caller's thread — no pool,
+    // no shared incumbent (there is nobody to exchange bounds with),
+    // but still the persistent session / phase hints so cross-II reuse
+    // survives eligibility short-circuits. Engines ignore hook fields
+    // they have no use for, so one wiring serves every child.
+    const AttemptEngine *E = Contestants.front();
     PortfolioEngineHooks Hooks;
     if (Opts.PortfolioPersistentPb)
       Hooks.Session = &State.Session;
     if (!State.PhaseHint.empty())
       Hooks.PhaseHint = &State.PhaseHint;
-    std::optional<ModuloSchedule> S =
-        schedulePbAttempt(G, II, Stats, TimeBudget, Ctx, Attempt, &Hooks);
+    AttemptContext Solo{C.P,   C.II,      C.Stats, C.TimeBudget,
+                        C.Ctx, C.Attempt, &Hooks,  C.State};
+    std::optional<ModuloSchedule> S = E->solveAttempt(Solo);
     StatClausesKept += State.Session.stats().ClausesKept - KeptBefore;
-    if (S || (!Attempt.Cancelled &&
-              Attempt.Status == MipStatus::Infeasible)) {
-      Attempt.Winner = "pb";
-      ++StatWinnerPb;
+    if (S || (!C.Attempt.Cancelled &&
+              C.Attempt.Status == MipStatus::Infeasible)) {
+      C.Attempt.Winner = E->name();
+      bumpWinner(E->name());
     }
     if (S)
       State.PhaseHint = S->times();
     return S;
   }
 
-  // --- Race both engines. ---
+  // --- Race the contestants. ---
   ++StatRaces;
   if (!State.Pool)
-    State.Pool = std::make_unique<ThreadPool>(2);
+    State.Pool = std::make_unique<ThreadPool>(int(Children.size()));
 
   lp::SolveContext LocalCtx;
-  lp::SolveContext &Parent = Ctx ? *Ctx : LocalCtx;
+  lp::SolveContext &Parent = C.Ctx ? *C.Ctx : LocalCtx;
 
   SharedIncumbent Shared;
   const bool Exchange = Obj != Objective::None;
 
-  CancellationSource IlpCancel, PbCancel;
-  lp::SolveContext IlpCtx, PbCtx;
-  IlpCtx.DeadlineSeconds = Parent.DeadlineSeconds;
-  IlpCtx.Cancel = IlpCancel.token();
-  PbCtx.DeadlineSeconds = Parent.DeadlineSeconds;
-  PbCtx.Cancel = PbCancel.token();
-
-  PortfolioEngineHooks IlpHooks, PbHooks;
-  if (Exchange) {
-    IlpHooks.ExternalBound = &Shared.Bound;
-    IlpHooks.OnIncumbent = [&Shared](int64_t K, const ModuloSchedule &S) {
-      Shared.publish(K, S, "ilp");
-    };
-    PbHooks.ExternalBound = &Shared.Bound;
-    PbHooks.OnIncumbent = [&Shared](int64_t K, const ModuloSchedule &S) {
-      Shared.publish(K, S, "pb");
-    };
-  }
-  if (Opts.PortfolioPersistentPb)
-    PbHooks.Session = &State.Session;
-  if (!State.PhaseHint.empty())
-    PbHooks.PhaseHint = &State.PhaseHint;
-
-  WorkerResult Ilp, Pb;
-  const int64_t SeedNodes = Stats.Nodes;
-  const int64_t SeedConflicts = Stats.PbConflicts;
-  // Each worker sees the loop's budget spend so far (like ParallelRace
-  // slots, the budget is granted to each independently — they cannot
-  // see each other's spend without racing on it).
-  for (WorkerResult *W : {&Ilp, &Pb}) {
-    W->Attempt.II = II;
-    W->Scratch.Nodes = SeedNodes;
-    W->Scratch.PbConflicts = SeedConflicts;
+  const int64_t SeedNodes = C.Stats.Nodes;
+  const int64_t SeedConflicts = C.Stats.PbConflicts;
+  std::vector<Racer> Racers(Contestants.size());
+  for (size_t I = 0; I != Racers.size(); ++I) {
+    Racer &R = Racers[I];
+    R.E = Contestants[I];
+    R.Ctx.DeadlineSeconds = Parent.DeadlineSeconds;
+    R.Ctx.Cancel = R.Cancel.token();
+    if (Exchange) {
+      R.Hooks.ExternalBound = &Shared.Bound;
+      const char *Src = R.E->name();
+      R.Hooks.OnIncumbent = [&Shared, Src](int64_t K,
+                                           const ModuloSchedule &S) {
+        Shared.publish(K, S, Src);
+      };
+    }
+    // The persistent session is single-owner state: exactly one
+    // registered child (the PB engine) consumes it, every other engine
+    // ignores the field.
+    if (Opts.PortfolioPersistentPb)
+      R.Hooks.Session = &State.Session;
+    if (!State.PhaseHint.empty())
+      R.Hooks.PhaseHint = &State.PhaseHint;
+    // Each worker sees the loop's budget spend so far (like
+    // ParallelRace slots, the budget is granted to each independently —
+    // they cannot see each other's spend without racing on it).
+    R.W.Attempt.II = C.II;
+    R.W.Scratch.Nodes = SeedNodes;
+    R.W.Scratch.PbConflicts = SeedConflicts;
   }
 
   std::mutex Mu;
   std::condition_variable Cv;
-  State.Pool->submit([&] {
-    Ilp.Schedule = scheduleIlpAttempt(G, II, Ilp.Scratch, TimeBudget,
-                                      &IlpCtx, Ilp.Attempt, &IlpHooks);
-    {
-      std::lock_guard<std::mutex> Lock(Mu);
-      Ilp.Done = true;
-    }
-    Cv.notify_all();
-  });
-  State.Pool->submit([&] {
-    Pb.Schedule = schedulePbAttempt(G, II, Pb.Scratch, TimeBudget, &PbCtx,
-                                    Pb.Attempt, &PbHooks);
-    {
-      std::lock_guard<std::mutex> Lock(Mu);
-      Pb.Done = true;
-    }
-    Cv.notify_all();
-  });
+  for (Racer &R : Racers) {
+    Racer *RP = &R;
+    State.Pool->submit([this, &C, &Mu, &Cv, RP] {
+      AttemptContext Lane{C.P,     C.II,          RP->W.Scratch,
+                          C.TimeBudget, &RP->Ctx, RP->W.Attempt,
+                          &RP->Hooks,   C.State};
+      RP->W.Schedule = RP->E->solveAttempt(Lane);
+      {
+        std::lock_guard<std::mutex> Lock(Mu);
+        RP->W.Done = true;
+      }
+      Cv.notify_all();
+    });
+  }
 
   // Latch: wake on worker completion (or every millisecond to poll the
   // parent's token — CancellationToken has no chaining API). The first
-  // conclusive verdict cancels the loser; both workers must terminate
+  // conclusive verdict cancels the losers; every worker must terminate
   // before the coordinator touches their results, since everything they
   // reference lives on this frame.
   {
     std::unique_lock<std::mutex> Lock(Mu);
     bool FiredCancel = false;
-    while (!(Ilp.Done && Pb.Done)) {
-      if (!FiredCancel &&
-          (Parent.cancelled() ||
-           (Ilp.Done && conclusive(Ilp, IlpHooks)) ||
-           (Pb.Done && conclusive(Pb, PbHooks)))) {
-        IlpCancel.cancel();
-        PbCancel.cancel();
+    const auto allDone = [&] {
+      for (const Racer &R : Racers)
+        if (!R.W.Done)
+          return false;
+      return true;
+    };
+    const auto anyConclusive = [&] {
+      for (const Racer &R : Racers)
+        if (R.W.Done && conclusive(R.W, R.Hooks))
+          return true;
+      return false;
+    };
+    while (!allDone()) {
+      if (!FiredCancel && (Parent.cancelled() || anyConclusive())) {
+        for (Racer &R : Racers)
+          R.Cancel.cancel();
         FiredCancel = true;
       }
       Cv.wait_for(Lock, std::chrono::milliseconds(1));
@@ -232,52 +271,53 @@ OptimalModuloScheduler::schedulePortfolioAttempt(
   }
 
   StatClausesKept += State.Session.stats().ClausesKept - KeptBefore;
-  StatBoundExchanges += IlpHooks.BoundExchanges + PbHooks.BoundExchanges;
+  int64_t ExchangesApplied = 0;
+  for (const Racer &R : Racers)
+    ExchangesApplied += R.Hooks.BoundExchanges;
+  StatBoundExchanges += ExchangesApplied;
 
-  // --- Merge both engines' effort into the loop statistics (truthful
-  // telemetry: racing costs two engines' work, and budgetNodes() must
-  // reflect it). ---
-  for (WorkerResult *W : {&Ilp, &Pb}) {
-    Stats.Nodes += W->Scratch.Nodes - SeedNodes;
-    Stats.PbConflicts += W->Scratch.PbConflicts - SeedConflicts;
-    Stats.SimplexIterations += W->Scratch.SimplexIterations;
-    Stats.WarmLpSolves += W->Scratch.WarmLpSolves;
-    Stats.ColdLpSolves += W->Scratch.ColdLpSolves;
-    Stats.WarmLpIterations += W->Scratch.WarmLpIterations;
-    Stats.LpRefactorizations += W->Scratch.LpRefactorizations;
-    Stats.LpEtaNonzeros += W->Scratch.LpEtaNonzeros;
-    Stats.PbPropagations += W->Scratch.PbPropagations;
-    Stats.PbRestarts += W->Scratch.PbRestarts;
-    Stats.PbLearned += W->Scratch.PbLearned;
+  // --- Merge every engine's effort into the loop statistics (truthful
+  // telemetry: racing costs several engines' work, and budgetNodes()
+  // must reflect it). ---
+  IiAttempt &Attempt = C.Attempt;
+  for (Racer &R : Racers) {
+    C.Stats.Nodes += R.W.Scratch.Nodes - SeedNodes;
+    C.Stats.PbConflicts += R.W.Scratch.PbConflicts - SeedConflicts;
+    C.Stats.SimplexIterations += R.W.Scratch.SimplexIterations;
+    C.Stats.WarmLpSolves += R.W.Scratch.WarmLpSolves;
+    C.Stats.ColdLpSolves += R.W.Scratch.ColdLpSolves;
+    C.Stats.WarmLpIterations += R.W.Scratch.WarmLpIterations;
+    C.Stats.LpRefactorizations += R.W.Scratch.LpRefactorizations;
+    C.Stats.LpEtaNonzeros += R.W.Scratch.LpEtaNonzeros;
+    C.Stats.PbPropagations += R.W.Scratch.PbPropagations;
+    C.Stats.PbRestarts += R.W.Scratch.PbRestarts;
+    C.Stats.PbLearned += R.W.Scratch.PbLearned;
+    Attempt.Nodes += R.W.Attempt.Nodes;
+    Attempt.SimplexIterations += R.W.Attempt.SimplexIterations;
+    Attempt.PbConflicts += R.W.Attempt.PbConflicts;
+    Attempt.PbPropagations += R.W.Attempt.PbPropagations;
   }
-  Attempt.Nodes = Ilp.Attempt.Nodes + Pb.Attempt.Nodes;
-  Attempt.SimplexIterations =
-      Ilp.Attempt.SimplexIterations + Pb.Attempt.SimplexIterations;
-  Attempt.PbConflicts = Ilp.Attempt.PbConflicts + Pb.Attempt.PbConflicts;
-  Attempt.PbPropagations =
-      Ilp.Attempt.PbPropagations + Pb.Attempt.PbPropagations;
-  Attempt.BoundExchanges = IlpHooks.BoundExchanges + PbHooks.BoundExchanges;
+  Attempt.BoundExchanges = ExchangesApplied;
 
   // --- Resolve verdicts. A refutation below the shared cell commits
-  // the shared incumbent (the other engine's schedule) as optimal. ---
+  // the shared incumbent (another engine's schedule) as optimal. ---
   struct Verdict {
     bool Valid = false;
     bool Infeasible = false;
     std::optional<ModuloSchedule> Schedule;
     int64_t ObjVal = 0;
   };
-  auto Resolve = [&](WorkerResult &W,
-                     const PortfolioEngineHooks &H) -> Verdict {
+  auto Resolve = [&](Racer &R) -> Verdict {
     Verdict V;
-    if (!conclusive(W, H))
+    if (!conclusive(R.W, R.Hooks))
       return V;
     V.Valid = true;
-    if (W.Schedule) {
-      V.Schedule = std::move(W.Schedule);
-      V.ObjVal = int64_t(std::llround(W.Scratch.SecondaryObjective));
+    if (R.W.Schedule) {
+      V.Schedule = std::move(R.W.Schedule);
+      V.ObjVal = int64_t(std::llround(R.W.Scratch.SecondaryObjective));
       return V;
     }
-    if (H.RefutedBelowExternal) {
+    if (R.Hooks.RefutedBelowExternal) {
       int64_t K = INT64_MAX;
       V.Schedule = Shared.best(K);
       V.ObjVal = K;
@@ -285,7 +325,7 @@ OptimalModuloScheduler::schedulePortfolioAttempt(
         std::fprintf(stderr,
                      "fatal: portfolio refuted below a shared bound "
                      "with no shared incumbent at II=%d\n",
-                     II);
+                     C.II);
         std::abort();
       }
       return V;
@@ -293,64 +333,77 @@ OptimalModuloScheduler::schedulePortfolioAttempt(
     V.Infeasible = true;
     return V;
   };
-  Verdict VIlp = Resolve(Ilp, IlpHooks);
-  Verdict VPb = Resolve(Pb, PbHooks);
+  std::vector<Verdict> Verdicts;
+  Verdicts.reserve(Racers.size());
+  for (Racer &R : Racers)
+    Verdicts.push_back(Resolve(R));
 
-  if (VIlp.Valid && VPb.Valid) {
-    // Both finished before the cancellation landed: their verdicts are
-    // independent exact answers and must agree — a mismatch is an
-    // engine bug, never a result.
-    const bool Agree = VIlp.Infeasible == VPb.Infeasible &&
-                       (VIlp.Infeasible || VIlp.ObjVal == VPb.ObjVal);
+  // Engines that finished before the cancellation landed produced
+  // independent exact answers and must agree — a mismatch is an engine
+  // bug, never a result.
+  Verdict *First = nullptr;
+  Racer *FirstR = nullptr;
+  for (size_t I = 0; I != Verdicts.size(); ++I) {
+    if (!Verdicts[I].Valid)
+      continue;
+    if (!First) {
+      First = &Verdicts[I];
+      FirstR = &Racers[I];
+      continue;
+    }
+    const Verdict &V = Verdicts[I];
+    const bool Agree = First->Infeasible == V.Infeasible &&
+                       (First->Infeasible || First->ObjVal == V.ObjVal);
     if (!Agree) {
       std::fprintf(stderr,
                    "fatal: portfolio engines disagree at II=%d: "
-                   "ilp={infeasible=%d obj=%lld} "
-                   "pb={infeasible=%d obj=%lld}\n",
-                   II, VIlp.Infeasible ? 1 : 0,
-                   (long long)VIlp.ObjVal, VPb.Infeasible ? 1 : 0,
-                   (long long)VPb.ObjVal);
+                   "%s={infeasible=%d obj=%lld} "
+                   "%s={infeasible=%d obj=%lld}\n",
+                   C.II, FirstR->E->name(), First->Infeasible ? 1 : 0,
+                   (long long)First->ObjVal, Racers[I].E->name(),
+                   V.Infeasible ? 1 : 0, (long long)V.ObjVal);
       std::abort();
     }
   }
 
-  // Fixed engine preference: when both are conclusive the ILP verdict
-  // is committed, so the attempt record (and any explanation/audit
-  // attached to it) is deterministic regardless of race timing.
-  const bool UseIlp = VIlp.Valid;
-  Verdict &V = UseIlp ? VIlp : VPb;
-  WorkerResult &W = UseIlp ? Ilp : Pb;
-
-  if (!V.Valid) {
-    // Neither engine decided the II: the parent cancelled the race, or
-    // both engines were censored by their budgets.
+  if (!First) {
+    // No engine decided the II: the parent cancelled the race, or every
+    // engine was censored by its budget.
     if (Parent.cancelled()) {
       Attempt.Status = MipStatus::Cancelled;
       Attempt.Cancelled = true;
       return std::nullopt;
     }
     Attempt.Status = MipStatus::Limit;
-    Stats.TimedOut |= Ilp.Scratch.TimedOut || Pb.Scratch.TimedOut;
-    Stats.NodeLimitHit |=
-        Ilp.Scratch.NodeLimitHit || Pb.Scratch.NodeLimitHit;
-    if (Ilp.Attempt.Audit)
-      Attempt.Audit = std::move(Ilp.Attempt.Audit); // Censored incumbent.
+    for (const Racer &R : Racers) {
+      C.Stats.TimedOut |= R.W.Scratch.TimedOut;
+      C.Stats.NodeLimitHit |= R.W.Scratch.NodeLimitHit;
+    }
+    for (Racer &R : Racers)
+      if (R.W.Attempt.Audit) {
+        Attempt.Audit = std::move(R.W.Attempt.Audit); // Censored incumbent.
+        break;
+      }
     return std::nullopt;
   }
 
-  Attempt.Winner = UseIlp ? "ilp" : "pb";
-  if (UseIlp)
-    ++StatWinnerIlp;
-  else
-    ++StatWinnerPb;
-  Attempt.Variables = W.Attempt.Variables;
-  Attempt.Constraints = W.Attempt.Constraints;
-  Attempt.Explain = std::move(W.Attempt.Explain);
-  Attempt.Audit = std::move(W.Attempt.Audit);
+  // Fixed engine preference: when several verdicts are conclusive the
+  // earliest registered child's is committed, so the attempt record
+  // (and any explanation/audit attached to it) is deterministic
+  // regardless of race timing.
+  Verdict &V = *First;
+  Racer &W = *FirstR;
+
+  Attempt.Winner = W.E->name();
+  bumpWinner(W.E->name());
+  Attempt.Variables = W.W.Attempt.Variables;
+  Attempt.Constraints = W.W.Attempt.Constraints;
+  Attempt.Explain = std::move(W.W.Attempt.Explain);
+  Attempt.Audit = std::move(W.W.Attempt.Audit);
 
   if (V.Infeasible) {
     Attempt.Status = MipStatus::Infeasible;
-    Attempt.WindowInfeasible = W.Attempt.WindowInfeasible;
+    Attempt.WindowInfeasible = W.W.Attempt.WindowInfeasible;
     return std::nullopt;
   }
 
@@ -358,16 +411,16 @@ OptimalModuloScheduler::schedulePortfolioAttempt(
   Attempt.Scheduled = true;
   if (Opts.Explain && !Attempt.Audit) {
     // Optimality proved by the refutation half of a split verdict (one
-    // engine found the schedule, the other exhausted everything
-    // better); there is no relaxation bound to audit against.
+    // engine found the schedule, another exhausted everything better);
+    // there is no relaxation bound to audit against.
     OptimalityAudit A;
     A.FinalObjective = double(V.ObjVal);
     A.Proof = "optimal";
     Attempt.Audit = std::move(A);
   }
-  Stats.Variables = W.Attempt.Variables;
-  Stats.Constraints = W.Attempt.Constraints;
-  Stats.SecondaryObjective = double(V.ObjVal);
+  C.Stats.Variables = W.W.Attempt.Variables;
+  C.Stats.Constraints = W.W.Attempt.Constraints;
+  C.Stats.SecondaryObjective = double(V.ObjVal);
   State.PhaseHint = V.Schedule->times();
   return std::move(V.Schedule);
 }

@@ -6,10 +6,11 @@
 ///
 /// \file
 /// Loop-level state of the portfolio backend
-/// (SchedulerBackend::Portfolio): each tentative II dispatches the ILP
-/// and PB engines onto a dedicated two-worker pool, the first conclusive
-/// verdict wins and cancels the loser, and two hybridization layers make
-/// the race more than the sum of its engines:
+/// (SchedulerBackend::Portfolio; the PortfolioEngine of
+/// ilpsched/AttemptEngine.h): each tentative II dispatches the
+/// registered child engines onto a dedicated worker pool, the first
+/// conclusive verdict wins and cancels the losers, and two
+/// hybridization layers make the race more than the sum of its engines:
 ///
 ///   * Cross-engine incumbent exchange — whichever engine verifies a
 ///     schedule of objective k publishes it to a SharedIncumbent; the
@@ -83,9 +84,9 @@ private:
 /// search before the first attempt and reused across the loop's whole
 /// II ladder; accessed by one attempt at a time.
 struct PortfolioState {
-  /// Dedicated two-worker pool the engines race on; created on the
-  /// first racing attempt (eligibility short-circuits never pay for
-  /// threads) and reused afterwards.
+  /// Dedicated pool the engines race on (one worker per registered
+  /// child); created on the first racing attempt (eligibility
+  /// short-circuits never pay for threads) and reused afterwards.
   std::unique_ptr<ThreadPool> Pool;
 
   /// Persistent incremental PB solver carrying learned clauses,

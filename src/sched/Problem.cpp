@@ -1,0 +1,181 @@
+//===- sched/Problem.cpp - Canonical modulo-scheduling problem ------------===//
+
+#include "sched/Problem.h"
+
+#include "graph/GraphAlgorithms.h"
+#include "support/Hash.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+using namespace modsched;
+
+const char *modsched::toString(Objective Obj) {
+  switch (Obj) {
+  case Objective::None:
+    return "NoObj";
+  case Objective::MinReg:
+    return "MinReg";
+  case Objective::MinBuff:
+    return "MinBuff";
+  case Objective::MinLife:
+    return "MinLife";
+  case Objective::MinSL:
+    return "MinSL";
+  }
+  return "unknown";
+}
+
+const char *modsched::toString(DependenceStyle Style) {
+  switch (Style) {
+  case DependenceStyle::Traditional:
+    return "traditional";
+  case DependenceStyle::Structured:
+    return "structured";
+  case DependenceStyle::StructuredLoose:
+    return "structured-loose";
+  }
+  return "unknown";
+}
+
+namespace {
+
+uint64_t optionsDigest(const FormulationOptions &Opts) {
+  uint64_t H = hashMix(0x6f707473u); // "opts"
+  H = hashCombine(H, static_cast<uint64_t>(Opts.Obj));
+  H = hashCombine(H, static_cast<uint64_t>(Opts.DepStyle));
+  H = hashCombine(H, static_cast<uint64_t>(Opts.ObjStyle));
+  H = hashCombine(H, static_cast<uint64_t>(
+                         static_cast<int64_t>(Opts.ScheduleLengthSlack)));
+  H = hashCombine(H, Opts.TightenStageBounds ? 1 : 0);
+  H = hashCombine(H, Opts.InstanceMapped ? 1 : 0);
+  H = hashCombine(H, static_cast<uint64_t>(
+                         static_cast<int64_t>(Opts.RegisterLimit)));
+  return H;
+}
+
+uint64_t asWord(int Value) {
+  return static_cast<uint64_t>(static_cast<int64_t>(Value));
+}
+
+} // namespace
+
+void Problem::computeCanonical() const {
+  const int N = G.numOperations();
+
+  // RegisterOf[op] = register defined by op, or -1.
+  std::vector<int> RegisterOf(N, -1);
+  for (int R = 0; R < G.numRegisters(); ++R)
+    RegisterOf[G.registers()[R].Def] = R;
+
+  // Node colors: the opclass signature (latency + canonical resource
+  // usages — names excluded) plus the register-def shape of the node.
+  // Register USES become colored edges below, so two defs differ here
+  // only in whether they own a register and whether it is unconsumed
+  // (an unconsumed register is still live for one cycle).
+  std::vector<uint64_t> Colors(N);
+  for (int Op = 0; Op < N; ++Op) {
+    uint64_t H = hashMix(0x6e6f6465u); // "node"
+    H = hashCombine(H, M.opClassSignature(G.operation(Op).OpClass));
+    int Reg = RegisterOf[Op];
+    H = hashCombine(H, Reg < 0 ? 0u : 1u);
+    H = hashCombine(H,
+                    (Reg >= 0 && G.registers()[Reg].Uses.empty()) ? 1u : 0u);
+    Colors[Op] = H;
+  }
+
+  // Edge colors: scheduling edges by (latency, distance); register uses
+  // by use distance (def -> consumer).
+  std::vector<CanonicalEdge> Edges;
+  Edges.reserve(G.numSchedEdges());
+  for (const SchedEdge &E : G.schedEdges()) {
+    uint64_t H = hashMix(0x73656467u); // "sedg"
+    H = hashCombine(H, asWord(E.Latency));
+    H = hashCombine(H, asWord(E.Distance));
+    Edges.push_back({E.Src, E.Dst, H});
+  }
+  for (const VirtualRegister &R : G.registers())
+    for (const RegisterUse &U : R.Uses) {
+      uint64_t H = hashMix(0x72656775u); // "regu"
+      H = hashCombine(H, asWord(U.Distance));
+      Edges.push_back({R.Def, U.Consumer, H});
+    }
+
+  CanonicalLabeling Labeling = canonicalLabeling(N, Colors, Edges);
+  CanonIndex = std::move(Labeling.CanonicalIndex);
+  Exact = Labeling.Exact;
+
+  // Canonical form: every scheduling-relevant fact rewritten into
+  // canonical indices. Sorting makes the rendering independent of the
+  // original edge/register insertion order.
+  Form.clear();
+  Form.push_back(asWord(N));
+  Form.push_back(asWord(G.numSchedEdges()));
+  Form.push_back(asWord(G.numRegisters()));
+
+  std::vector<uint64_t> NodeWords(N);
+  for (int Op = 0; Op < N; ++Op)
+    NodeWords[CanonIndex[Op]] = Colors[Op];
+  Form.insert(Form.end(), NodeWords.begin(), NodeWords.end());
+
+  std::vector<std::array<uint64_t, 4>> EdgeTuples;
+  EdgeTuples.reserve(G.numSchedEdges());
+  for (const SchedEdge &E : G.schedEdges())
+    EdgeTuples.push_back({asWord(CanonIndex[E.Src]), asWord(CanonIndex[E.Dst]),
+                          asWord(E.Latency), asWord(E.Distance)});
+  std::sort(EdgeTuples.begin(), EdgeTuples.end());
+  for (const auto &T : EdgeTuples)
+    Form.insert(Form.end(), T.begin(), T.end());
+
+  std::vector<std::vector<uint64_t>> RegTuples;
+  RegTuples.reserve(G.numRegisters());
+  for (const VirtualRegister &R : G.registers()) {
+    std::vector<std::array<uint64_t, 2>> Uses;
+    Uses.reserve(R.Uses.size());
+    for (const RegisterUse &U : R.Uses)
+      Uses.push_back({asWord(CanonIndex[U.Consumer]), asWord(U.Distance)});
+    std::sort(Uses.begin(), Uses.end());
+    std::vector<uint64_t> Tuple;
+    Tuple.reserve(2 + 2 * Uses.size());
+    Tuple.push_back(asWord(CanonIndex[R.Def]));
+    Tuple.push_back(Uses.size());
+    for (const auto &U : Uses)
+      Tuple.insert(Tuple.end(), U.begin(), U.end());
+    RegTuples.push_back(std::move(Tuple));
+  }
+  std::sort(RegTuples.begin(), RegTuples.end());
+  for (const auto &T : RegTuples)
+    Form.insert(Form.end(), T.begin(), T.end());
+
+  Form.push_back(M.digest());
+  Form.push_back(optionsDigest(Opts));
+
+  uint64_t H = hashMix(0x70726f62u); // "prob"
+  for (uint64_t W : Form)
+    H = hashCombine(H, W);
+  // Mixing in the search-free invariant hash costs nothing and keeps the
+  // address discriminating even if a future form rendering has a bug.
+  H = hashCombine(H, Labeling.InvariantHash);
+  Hash = H;
+}
+
+uint64_t Problem::canonicalHash() const {
+  std::call_once(CanonOnce, [this] { computeCanonical(); });
+  return Hash;
+}
+
+bool Problem::hashExact() const {
+  std::call_once(CanonOnce, [this] { computeCanonical(); });
+  return Exact;
+}
+
+const std::vector<int> &Problem::canonicalIndex() const {
+  std::call_once(CanonOnce, [this] { computeCanonical(); });
+  return CanonIndex;
+}
+
+const std::vector<uint64_t> &Problem::canonicalForm() const {
+  std::call_once(CanonOnce, [this] { computeCanonical(); });
+  return Form;
+}
