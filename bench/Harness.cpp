@@ -356,6 +356,10 @@ void bench::printPaperTableBlock(const std::string &SchedulerName,
 BenchJson::BenchJson(std::string Experiment)
     : Experiment(std::move(Experiment)) {}
 
+void BenchJson::setServiceSummary(ServiceSummary Summary) {
+  Service = std::move(Summary);
+}
+
 void BenchJson::addMetric(std::string Key, double Value) {
   Metrics.emplace_back(std::move(Key), Value);
 }
@@ -470,7 +474,7 @@ std::string BenchJson::write() const {
   std::string Out;
   json::JsonWriter W(Out);
   W.beginObject();
-  W.key("schema_version").value(8);
+  W.key("schema_version").value(9);
   W.key("experiment").value(Experiment);
   W.key("generated_unix")
       .value(static_cast<int64_t>(std::time(nullptr)));
@@ -497,6 +501,27 @@ std::string BenchJson::write() const {
     W.key(Name).value(C ? C->value() : int64_t(0));
   }
   W.endObject();
+  // Service-bench replay summary (schema v9, optional): present only
+  // when the experiment drove the scheduling service (bench/
+  // service_bench). Status keys are the protocol's closed status set;
+  // the validator rejects anything else.
+  if (Service) {
+    W.key("service").beginObject();
+    W.key("requests").value(Service->Requests);
+    W.key("shed").value(Service->Shed);
+    W.key("errors").value(Service->Errors);
+    W.key("cache_hits").value(Service->CacheHits);
+    W.key("qps").value(Service->Qps);
+    W.key("p50_ms").value(Service->P50Ms);
+    W.key("p95_ms").value(Service->P95Ms);
+    W.key("p99_ms").value(Service->P99Ms);
+    W.key("cache_hit_rate").value(Service->CacheHitRate);
+    W.key("statuses").beginObject();
+    for (const auto &[Status, Count] : Service->Statuses)
+      W.key(Status).value(Count);
+    W.endObject();
+    W.endObject();
+  }
   W.key("metrics").beginObject();
   for (const auto &[Key, Value] : Metrics)
     W.key(Key).value(Value);

@@ -64,6 +64,8 @@
 #include "ilpsched/OptimalScheduler.h"
 #include "machine/MachineModel.h"
 
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -218,6 +220,27 @@ void printPortfolioSummary(const std::string &Label,
 std::vector<int>
 commonlySolved(const std::vector<std::vector<LoopRecord>> &RecordSets);
 
+/// Closed-loop service benchmark summary (bench/service_bench): QPS,
+/// latency percentiles, cache behavior and admission-control outcomes
+/// of one request-replay phase, emitted as the optional top-level
+/// "service" object of the artifact (schema v9). Status keys must come
+/// from the service protocol's closed status set ("ok", "timeout",
+/// "node_limit", "unsolved", "cancelled", "error", "retry_after") —
+/// scripts/check_bench_json.py rejects unknown strings.
+struct ServiceSummary {
+  std::int64_t Requests = 0;    ///< Requests submitted (incl. shed).
+  std::int64_t Shed = 0;        ///< retry_after replies.
+  std::int64_t Errors = 0;      ///< error replies.
+  std::int64_t CacheHits = 0;   ///< ok replies served from the cache.
+  double Qps = 0.0;             ///< Completed requests per second.
+  double P50Ms = 0.0;           ///< Median end-to-end latency.
+  double P95Ms = 0.0;
+  double P99Ms = 0.0;
+  double CacheHitRate = 0.0;    ///< CacheHits / ok replies (0 when none).
+  /// Response-status histogram over every reply received.
+  std::map<std::string, std::int64_t> Statuses;
+};
+
 /// Machine-readable result artifact for one experiment binary.
 ///
 /// Usage: construct with the experiment name, register the resolved
@@ -225,7 +248,12 @@ commonlySolved(const std::vector<std::vector<LoopRecord>> &RecordSets);
 /// produced, and call write() before exiting. The artifact is
 ///   <dir>/BENCH_<experiment>.json
 /// with <dir> = $MODSCHED_BENCH_RESULTS_DIR or "bench_results" (created
-/// if missing). The schema (schema_version 8: adds config.cache, the
+/// if missing). The schema (schema_version 9: adds the optional
+/// top-level "service" object — requests / shed / errors / cache_hits,
+/// qps, p50_ms / p95_ms / p99_ms, cache_hit_rate and the statuses
+/// histogram of one service-bench replay, with status keys validated
+/// against the protocol's closed status set; version 8 added
+/// config.cache, the
 /// per-record cache_hit flag (true = schedule replayed from the
 /// solution cache, zero solver effort, empty attempts), and the
 /// top-level cache counter object {hits, misses, inserts, evictions}
@@ -245,7 +273,7 @@ commonlySolved(const std::vector<std::vector<LoopRecord>> &RecordSets);
 /// status, and the per-attempt cancelled flag; version 2 added the
 /// warm-start solve counters) is validated by
 /// scripts/check_bench_json.py — which still accepts versions 2
-/// through 7 — and documented in docs/OBSERVABILITY.md.
+/// through 8 — and documented in docs/OBSERVABILITY.md.
 class BenchJson {
 public:
   explicit BenchJson(std::string Experiment);
@@ -256,6 +284,10 @@ public:
   /// Adds one experiment-specific headline number (coverage, ratios,
   /// ...). Keys should be snake_case.
   void addMetric(std::string Key, double Value);
+
+  /// Registers the service-bench replay summary, emitted as the
+  /// top-level "service" object (schema v9; absent when never set).
+  void setServiceSummary(ServiceSummary Summary);
 
   /// Adds one labelled set of per-loop records (one per scheduler
   /// configuration, typically).
@@ -270,6 +302,8 @@ private:
   std::string Experiment;
   BenchConfig Cfg;
   std::vector<std::pair<std::string, double>> Metrics;
+  /// Set iff setServiceSummary was called (optional block).
+  std::optional<ServiceSummary> Service;
   struct RecordSet {
     std::string Label;
     std::vector<LoopRecord> Records;

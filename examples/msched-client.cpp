@@ -1,0 +1,229 @@
+//===- examples/msched-client.cpp - Batch submitter / replayer ------------===//
+//
+// Batch client for the scheduling service (src/service, docs/SERVICE.md):
+//
+//   msched-client --socket=<path> (--machine-file=<m.mdesc> |
+//                 --machine=example3|cydra|vliw2)
+//                 [--objective=<name>] [--time=<sec>] [--repeat=<n>]
+//                 [--stats] <loop.ddg>...
+//
+// Frames every .ddg file into a SCHED request, submits the whole batch
+// (repeated --repeat times — the replay knob that turns the second pass
+// into cache hits), reads the JSON response lines, echoes them to
+// stdout, and prints a one-line summary to stderr:
+//
+//   msched-client: <n> responses: <ok> ok (<hits> cached), <shed> shed,
+//                  <err> error
+//
+// Exit status: 0 when every response was ok (cached or fresh), 1 when
+// any request errored or was shed, 2 on usage/transport failure.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace {
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Out = Buf.str();
+  return true;
+}
+
+int countLines(const std::string &Text) {
+  int N = 0;
+  for (std::size_t I = 0; I < Text.size(); ++I)
+    if (Text[I] == '\n')
+      ++N;
+  if (!Text.empty() && Text.back() != '\n')
+    ++N;
+  return N;
+}
+
+bool writeAll(int Fd, const std::string &Data) {
+  const char *P = Data.data();
+  std::size_t Len = Data.size();
+  while (Len > 0) {
+    ssize_t N = ::send(Fd, P, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += N;
+    Len -= static_cast<std::size_t>(N);
+  }
+  return true;
+}
+
+/// True when the one-line JSON response contains "key":"value" /
+/// "key":value verbatim (the responses are machine-written with no
+/// whitespace, so plain substring matching is exact enough here).
+bool hasField(const std::string &Line, const char *Key, const char *Value) {
+  std::string Needle = std::string("\"") + Key + "\":" + Value;
+  return Line.find(Needle) != std::string::npos;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string SocketPath, MachineFile, Builtin, Objective = "minreg";
+  std::string Time;
+  int Repeat = 1;
+  bool WantStats = false;
+  std::vector<std::string> Loops;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--socket=", 9) == 0)
+      SocketPath = Arg + 9;
+    else if (std::strncmp(Arg, "--machine-file=", 15) == 0)
+      MachineFile = Arg + 15;
+    else if (std::strncmp(Arg, "--machine=", 10) == 0)
+      Builtin = Arg + 10;
+    else if (std::strncmp(Arg, "--objective=", 12) == 0)
+      Objective = Arg + 12;
+    else if (std::strncmp(Arg, "--time=", 7) == 0)
+      Time = Arg + 7;
+    else if (std::strncmp(Arg, "--repeat=", 9) == 0)
+      Repeat = std::atoi(Arg + 9);
+    else if (std::strcmp(Arg, "--stats") == 0)
+      WantStats = true;
+    else if (Arg[0] == '-') {
+      std::fprintf(stderr, "msched-client: unknown option %s\n", Arg);
+      return 2;
+    } else
+      Loops.push_back(Arg);
+  }
+  if (SocketPath.empty() || Loops.empty() ||
+      (MachineFile.empty() && Builtin.empty()) || Repeat < 1) {
+    std::fprintf(stderr,
+                 "usage: %s --socket=<path> (--machine-file=<m.mdesc> | "
+                 "--machine=<builtin>) [--objective=<name>] [--time=<sec>] "
+                 "[--repeat=<n>] [--stats] <loop.ddg>...\n",
+                 Argv[0]);
+    return 2;
+  }
+
+  std::string MachineText;
+  if (!MachineFile.empty() && !readFile(MachineFile, MachineText)) {
+    std::fprintf(stderr, "msched-client: cannot read %s\n",
+                 MachineFile.c_str());
+    return 2;
+  }
+
+  // Build the whole batch up front (the replayer's frames are
+  // deterministic, so a recorded corpus replays bit-identically).
+  std::string Batch;
+  int Expected = 0;
+  for (int Pass = 0; Pass < Repeat; ++Pass) {
+    for (std::size_t I = 0; I < Loops.size(); ++I) {
+      std::string Ddg;
+      if (!readFile(Loops[I], Ddg)) {
+        std::fprintf(stderr, "msched-client: cannot read %s\n",
+                     Loops[I].c_str());
+        return 2;
+      }
+      std::string Id = "r" + std::to_string(Pass) + "-" + std::to_string(I);
+      Batch += "SCHED id=" + Id + " objective=" + Objective;
+      if (!Time.empty())
+        Batch += " time=" + Time;
+      if (!Builtin.empty())
+        Batch += " machine=" + Builtin;
+      Batch += "\n";
+      if (Builtin.empty()) {
+        Batch += "MACHINE " + std::to_string(countLines(MachineText)) + "\n";
+        Batch += MachineText;
+        if (!MachineText.empty() && MachineText.back() != '\n')
+          Batch += "\n";
+      }
+      Batch += "DDG " + std::to_string(countLines(Ddg)) + "\n";
+      Batch += Ddg;
+      if (!Ddg.empty() && Ddg.back() != '\n')
+        Batch += "\n";
+      Batch += "END\n";
+      ++Expected;
+    }
+  }
+  if (WantStats) {
+    Batch += "STATS\n";
+    ++Expected;
+  }
+  Batch += "QUIT\n";
+
+  sockaddr_un Addr;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "msched-client: socket path too long\n");
+    return 2;
+  }
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    std::perror("msched-client: socket");
+    return 2;
+  }
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    std::perror("msched-client: connect");
+    ::close(Fd);
+    return 2;
+  }
+  if (!writeAll(Fd, Batch)) {
+    std::perror("msched-client: send");
+    ::close(Fd);
+    return 2;
+  }
+  ::shutdown(Fd, SHUT_WR);
+
+  // Read response lines until the server closes the stream.
+  std::string Buf, Line;
+  char Chunk[8192];
+  int Got = 0, Ok = 0, Cached = 0, Shed = 0, Err = 0;
+  for (;;) {
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      break;
+    Buf.append(Chunk, static_cast<std::size_t>(N));
+    std::size_t Pos;
+    while ((Pos = Buf.find('\n')) != std::string::npos) {
+      Line = Buf.substr(0, Pos);
+      Buf.erase(0, Pos + 1);
+      if (Line.empty())
+        continue;
+      std::printf("%s\n", Line.c_str());
+      ++Got;
+      if (hasField(Line, "status", "\"ok\"")) {
+        ++Ok;
+        if (hasField(Line, "cache_hit", "true"))
+          ++Cached;
+      } else if (hasField(Line, "status", "\"retry_after\"")) {
+        ++Shed;
+      } else {
+        ++Err;
+      }
+    }
+  }
+  ::close(Fd);
+
+  std::fprintf(stderr,
+               "msched-client: %d responses (%d expected): %d ok "
+               "(%d cached), %d shed, %d error\n",
+               Got, Expected, Ok, Cached, Shed, Err);
+  return (Err == 0 && Shed == 0 && Got == Expected) ? 0 : 1;
+}

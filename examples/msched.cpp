@@ -332,6 +332,16 @@ int main(int Argc, char **Argv) {
   // works without the flag.
   if (Opts.Explain) {
     std::printf("\nsolve forensics:\n");
+    // Cache-served results carry no attempt records (a hit honestly
+    // reports zero solver effort), so the forensics section states the
+    // provenance instead: cache_hit plus the content address the reply
+    // was served under — the same fields bench records and the service
+    // protocol report.
+    if (R.CacheHit)
+      std::printf("  cache_hit canonical=%016llx request=%016llx II=%d "
+                  "(verifier re-checked replay; no solver attempts)\n",
+                  static_cast<unsigned long long>(R.CacheCanonicalHash),
+                  static_cast<unsigned long long>(R.CacheRequestKey), R.II);
     for (const IiAttempt &A : R.Attempts) {
       std::printf("  II=%-3d %-10s", A.II, ilp::toString(A.Status));
       if (!A.Winner.empty())

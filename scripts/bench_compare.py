@@ -14,28 +14,44 @@ dir), matches records by (record-set label, loop name), and reports:
     cache in either run (cache_hit=true, schema 8: replay time
     measures the cache, not the solver, so such pairs say nothing
     about solver speed);
+  * cache-counter drift - the v8 top-level cache_counters snapshot is
+    diffed when it changed; an artifact lacking the block (schema < 8,
+    or a hand-trimmed file) is treated as all-zero counters rather than
+    crashing, and a candidate whose cache went cold (baseline served
+    hits, candidate served none with the cache still configured on) is
+    flagged as a regression;
   * artifacts present in only one directory (informational).
 
 Exits nonzero iff any coverage or solver-time regression was found, so
 CI can gate on it. Comparing a directory against itself is the CI smoke
-test: it must report nothing and exit 0.
+test: it must report nothing and exit 0. `--self-test` builds throwaway
+artifact pairs (with and without the cache_counters block) in a temp
+directory and checks the comparator's own behavior, exiting nonzero on
+any deviation.
 
 Stdlib-only. Usage:
 
     python3 scripts/bench_compare.py BASELINE_DIR CANDIDATE_DIR \
         [--threshold 0.20] [--min-seconds 0.05]
+    python3 scripts/bench_compare.py --self-test
 """
 
 import argparse
 import json
 import os
 import sys
+import tempfile
+
+CACHE_COUNTER_KEYS = ("hits", "misses", "inserts", "evictions")
 
 
-def load_records(path):
-    """Maps (record-set label, loop name) -> record for one artifact."""
+def load_doc(path):
     with open(path, "r", encoding="utf-8") as handle:
-        doc = json.load(handle)
+        return json.load(handle)
+
+
+def doc_records(doc):
+    """Maps (record-set label, loop name) -> record for one artifact."""
     records = {}
     for record_set in doc.get("record_sets", []):
         label = record_set.get("label", "")
@@ -44,12 +60,42 @@ def load_records(path):
     return records
 
 
-def compare_file(name, base_path, cand_path, threshold, min_seconds):
-    """Returns (regressions, notes) line lists for one artifact pair."""
-    base = load_records(base_path)
-    cand = load_records(cand_path)
+def cache_counters(doc):
+    """The v8 cache_counters block with missing block/keys as zeros.
+
+    Pre-v8 artifacts have no such block at all; indexing it directly
+    used to KeyError the whole comparison. Absence means "this run
+    recorded no cache activity", which zeros state exactly.
+    """
+    block = doc.get("cache_counters") or {}
+    return {key: int(block.get(key, 0)) for key in CACHE_COUNTER_KEYS}
+
+
+def compare_cache_counters(name, base_doc, cand_doc):
+    """Returns (regressions, notes) for one artifact pair's counters."""
+    base = cache_counters(base_doc)
+    cand = cache_counters(cand_doc)
     regressions = []
     notes = []
+    if base != cand:
+        delta = ", ".join(f"{k} {base[k]} -> {cand[k]}"
+                          for k in CACHE_COUNTER_KEYS if base[k] != cand[k])
+        notes.append(f"{name} cache_counters: {delta}")
+    cand_cache_on = bool(cand_doc.get("config", {}).get("cache", False))
+    if base["hits"] > 0 and cand["hits"] == 0 and cand_cache_on:
+        regressions.append(
+            f"{name}: cache went cold (baseline served {base['hits']} "
+            f"hit(s), candidate served none with cache on)")
+    return regressions, notes
+
+
+def compare_file(name, base_path, cand_path, threshold, min_seconds):
+    """Returns (regressions, notes) line lists for one artifact pair."""
+    base_doc = load_doc(base_path)
+    cand_doc = load_doc(cand_path)
+    base = doc_records(base_doc)
+    cand = doc_records(cand_doc)
+    regressions, notes = compare_cache_counters(name, base_doc, cand_doc)
     for key in sorted(set(base) - set(cand)):
         notes.append(f"{name} {key[0]}/{key[1]}: record dropped")
     for key in sorted(set(cand) - set(base)):
@@ -91,18 +137,121 @@ def bench_files(directory):
             if e.startswith("BENCH_") and e.endswith(".json")}
 
 
+def make_artifact(with_cache_counters, hits, solved=True, seconds=0.2,
+                  cache_on=True):
+    """A minimal artifact for the comparator self-test."""
+    doc = {
+        "schema_version": 8 if with_cache_counters else 7,
+        "experiment": "selftest",
+        "config": {"cache": cache_on},
+        "record_sets": [{
+            "label": "sweep",
+            "records": [{
+                "name": "loop0",
+                "solved": solved,
+                "status": "solved" if solved else "timeout",
+                "seconds": seconds,
+                "cache_hit": False,
+            }],
+        }],
+    }
+    if with_cache_counters:
+        doc["cache_counters"] = {"hits": hits, "misses": 3, "inserts": 2,
+                                 "evictions": 0}
+    return doc
+
+
+def self_test():
+    """Exercises the comparator on constructed artifact pairs; returns
+    the number of failed expectations (0 = pass)."""
+    failures = 0
+
+    def expect(ok, what):
+        nonlocal failures
+        if not ok:
+            failures += 1
+            print(f"SELF-TEST FAIL: {what}")
+
+    with tempfile.TemporaryDirectory(prefix="bench_compare_selftest_") as tmp:
+        base_dir = os.path.join(tmp, "base")
+        cand_dir = os.path.join(tmp, "cand")
+        os.mkdir(base_dir)
+        os.mkdir(cand_dir)
+
+        def write(directory, doc):
+            path = os.path.join(directory, "BENCH_selftest.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle)
+            return path
+
+        # 1. Baseline HAS the v8 block, candidate LACKS it entirely
+        #    (the historical KeyError): must compare cleanly, treating
+        #    the missing block as zeros -> "cache went cold" regression.
+        b = write(base_dir, make_artifact(True, hits=5))
+        c = write(cand_dir, make_artifact(False, hits=0))
+        regs, notes = compare_file("BENCH_selftest.json", b, c, 0.2, 0.05)
+        expect(any("cache went cold" in r for r in regs),
+               "missing candidate block not treated as zero hits")
+        expect(any("cache_counters" in n for n in notes),
+               "counter drift note missing")
+
+        # 2. The reverse direction (baseline pre-v8, candidate v8) and
+        #    the both-missing case must produce no cache regressions.
+        regs, _ = compare_file("BENCH_selftest.json", c, b, 0.2, 0.05)
+        expect(not regs, f"reverse direction regressed: {regs}")
+        c2 = write(cand_dir, make_artifact(False, hits=0))
+        regs, notes = compare_file("BENCH_selftest.json", c, c2, 0.2, 0.05)
+        expect(not regs and not notes,
+               "both-missing pair was not silent")
+
+        # 3. Zero hits with the cache configured OFF is not a
+        #    regression (cache-off candidates never serve hits).
+        c3 = write(cand_dir, make_artifact(True, hits=0, cache_on=False))
+        regs, _ = compare_file("BENCH_selftest.json", b, c3, 0.2, 0.05)
+        expect(not any("cache went cold" in r for r in regs),
+               "cache-off candidate flagged as gone-cold")
+
+        # 4. Identical artifacts: nothing at all (the CI smoke
+        #    invariant), and the existing solver-time/coverage checks
+        #    still fire through the new doc-loading path.
+        regs, notes = compare_file("BENCH_selftest.json", b, b, 0.2, 0.05)
+        expect(not regs and not notes, "self-comparison was not silent")
+        slow = write(cand_dir, make_artifact(True, hits=5, seconds=10.0))
+        regs, _ = compare_file("BENCH_selftest.json", b, slow, 0.2, 0.05)
+        expect(any("solver-time regression" in r for r in regs),
+               "solver-time regression not detected")
+        lost = write(cand_dir, make_artifact(True, hits=5, solved=False))
+        regs, _ = compare_file("BENCH_selftest.json", b, lost, 0.2, 0.05)
+        expect(any("coverage regression" in r for r in regs),
+               "coverage regression not detected")
+
+    print(f"self-test: {'PASS' if failures == 0 else 'FAIL'} "
+          f"({failures} failed expectation(s))")
+    return 1 if failures else 0
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         description="diff two bench_results directories")
-    parser.add_argument("baseline", help="baseline bench_results directory")
-    parser.add_argument("candidate", help="candidate bench_results directory")
+    parser.add_argument("baseline", nargs="?",
+                        help="baseline bench_results directory")
+    parser.add_argument("candidate", nargs="?",
+                        help="candidate bench_results directory")
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="relative solver-time slowdown that counts as "
                              "a regression (default 0.20 = 20%%)")
     parser.add_argument("--min-seconds", type=float, default=0.05,
                         help="ignore loops faster than this in both runs "
                              "(default 0.05)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the comparator's self-test and exit")
     args = parser.parse_args(argv[1:])
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.candidate:
+        parser.error("baseline and candidate directories are required "
+                     "(or use --self-test)")
 
     base_files = bench_files(args.baseline)
     cand_files = bench_files(args.candidate)

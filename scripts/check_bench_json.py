@@ -1,7 +1,17 @@
 #!/usr/bin/env python3
-"""Validate bench_results/BENCH_*.json artifacts (schema_version 2-8).
+"""Validate bench_results/BENCH_*.json artifacts (schema_version 2-9).
 
-Schema 8 (this version) extends schema 7 with the solution-cache
+Schema 9 (this version) extends schema 8 with the scheduling-service
+replay summary: an OPTIONAL top-level "service" object (present only
+when the experiment drove the scheduling service, i.e. bench/
+service_bench) carrying requests / shed / errors / cache_hits counters,
+qps and p50_ms / p95_ms / p99_ms latency percentiles, a cache_hit_rate
+in [0, 1], and a "statuses" histogram whose keys MUST come from the
+protocol's closed response-status set (ok, timeout, node_limit,
+unsolved, cancelled, error, retry_after) — an unknown status string is
+rejected, catching drift between service/Server.cpp's status mapping
+and consumers.
+Schema 8 extends schema 7 with the solution-cache
 fields: the config's cache flag (the MODSCHED_BENCH_CACHE /
 MODSCHED_CACHE knob), a per-record cache_hit flag (true = the schedule
 was replayed from the content-addressed solution cache; such a record
@@ -144,6 +154,26 @@ CACHE_COUNTER_KEYS_V8 = {
     "inserts": numbers.Integral,
     "evictions": numbers.Integral,
 }
+
+# Optional top-level "service" object (schema 9): the scheduling-service
+# replay summary emitted by bench/service_bench.
+SERVICE_KEYS_V9 = {
+    "requests": numbers.Integral,
+    "shed": numbers.Integral,
+    "errors": numbers.Integral,
+    "cache_hits": numbers.Integral,
+    "qps": numbers.Real,
+    "p50_ms": numbers.Real,
+    "p95_ms": numbers.Real,
+    "p99_ms": numbers.Real,
+    "cache_hit_rate": numbers.Real,
+    "statuses": dict,
+}
+
+# The protocol's closed response-status set (service/Protocol.h and
+# docs/SERVICE.md). "statuses" histogram keys must come from here.
+SERVICE_STATUSES_V9 = {"ok", "timeout", "node_limit", "unsolved",
+                       "cancelled", "error", "retry_after"}
 
 ATTEMPT_KEYS = {
     "ii": numbers.Integral,
@@ -318,6 +348,27 @@ def check_attempt_forensics(attempt, awhere):
         check_keys(sample, TRAJECTORY_KEYS_V6, f"{awhere}.trajectory[{t}]")
 
 
+def check_service(service):
+    check_keys(service, SERVICE_KEYS_V9, "$.service")
+    for key in ("requests", "shed", "errors", "cache_hits"):
+        if service[key] < 0:
+            raise SchemaError(f"$.service.{key}: negative count "
+                              f"{service[key]}")
+    if not 0.0 <= service["cache_hit_rate"] <= 1.0:
+        raise SchemaError(f"$.service.cache_hit_rate: "
+                          f"{service['cache_hit_rate']} outside [0, 1]")
+    for status, count in service["statuses"].items():
+        swhere = f"$.service.statuses[{status!r}]"
+        if status not in SERVICE_STATUSES_V9:
+            raise SchemaError(f"{swhere}: unknown status (want one of "
+                              f"{sorted(SERVICE_STATUSES_V9)})")
+        if isinstance(count, bool) or not isinstance(count, numbers.Integral):
+            raise SchemaError(f"{swhere}: expected integer, got "
+                              f"{type(count).__name__}")
+        if count < 0:
+            raise SchemaError(f"{swhere}: negative count {count}")
+
+
 def check_file(path):
     with open(path, "r", encoding="utf-8") as handle:
         doc = json.load(handle)
@@ -330,8 +381,8 @@ def check_file(path):
         "record_sets": list,
     }, "$")
     version = doc["schema_version"]
-    if version not in (2, 3, 4, 5, 6, 7, 8):
-        raise SchemaError(f"$.schema_version: expected 2 through 8, got "
+    if version not in (2, 3, 4, 5, 6, 7, 8, 9):
+        raise SchemaError(f"$.schema_version: expected 2 through 9, got "
                           f"{version}")
     if not doc["experiment"]:
         raise SchemaError("$.experiment: empty string")
@@ -358,6 +409,11 @@ def check_file(path):
         check_keys(doc, {"cache_counters": dict}, "$")
         check_keys(doc["cache_counters"], CACHE_COUNTER_KEYS_V8,
                    "$.cache_counters")
+    if "service" in doc:
+        if version < 9:
+            raise SchemaError(f"$.service: present but schema_version="
+                              f"{version} predates it (want >= 9)")
+        check_service(doc["service"])
     for key, value in doc["metrics"].items():
         if isinstance(value, bool) or not isinstance(value, numbers.Real):
             raise SchemaError(f"$.metrics[{key!r}]: expected number, got "

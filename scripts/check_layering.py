@@ -7,6 +7,7 @@ The layering (see CLAUDE.md and DESIGN.md) is:
     tier 1: lp, graph, machine, pb
     tier 2: ilp, sched
     tier 3: ilpsched, heuristic, codegen, workloads, textio, frontend
+    tier 4: service
 
 A file in library L may include headers of its own library and of any
 library in a strictly LOWER tier — never a higher tier and never a
@@ -51,6 +52,7 @@ TIERS = {
     "workloads": 3,
     "textio": 3,
     "frontend": 3,
+    "service": 4,
 }
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')

@@ -3,6 +3,7 @@
 #include "ilpsched/IiSearch.h"
 
 #include "ilpsched/PortfolioAttempt.h"
+#include "ilpsched/WorkerState.h"
 #include "lp/SolveContext.h"
 #include "support/Cancellation.h"
 #include "support/Telemetry.h"
@@ -60,15 +61,27 @@ IiSearchStrategy::~IiSearchStrategy() = default;
 //===----------------------------------------------------------------------===//
 
 void SequentialIiSearch::search(const OptimalModuloScheduler &Sched,
-                                const Problem &P,
-                                ScheduleResult &Result) const {
+                                const Problem &P, ScheduleResult &Result,
+                                SchedulerWorkerState *Worker) const {
   const SchedulerOptions &Opts = Sched.options();
   Stopwatch Watch;
   // Portfolio backend: one race state for the whole II ladder, so the
-  // persistent PB session and phase hints carry across attempts.
-  std::unique_ptr<PortfolioState> Portfolio;
-  if (Opts.Backend == SchedulerBackend::Portfolio)
-    Portfolio = std::make_unique<PortfolioState>();
+  // persistent PB session and phase hints carry across attempts. With a
+  // worker state the session outlives this loop entirely — learned
+  // clauses from earlier requests stay live behind their retired gates.
+  std::unique_ptr<PortfolioState> Local;
+  PortfolioState *Portfolio = nullptr;
+  if (Opts.Backend == SchedulerBackend::Portfolio) {
+    if (Worker) {
+      if (!Worker->Portfolio)
+        Worker->Portfolio = std::make_unique<PortfolioState>();
+      Portfolio = Worker->Portfolio.get();
+    } else {
+      Local = std::make_unique<PortfolioState>();
+      Portfolio = Local.get();
+    }
+  }
+  lp::SolveContext *Ctx = Worker ? &Worker->Ctx : nullptr;
   for (int II = Result.Mii; II <= Result.Mii + Opts.MaxIiIncrease; ++II) {
     double Remaining = Opts.TimeLimitSeconds - Watch.seconds();
     if (Remaining <= 0) {
@@ -79,8 +92,8 @@ void SequentialIiSearch::search(const OptimalModuloScheduler &Sched,
       Result.NodeLimitHit = true;
       break;
     }
-    std::optional<ModuloSchedule> S = Sched.scheduleAtIi(
-        P, II, Result, Remaining, /*Ctx=*/nullptr, Portfolio.get());
+    std::optional<ModuloSchedule> S =
+        Sched.scheduleAtIi(P, II, Result, Remaining, Ctx, Portfolio);
     if (Result.TimedOut || Result.NodeLimitHit)
       break;
     if (S) {
@@ -114,8 +127,8 @@ struct RaceSlot {
 } // namespace
 
 void ParallelRaceIiSearch::search(const OptimalModuloScheduler &Sched,
-                                  const Problem &P,
-                                  ScheduleResult &Result) const {
+                                  const Problem &P, ScheduleResult &Result,
+                                  SchedulerWorkerState *) const {
   const SchedulerOptions &Opts = Sched.options();
   Stopwatch Watch;
   ThreadPool Pool(Jobs);

@@ -42,9 +42,12 @@ public:
 
   /// Runs the search over Problem \p P. \p Result.Mii must already
   /// hold the MII lower bound; everything else starts
-  /// default-initialized.
+  /// default-initialized. \p Worker, when non-null, supplies persistent
+  /// per-worker engine state (ilpsched/WorkerState.h) to thread through
+  /// the attempts; strategies that cannot use it safely ignore it.
   virtual void search(const OptimalModuloScheduler &Sched, const Problem &P,
-                      ScheduleResult &Result) const = 0;
+                      ScheduleResult &Result,
+                      SchedulerWorkerState *Worker = nullptr) const = 0;
 };
 
 /// The paper's loop: one II at a time, stop at the first feasible one.
@@ -52,7 +55,8 @@ class SequentialIiSearch : public IiSearchStrategy {
 public:
   const char *name() const override { return "sequential"; }
   void search(const OptimalModuloScheduler &Sched, const Problem &P,
-              ScheduleResult &Result) const override;
+              ScheduleResult &Result,
+              SchedulerWorkerState *Worker = nullptr) const override;
 };
 
 /// Speculative race over a window of consecutive IIs (window width ==
@@ -65,8 +69,12 @@ public:
   explicit ParallelRaceIiSearch(int Jobs);
 
   const char *name() const override { return "parallel-race"; }
+  /// \p Worker is ignored: each racing slot needs a private
+  /// SolveContext (contexts are single-thread state), so persistent
+  /// per-worker reuse is a Sequential-only optimization.
   void search(const OptimalModuloScheduler &Sched, const Problem &P,
-              ScheduleResult &Result) const override;
+              ScheduleResult &Result,
+              SchedulerWorkerState *Worker = nullptr) const override;
 
 private:
   int Jobs;

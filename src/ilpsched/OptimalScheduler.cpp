@@ -7,6 +7,7 @@
 #include "ilpsched/PbFormulation.h"
 #include "ilpsched/PortfolioAttempt.h"
 #include "ilpsched/SolutionCache.h"
+#include "ilpsched/WorkerState.h"
 #include "lp/SolveContext.h"
 #include "sched/Mii.h"
 #include "sched/Verifier.h"
@@ -237,16 +238,24 @@ OptimalModuloScheduler::scheduleAtIi(const DependenceGraph &G, int II,
   return scheduleAtIi(P, II, Stats, TimeBudget, Ctx, Portfolio);
 }
 
-ScheduleResult OptimalModuloScheduler::schedule(const DependenceGraph &G) const {
+ScheduleResult
+OptimalModuloScheduler::schedule(const DependenceGraph &G,
+                                 SchedulerWorkerState *Worker) const {
   ++StatLoops;
   telemetry::TimerScope Time(TimeSchedule,
                              {{"ops", int64_t(G.numOperations())}});
   Stopwatch Watch;
   ScheduleResult Result;
   Result.Mii = mii(G, M);
+  if (Worker)
+    Worker->beginLoop();
 
   Problem P(G, M, Opts.Formulation);
   const uint64_t RequestKey = SolutionCache::requestKey(Opts);
+  if (Opts.Cache && P.hashExact()) {
+    Result.CacheCanonicalHash = P.canonicalHash();
+    Result.CacheRequestKey = RequestKey;
+  }
   if (Opts.Cache)
     if (std::optional<SolutionCache::Hit> Hit =
             SolutionCache::global().lookup(P, RequestKey)) {
@@ -275,7 +284,7 @@ ScheduleResult OptimalModuloScheduler::schedule(const DependenceGraph &G) const 
 
   std::unique_ptr<IiSearchStrategy> Search =
       makeIiSearchStrategy(Opts.Search, Opts.SearchJobs);
-  Search->search(*this, P, Result);
+  Search->search(*this, P, Result, Worker);
 
   Result.Seconds = Watch.seconds();
   if (Opts.Cache)

@@ -40,7 +40,8 @@ namespace pb {
 class AttemptSession; // pb/Incremental.h
 } // namespace pb
 
-struct PortfolioState;  // ilpsched/PortfolioAttempt.h
+struct PortfolioState;        // ilpsched/PortfolioAttempt.h
+struct SchedulerWorkerState;  // ilpsched/WorkerState.h
 class AttemptEngine;    // ilpsched/AttemptEngine.h
 class IlpEngine;        // ilpsched/AttemptEngine.h
 class PbEngine;         // ilpsched/AttemptEngine.h
@@ -329,6 +330,16 @@ struct ScheduleResult {
   /// above is 0 with Attempts empty — cache hits never masquerade as
   /// solver work.
   bool CacheHit = false;
+  /// Cache provenance (SchedulerOptions::Cache on, and the Problem's
+  /// canonical labeling completed — Problem::hashExact): the content
+  /// address this result was looked up / inserted under. 0 when the
+  /// cache was off or the hash is inexact. Lets clients and forensics
+  /// (`msched --explain`, the service protocol) tie a served-from-cache
+  /// reply back to the canonical solve that produced it.
+  uint64_t CacheCanonicalHash = 0;
+  /// Request-option digest paired with CacheCanonicalHash (budgets and
+  /// knobs that change what a "matching" cached solve means).
+  uint64_t CacheRequestKey = 0;
   /// One record per tentative II tried, in search order (telemetry; see
   /// docs/OBSERVABILITY.md).
   std::vector<IiAttempt> Attempts;
@@ -350,7 +361,17 @@ public:
   /// all min-II schedules) using the configured IiSearchKind. With
   /// SchedulerOptions::Cache, consults the SolutionCache first and
   /// inserts clean solves afterwards.
-  ScheduleResult schedule(const DependenceGraph &G) const;
+  ///
+  /// \p Worker, when non-null, supplies persistent per-worker engine
+  /// state (ilpsched/WorkerState.h): the embedded SolveContext's
+  /// workspace (warm simplex bases) and, under the portfolio backend,
+  /// the gated PB session survive across calls. The caller owns the
+  /// context's deadline / cancellation (arm before, reset after); the
+  /// sequential II search threads the state through every attempt.
+  /// ParallelRaceIiSearch ignores it — racing slots need private
+  /// contexts, so cross-request reuse only applies to Sequential.
+  ScheduleResult schedule(const DependenceGraph &G,
+                          SchedulerWorkerState *Worker = nullptr) const;
 
   /// Solves a single tentative \p II of \p P. Returns nullopt when the
   /// problem is infeasible at this II (or the attempt was censored /

@@ -1,0 +1,81 @@
+//===- ilpsched/WorkerState.h - Persistent per-worker state -----*- C++ -*-===//
+//
+// Part of the modsched project (PLDI'97 optimal modulo scheduling repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Long-lived engine state for callers that schedule MANY loops on one
+/// thread — the service daemon (src/service) above all, where millions
+/// of requests land on a fixed worker fleet and rebuilding solver
+/// scratch state per request would throw away exactly the reuse the
+/// incremental seams were built for:
+///
+///  * The lp::SolveContext carries the persistent SimplexWorkspace, so
+///    warm simplex bases and factorization scratch survive across
+///    requests the same way they survive across B&B nodes (PR 2's
+///    warm-start path, promoted to request scope).
+///  * Under SchedulerBackend::Portfolio, one PortfolioState — and with
+///    it the persistent pb::AttemptSession — survives across loops.
+///    Every attempt's rows are gated (pb/Incremental.h), so clauses
+///    learned while scheduling one loop remain sound when the next
+///    loop's attempt opens a fresh gate; only the phase hint (schedule
+///    times, meaningless across loops) must be dropped per loop.
+///
+/// Ownership rules mirror lp::SolveContext: one SchedulerWorkerState
+/// per worker thread, used by one request at a time. The caller owns
+/// the deadline and cancellation token of the embedded context (the
+/// service arms them per request); beginLoop() never touches them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MODSCHED_ILPSCHED_WORKERSTATE_H
+#define MODSCHED_ILPSCHED_WORKERSTATE_H
+
+#include "ilpsched/PortfolioAttempt.h"
+#include "lp/SolveContext.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace modsched {
+
+/// Per-worker engine state surviving across scheduling requests. Passed
+/// to OptimalModuloScheduler::schedule; null means "transient state per
+/// call", which is the historical behavior.
+struct SchedulerWorkerState {
+  /// Persistent solve environment: the simplex workspace lives here,
+  /// so LP warm starts carry across requests. Deadline and cancellation
+  /// are owned by the caller (armed per request, reset afterwards).
+  lp::SolveContext Ctx;
+
+  /// Persistent portfolio race state (worker pool + gated PB session).
+  /// Created lazily on the first portfolio-backend loop; unused (null)
+  /// under the single-engine backends.
+  std::unique_ptr<PortfolioState> Portfolio;
+
+  /// Loops scheduled through this state (telemetry / recycle pacing).
+  int64_t LoopsServed = 0;
+
+  /// Recycle the PB session once its retained learned-clause count
+  /// crosses this bound — the gated database only grows, and a worker
+  /// serving an unbounded request stream must not grow with it.
+  int64_t PbRecycleClauseLimit = 100000;
+
+  /// Per-loop hygiene, called by schedule() before the II ladder:
+  /// drops the phase hint (schedule times of a DIFFERENT loop are not
+  /// a usable branching hint and may be mis-sized), and recycles an
+  /// oversized PB session. Learned clauses within the limit carry over.
+  void beginLoop() {
+    ++LoopsServed;
+    if (!Portfolio)
+      return;
+    Portfolio->PhaseHint.clear();
+    if (Portfolio->Session.stats().ClausesKept > PbRecycleClauseLimit)
+      Portfolio = nullptr; // schedule() re-creates it lazily.
+  }
+};
+
+} // namespace modsched
+
+#endif // MODSCHED_ILPSCHED_WORKERSTATE_H

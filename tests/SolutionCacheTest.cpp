@@ -1,0 +1,215 @@
+//===- tests/SolutionCacheTest.cpp - Concurrent cache hammer ---------------===//
+//
+// Thread-safety and accounting tests for ilpsched/SolutionCache beyond
+// the single-threaded differential coverage in ProblemHashTest:
+//
+//   * Hammer — N threads issue overlapping lookups and inserts for
+//     canonical-EQUAL problems (the same loop under different node
+//     numberings). Every hit must replay verifier-clean with the
+//     fresh-solve II / secondary objective, the cache must converge to
+//     exactly ONE entry (no duplicate inserts for one canonical form),
+//     and the telemetry counters must conserve: hits + misses equals
+//     the number of lookups issued, inserts equals the number of clean
+//     insert calls, and nothing is evicted below capacity.
+//   * Insert hygiene — censored / unfound / cache-served results are
+//     refused without touching the entry count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ilpsched/OptimalScheduler.h"
+#include "ilpsched/SolutionCache.h"
+#include "sched/Problem.h"
+#include "support/Rng.h"
+#include "support/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace modsched;
+
+namespace {
+
+/// One fixed loop shape: a five-op flow chain with a distance-1
+/// recurrence, rebuilt with operation I renumbered to Perm[I] and the
+/// edge insertion order rotated by \p Rot. All variants are schedule-
+/// isomorphic, so they must share one canonical form and one cache
+/// entry.
+DependenceGraph makeLoopVariant(const MachineModel &M,
+                                const std::vector<int> &Perm, int Rot) {
+  const int Classes[5] = {*M.findOpClass(opclasses::Load),
+                          *M.findOpClass(opclasses::Mul),
+                          *M.findOpClass(opclasses::Add),
+                          *M.findOpClass(opclasses::Sub),
+                          *M.findOpClass(opclasses::Store)};
+  struct FlowEdge {
+    int Def, Use, Latency, Distance;
+  };
+  const FlowEdge Edges[5] = {
+      {0, 1, 1, 0}, {1, 2, 4, 0}, {2, 3, 1, 0}, {3, 4, 1, 0}, {3, 1, 1, 1}};
+
+  const int N = 5;
+  DependenceGraph G;
+  G.setName("hammer-variant");
+  std::vector<int> Inverse(static_cast<size_t>(N), 0);
+  for (int Op = 0; Op < N; ++Op)
+    Inverse[static_cast<size_t>(Perm[static_cast<size_t>(Op)])] = Op;
+  for (int NewId = 0; NewId < N; ++NewId)
+    G.addOperation("v" + std::to_string(NewId),
+                   Classes[static_cast<size_t>(Inverse[size_t(NewId)])]);
+  for (int I = 0; I < 5; ++I) {
+    const FlowEdge &E = Edges[static_cast<size_t>((I + Rot) % 5)];
+    G.addFlowDependence(Perm[static_cast<size_t>(E.Def)],
+                        Perm[static_cast<size_t>(E.Use)], E.Latency,
+                        E.Distance);
+  }
+  return G;
+}
+
+int64_t counterValue(const char *Name) {
+  telemetry::Counter *C = telemetry::findCounter(Name);
+  EXPECT_NE(C, nullptr) << Name;
+  return C ? C->value() : 0;
+}
+
+TEST(SolutionCacheConcurrency, HammerConservesCountersAndEntries) {
+  MachineModel M = MachineModel::example3();
+
+  // All node numberings of the same loop (a handful is enough; these
+  // are full permutations of [0,5), rotated edge order included).
+  const std::vector<std::vector<int>> Perms = {
+      {0, 1, 2, 3, 4}, {4, 3, 2, 1, 0}, {1, 0, 3, 2, 4},
+      {2, 4, 0, 1, 3}, {3, 0, 4, 2, 1}, {1, 2, 3, 4, 0}};
+  std::vector<DependenceGraph> Graphs;
+  for (size_t V = 0; V != Perms.size(); ++V)
+    Graphs.push_back(makeLoopVariant(M, Perms[V], static_cast<int>(V)));
+
+  SchedulerOptions SOpts;
+  SOpts.Cache = false; // Fresh reference solves, no global-cache help.
+  SOpts.TimeLimitSeconds = 20.0;
+  OptimalModuloScheduler Sched(M, SOpts);
+
+  const FormulationOptions FOpts = SOpts.Formulation;
+  std::vector<std::unique_ptr<Problem>> Problems;
+  std::vector<ScheduleResult> Fresh;
+  for (const DependenceGraph &G : Graphs) {
+    Fresh.push_back(Sched.schedule(G));
+    ASSERT_TRUE(Fresh.back().Found) << "reference solve failed";
+    Problems.push_back(std::make_unique<Problem>(G, M, FOpts));
+  }
+
+  // The variants really are canonical-equal (and exactly labeled, or
+  // the cache would sit them out and the test would measure nothing).
+  for (size_t V = 0; V != Problems.size(); ++V) {
+    ASSERT_TRUE(Problems[V]->hashExact());
+    ASSERT_EQ(Problems[V]->canonicalHash(), Problems[0]->canonicalHash());
+    ASSERT_EQ(Fresh[V].II, Fresh[0].II);
+    ASSERT_EQ(Fresh[V].SecondaryObjective, Fresh[0].SecondaryObjective);
+  }
+
+  SolutionCache Cache(64);
+  const uint64_t Key = SolutionCache::requestKey(SOpts);
+
+  const int Threads = 8;
+  const int Iters = 400;
+  std::atomic<int64_t> Lookups{0}, InsertCalls{0}, Hits{0};
+  std::atomic<int> Mismatches{0};
+
+  const int64_t Hits0 = counterValue("ilpsched/cache.hits");
+  const int64_t Misses0 = counterValue("ilpsched/cache.misses");
+  const int64_t Inserts0 = counterValue("ilpsched/cache.inserts");
+  const int64_t Evict0 = counterValue("ilpsched/cache.evictions");
+
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&, T] {
+      telemetry::ThreadShardScope Shard; // Non-main recording thread.
+      Rng R(0x9e3779b9u + static_cast<uint64_t>(T));
+      for (int I = 0; I < Iters; ++I) {
+        size_t V = static_cast<size_t>(
+            R.nextBelow(static_cast<uint64_t>(Problems.size())));
+        if (R.nextBool(0.5)) {
+          ++Lookups;
+          if (std::optional<SolutionCache::Hit> H =
+                  Cache.lookup(*Problems[V], Key)) {
+            ++Hits;
+            if (H->II != Fresh[V].II ||
+                H->SecondaryObjective != Fresh[V].SecondaryObjective)
+              ++Mismatches;
+          }
+        } else {
+          ++InsertCalls;
+          Cache.insert(*Problems[V], Key, Fresh[V]);
+        }
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join(); // Thread exit merges each shard into the counters.
+
+  // One canonical form => exactly one entry, however many concurrent
+  // inserts raced to create it.
+  EXPECT_EQ(Cache.size(), 1u);
+
+  // Accounting conservation: every lookup is a hit or a miss, every
+  // clean insert call counted, nothing evicted below capacity.
+  EXPECT_EQ(counterValue("ilpsched/cache.hits") - Hits0 +
+                (counterValue("ilpsched/cache.misses") - Misses0),
+            Lookups.load());
+  EXPECT_EQ(counterValue("ilpsched/cache.inserts") - Inserts0,
+            InsertCalls.load());
+  EXPECT_EQ(counterValue("ilpsched/cache.evictions") - Evict0, 0);
+
+  // Replay fidelity: every hit carried the fresh-solve verdict (the
+  // verifier re-check inside lookup() would already have aborted on a
+  // corrupt schedule).
+  EXPECT_EQ(Mismatches.load(), 0);
+  EXPECT_GT(Hits.load(), 0) << "hammer never hit; mix is broken";
+}
+
+TEST(SolutionCacheConcurrency, InsertRefusesUncleanResults) {
+  MachineModel M = MachineModel::example3();
+  DependenceGraph G = makeLoopVariant(M, {0, 1, 2, 3, 4}, 0);
+
+  SchedulerOptions SOpts;
+  SOpts.Cache = false;
+  SOpts.TimeLimitSeconds = 20.0;
+  OptimalModuloScheduler Sched(M, SOpts);
+  ScheduleResult R = Sched.schedule(G);
+  ASSERT_TRUE(R.Found);
+
+  Problem P(G, M, SOpts.Formulation);
+  ASSERT_TRUE(P.hashExact());
+  SolutionCache Cache(8);
+  const uint64_t Key = SolutionCache::requestKey(SOpts);
+
+  ScheduleResult Censored = R;
+  Censored.TimedOut = true;
+  Cache.insert(P, Key, Censored);
+  EXPECT_EQ(Cache.size(), 0u) << "censored result entered the cache";
+
+  ScheduleResult NodeCapped = R;
+  NodeCapped.NodeLimitHit = true;
+  Cache.insert(P, Key, NodeCapped);
+  EXPECT_EQ(Cache.size(), 0u);
+
+  ScheduleResult Unfound = R;
+  Unfound.Found = false;
+  Cache.insert(P, Key, Unfound);
+  EXPECT_EQ(Cache.size(), 0u);
+
+  ScheduleResult Served = R;
+  Served.CacheHit = true;
+  Cache.insert(P, Key, Served);
+  EXPECT_EQ(Cache.size(), 0u) << "cache-served result re-inserted";
+
+  Cache.insert(P, Key, R);
+  EXPECT_EQ(Cache.size(), 1u);
+  std::optional<SolutionCache::Hit> H = Cache.lookup(P, Key);
+  ASSERT_TRUE(H.has_value());
+  EXPECT_EQ(H->II, R.II);
+}
+
+} // namespace
